@@ -1,0 +1,104 @@
+//! Criterion benchmarks over the figure-level primitives: per-NF service
+//! time (the Figure 8 x-axis), merge cost per degree (Figure 11's
+//! overhead driver), and end-to-end sync-engine traversal of the paper's
+//! real-world graphs (Figure 13's subjects).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfp_bench::setups::{compile_chain, fixed_traffic, make_nf, EVAL_NFS};
+use nfp_dataplane::merger::{arrival_from, resolve_and_merge, MergeOutcome};
+use nfp_dataplane::SyncEngine;
+use nfp_nf::PacketView;
+use nfp_orchestrator::tables::{FtAction, MemberSpec, MergeSpec};
+use nfp_packet::pool::PacketPool;
+use nfp_packet::Metadata;
+use std::sync::Arc;
+
+fn bench_nf_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nf_service");
+    for nf_type in EVAL_NFS {
+        let frame = if matches!(nf_type, "VPN" | "IDS") { 256 } else { 64 };
+        let mut nf = make_nf(nf_type);
+        let pkts = fixed_traffic(32, frame);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(nf_type), |b| {
+            b.iter(|| {
+                let mut p = pkts[i % pkts.len()].clone();
+                i += 1;
+                let mut view = PacketView::Exclusive(&mut p);
+                black_box(nf.process(&mut view))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_by_degree");
+    for degree in 2..=5usize {
+        let spec = MergeSpec {
+            segment: 0,
+            total_count: degree,
+            ops: vec![],
+            members: (0..degree)
+                .map(|i| MemberSpec {
+                    version: 1,
+                    priority: i as u32,
+                    drop_capable: false,
+                })
+                .collect(),
+            next: vec![FtAction::Output { version: 1 }],
+        };
+        let pool = PacketPool::new(16);
+        let mut tmpl = fixed_traffic(1, 64).pop().unwrap();
+        tmpl.set_meta(Metadata::new(1, 1, 1));
+        group.bench_function(BenchmarkId::from_parameter(degree), |b| {
+            b.iter(|| {
+                let v1 = pool.insert(tmpl.clone()).unwrap();
+                for _ in 1..degree {
+                    pool.retain(v1);
+                }
+                let arrivals: Vec<_> = (0..degree).map(|_| arrival_from(&pool, v1)).collect();
+                match resolve_and_merge(&spec, &arrivals, &pool).unwrap() {
+                    MergeOutcome::Forward(r) => pool.release(r),
+                    MergeOutcome::Dropped => {}
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_real_world_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure13_graph_traversal");
+    for (label, chain) in [
+        ("north_south", &["VPN", "Monitor", "Firewall", "LB"][..]),
+        ("east_west", &["IDS", "Monitor", "LB"][..]),
+    ] {
+        let compiled = compile_chain(chain);
+        let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+        let nfs: Vec<_> = compiled
+            .graph
+            .nodes
+            .iter()
+            .map(|n| make_nf(n.name.as_str()))
+            .collect();
+        let mut engine = SyncEngine::new(tables, nfs, 64);
+        let pkts = fixed_traffic(64, 724);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let p = pkts[i % pkts.len()].clone();
+                i += 1;
+                black_box(engine.process(p).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_nf_service, bench_merge_degree, bench_real_world_graphs
+}
+criterion_main!(figures);

@@ -1,0 +1,117 @@
+//! Criterion micro-benchmarks for the NFP substrates: the primitives whose
+//! measured costs feed the virtual-time model (rings, pool copies, merge,
+//! classification) and the from-scratch algorithm kernels (checksum, LPM,
+//! Aho–Corasick, AES, Algorithm 1, graph compilation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nfp_bench::setups::{compile_chain, fixed_traffic};
+use nfp_dataplane::ring;
+use nfp_nf::aes::Aes128;
+use nfp_nf::aho::AhoCorasick;
+use nfp_nf::lpm::LpmTable;
+use nfp_orchestrator::{identify, DependencyTable, IdentifyOptions, Registry};
+use nfp_packet::checksum::checksum;
+use nfp_packet::ipv4::Ipv4Addr;
+use nfp_packet::pool::PacketPool;
+
+fn bench_ring(c: &mut Criterion) {
+    let (tx, rx) = ring::channel::<u64>(1024);
+    c.bench_function("ring_push_pop", |b| {
+        b.iter(|| {
+            tx.push(black_box(7)).unwrap();
+            black_box(rx.pop());
+        })
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let pool = PacketPool::new(8);
+    let pkt = fixed_traffic(1, 724).pop().unwrap();
+    let r = pool.insert(pkt).unwrap();
+    c.bench_function("pool_header_only_copy_724B", |b| {
+        b.iter(|| {
+            let cp = pool.header_only_copy(black_box(r), 2).unwrap().unwrap();
+            pool.release(cp);
+        })
+    });
+    c.bench_function("pool_full_copy_724B", |b| {
+        b.iter(|| {
+            let cp = pool.full_copy(black_box(r), 2).unwrap().unwrap();
+            pool.release(cp);
+        })
+    });
+    c.bench_function("pool_retain_release", |b| {
+        b.iter(|| {
+            pool.retain(black_box(r));
+            pool.release(r);
+        })
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1460];
+    c.bench_function("internet_checksum_1460B", |b| {
+        b.iter(|| checksum(black_box(&data)))
+    });
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut t = LpmTable::new();
+    for i in 0..1000u32 {
+        t.insert(Ipv4Addr::from_u32((10 << 24) | (i << 8)), 24, i);
+    }
+    c.bench_function("lpm_lookup_1000_routes", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(97);
+            black_box(t.lookup(Ipv4Addr::from_u32((10 << 24) | ((x % 1000) << 8) | 5)))
+        })
+    });
+}
+
+fn bench_aho(c: &mut Criterion) {
+    let sigs: Vec<String> = (0..100).map(|i| format!("EVIL{i:04}SIG")).collect();
+    let ac = AhoCorasick::new(&sigs);
+    let clean = vec![b'x'; 700];
+    c.bench_function("aho_scan_700B_clean", |b| {
+        b.iter(|| black_box(ac.any_match(black_box(&clean))))
+    });
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new(&[7u8; 16]);
+    let mut data = vec![0u8; 700];
+    c.bench_function("aes_ctr_700B", |b| {
+        b.iter(|| aes.ctr_apply(black_box(1), &mut data))
+    });
+}
+
+fn bench_alg1(c: &mut Criterion) {
+    let reg = Registry::paper_table2();
+    let monitor = reg.get("Monitor").unwrap().clone();
+    let lb = reg.get("LoadBalancer").unwrap().clone();
+    let dt = DependencyTable::paper_table3();
+    c.bench_function("algorithm1_monitor_lb", |b| {
+        b.iter(|| {
+            black_box(identify(
+                black_box(&monitor),
+                black_box(&lb),
+                &dt,
+                IdentifyOptions::default(),
+            ))
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("compile_north_south_chain", |b| {
+        b.iter(|| black_box(compile_chain(&["VPN", "Monitor", "Firewall", "LB"])))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_ring, bench_pool, bench_checksum, bench_lpm, bench_aho, bench_aes, bench_alg1, bench_compile
+}
+criterion_main!(micro);

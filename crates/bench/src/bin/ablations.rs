@@ -1,0 +1,137 @@
+//! Ablations of the paper's two resource optimizations (§4.2):
+//!
+//! * **OP#1 Dirty Memory Reusing** — off: every read-write / write-write
+//!   pair forces a copy even when the fields differ. Measured as the share
+//!   of parallelizable NF pairs that keep zero-copy, and the copies per
+//!   packet on the real-world chains.
+//! * **OP#2 Header-Only Copying** — off: copies carry the whole packet.
+//!   Measured as copy cost and resource overhead at data-center sizes.
+
+use nfp_bench::calibrate::Calibration;
+use nfp_bench::setups::eval_registry;
+use nfp_bench::table::{pct, TablePrinter};
+use nfp_orchestrator::census::{census, Weighting};
+use nfp_orchestrator::graph::{CopyKind, Segment};
+use nfp_orchestrator::{compile, CompileOptions, IdentifyOptions};
+use nfp_packet::pool::PacketPool;
+use nfp_policy::Policy;
+use nfp_sim::overhead::HEADER_COPY_BYTES;
+use nfp_traffic::SizeDistribution;
+
+fn main() {
+    let cal = Calibration::measure();
+    println!("== Ablation 1: OP#1 Dirty Memory Reusing ==\n");
+    let reg = eval_registry();
+    let mut t = TablePrinter::new(["census (uniform)", "no-copy share", "copy share"]);
+    for (label, op1) in [("OP#1 on", true), ("OP#1 off", false)] {
+        let r = census(
+            &reg,
+            Weighting::Uniform,
+            IdentifyOptions {
+                dirty_memory_reusing: op1,
+            },
+        );
+        t.row([label.to_string(), pct(r.no_copy), pct(r.with_copy)]);
+    }
+    t.print();
+
+    println!("\ncopies per packet on compiled chains:");
+    let mut t = TablePrinter::new(["chain", "OP#1 on", "OP#1 off"]);
+    for chain in [
+        &["VPN", "Monitor", "Firewall", "LB"][..],
+        &["IDS", "Monitor", "LB"][..],
+        &["Monitor", "Forwarder"][..], // disjoint-field writer beside a reader
+    ] {
+        let copies = |op1: bool| {
+            compile(
+                &Policy::from_chain(chain.iter().copied()),
+                &reg,
+                &[],
+                &CompileOptions {
+                    identify: IdentifyOptions {
+                        dirty_memory_reusing: op1,
+                    },
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap()
+            .graph
+            .copies_per_packet()
+        };
+        t.row([
+            format!("{chain:?}"),
+            copies(true).to_string(),
+            copies(false).to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n== Ablation 2: OP#2 Header-Only Copying ==\n");
+    // Measured copy cost, header-only vs full, across packet sizes.
+    let pool = PacketPool::new(8);
+    let mut t = TablePrinter::new([
+        "frame bytes",
+        "header-only ns",
+        "full copy ns",
+        "mem overhead OP#2",
+        "mem overhead full",
+    ]);
+    for frame in [64usize, 256, 724, 1400] {
+        let pkt = nfp_bench::setups::fixed_traffic(1, frame).pop().unwrap();
+        let r = pool.insert(pkt).unwrap();
+        let header_ns = nfp_bench::calibrate::time_per_iter(20_000, || {
+            let c = pool.header_only_copy(r, 2).unwrap().unwrap();
+            pool.release(c);
+        });
+        let full_ns = nfp_bench::calibrate::time_per_iter(20_000, || {
+            let c = pool.full_copy(r, 2).unwrap().unwrap();
+            pool.release(c);
+        });
+        t.row([
+            frame.to_string(),
+            format!("{header_ns:.0}"),
+            format!("{full_ns:.0}"),
+            pct(HEADER_COPY_BYTES / frame as f64),
+            pct(1.0),
+        ]);
+        pool.release(r);
+    }
+    t.print();
+
+    // What the east-west chain would cost with full copies.
+    let compiled = compile(
+        &Policy::from_chain(["IDS", "Monitor", "LB"]),
+        &reg,
+        &[],
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let mean = SizeDistribution::datacenter().mean();
+    let copies = compiled.graph.copies_per_packet() as f64;
+    println!(
+        "\neast-west chain, data-center mix: OP#2 overhead {} vs full-copy overhead {}",
+        pct(copies * HEADER_COPY_BYTES / mean),
+        pct(copies)
+    );
+    // Sanity: the compiled copy is header-only because the LB touches no
+    // payload.
+    let kinds: Vec<CopyKind> = compiled
+        .graph
+        .segments
+        .iter()
+        .flat_map(|s| match s {
+            Segment::Parallel(g) => g.members.iter().map(|m| m.copy).collect::<Vec<_>>(),
+            _ => vec![],
+        })
+        .filter(|k| *k != CopyKind::None)
+        .collect();
+    println!("compiled copy kinds: {kinds:?}");
+    println!(
+        "\nhost calibration for reference:\n{cal}"
+    );
+    println!(
+        "\npaper: OP#1 turns 12.3pp of would-be-copy pairs into zero-copy sharing;\n\
+         OP#2 fixes copy overhead at 64B regardless of packet size (8.8% of the\n\
+         724B data-center mean instead of 100%)."
+    );
+}

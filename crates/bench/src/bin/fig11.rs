@@ -1,0 +1,59 @@
+//! Figure 11 — effect of parallelism degree: 2–5 instances of the
+//! 300-cycle firewall, sequential vs parallel, with and without copying
+//! (64B packets).
+//!
+//! Paper shape: "with the increase of parallelism degree, the latency
+//! reduction rises from 33% to 52% for no-copy setups, and up to 32% for
+//! copy setups … the latency reduction cannot reach the theoretical value
+//! of 80% for 5-degree parallelism — we attribute this to the merging
+//! process." Throughput is barely affected. §6.3.2: copying and merging
+//! cost ~15 µs on the paper's testbed while still netting ≥20%.
+
+use nfp_bench::calibrate::{nf_service_ns, Calibration};
+use nfp_bench::setups::forced_parallel;
+use nfp_bench::table::{mpps, pct, us, TablePrinter};
+use nfp_sim::model;
+
+fn main() {
+    let cal = Calibration::measure();
+    println!("{cal}\n");
+    println!("== Figure 11: parallelism degree sweep, CycleFW:300, 64B ==\n");
+
+    let nf = "CycleFW:300";
+    let svc = nf_service_ns(nf, 64);
+    let mut t = TablePrinter::new([
+        "degree",
+        "NFP-seq us",
+        "NFP-par us",
+        "cut",
+        "NFP-par+copy us",
+        "cut (copy)",
+        "theoretical cut",
+        "rate par Mpps",
+    ]);
+    for degree in 2..=5usize {
+        let services = vec![svc; degree];
+        let m = cal.model_with_services(services.clone());
+        let seq = model::nfp_sequential_latency(&services, &m).total_us();
+        let g_par = forced_parallel(nf, degree, false);
+        let g_copy = forced_parallel(nf, degree, true);
+        let par = model::nfp_latency(&g_par, &m, 10).total_us();
+        let copy = model::nfp_latency(&g_copy, &m, 10).total_us();
+        t.row([
+            degree.to_string(),
+            us(seq),
+            us(par),
+            pct((seq - par) / seq),
+            us(copy),
+            pct((seq - copy) / seq),
+            pct(1.0 - 1.0 / degree as f64),
+            mpps(model::nfp_throughput(&g_par, &m, 10, 2)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: cuts 33%→52% (no copy) and ≤32% (copy) for degrees 2→5; the gap to\n\
+         the theoretical cut is merging work, which grows with the number of copies\n\
+         the merger must collect."
+    );
+}

@@ -1,0 +1,83 @@
+//! Figure 13 — real-world service chains with data-center traffic.
+//!
+//! Paper: the **north-south** chain (VPN → Monitor → Firewall → LB)
+//! compiles to `VPN -> [Monitor | Firewall] -> LB`: 12.9% latency cut,
+//! 0% resource overhead. The **east-west** chain (IDS → Monitor → LB)
+//! compiles to `IDS -> [Monitor | LB(copy)]`: 35.9% cut, 8.8% overhead.
+
+use nfp_bench::calibrate::{nf_service_ns, Calibration};
+use nfp_bench::setups::compile_chain;
+use nfp_bench::table::{pct, us, TablePrinter};
+use nfp_sim::{model, overhead};
+use nfp_traffic::SizeDistribution;
+
+fn main() {
+    let cal = Calibration::measure();
+    println!("{cal}\n");
+    let mean_frame = SizeDistribution::datacenter().mean().round() as usize;
+    println!(
+        "== Figure 13: real-world chains, data-center traffic (mean {mean_frame}B) ==\n"
+    );
+
+    let chains: [(&str, &[&str], f64, f64); 2] = [
+        ("north-south", &["VPN", "Monitor", "Firewall", "LB"], 0.129, 0.0),
+        ("east-west", &["IDS", "Monitor", "LB"], 0.359, 0.088),
+    ];
+
+    // `pad` emulates the per-NF cost of the paper's substrate (container,
+    // vSwitch, full DPDK path) that this bare-metal host does not pay; the
+    // second table adds the paper's scale (~50 µs/NF, inferred from its
+    // 220–241 µs 3–4-NF chains).
+    for (label, pad_ns) in [("bare-host NF costs", 0.0), ("containerized-NF emulation (+50us/NF)", 50_000.0)] {
+        println!("--- {label} ---");
+        let mut t = TablePrinter::new([
+            "chain",
+            "compiled graph",
+            "ONVM us",
+            "NFP us",
+            "cut",
+            "paper cut",
+            "overhead",
+            "paper ovh",
+        ]);
+        for (name, chain, paper_cut, paper_ovh) in chains.clone() {
+            let compiled = compile_chain(chain);
+            let graph = &compiled.graph;
+            let services: Vec<f64> = graph
+                .nodes
+                .iter()
+                .map(|n| nf_service_ns(n.name.as_str(), mean_frame) + pad_ns)
+                .collect();
+            let m = cal.model_with_services(services.clone());
+            // Sequential order = policy chain order.
+            let chain_services: Vec<f64> = chain
+                .iter()
+                .map(|nf| nf_service_ns(nf, mean_frame) + pad_ns)
+                .collect();
+            let onvm = model::onvm_latency(&chain_services, &m).total_us();
+            let nfp = model::nfp_latency(graph, &m, mean_frame - 54).total_us();
+            let cut = (onvm - nfp) / onvm;
+            // Resource overhead: copies per packet × header bytes / mean size.
+            let copies = graph.copies_per_packet();
+            let ovh = copies as f64 * overhead::HEADER_COPY_BYTES / mean_frame as f64;
+            t.row([
+                name.to_string(),
+                graph.describe(),
+                us(onvm),
+                us(nfp),
+                pct(cut),
+                pct(paper_cut),
+                pct(ovh),
+                pct(paper_ovh),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "\npaper: the north-south chain parallelizes Monitor∥Firewall with zero\n\
+         copies; the east-west chain parallelizes Monitor∥LB with one header-only\n\
+         copy (8.8% of the mean packet). Our compiled graph structures match the\n\
+         paper's exactly; latency cuts depend on this host's relative NF costs."
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 9 — optimization effect as a function of NF complexity: a
+//! firewall that busy-loops for 1–3000 cycles per packet after modifying
+//! it (§6.2.2).
+//!
+//! Paper shape: "the forwarding latency optimization effect rises with the
+//! increase of NF complexity. For the most complex NF (3000 cycles), NFP
+//! brings around 45% latency reduction. … the performance overhead brought
+//! by packet copying is minimal."
+
+use nfp_bench::calibrate::{nf_service_ns, Calibration};
+use nfp_bench::setups::forced_parallel;
+use nfp_bench::table::{mpps, pct, us, TablePrinter};
+use nfp_sim::model;
+
+fn main() {
+    let cal = Calibration::measure();
+    println!("{cal}\n");
+    println!("== Figure 9: Firewall with N busy cycles per packet, degree 2, 64B ==\n");
+
+    let mut t = TablePrinter::new([
+        "cycles",
+        "svc us",
+        "ONVM-seq us",
+        "NFP-seq us",
+        "NFP-par us",
+        "NFP-par+copy us",
+        "cut (no copy)",
+        "rate par Mpps",
+    ]);
+    for cycles in [1u64, 300, 600, 900, 1200, 1500, 1800, 2100, 2400, 2700, 3000] {
+        let nf = format!("CycleFW:{cycles}");
+        let svc = nf_service_ns(&nf, 64);
+        let services = vec![svc, svc];
+        let m = cal.model_with_services(services.clone());
+        let onvm = model::onvm_latency(&services, &m).total_us();
+        let nfp_seq = model::nfp_sequential_latency(&services, &m).total_us();
+        let g_par = forced_parallel(&nf, 2, false);
+        let g_copy = forced_parallel(&nf, 2, true);
+        let par = model::nfp_latency(&g_par, &m, 10).total_us();
+        let copy = model::nfp_latency(&g_copy, &m, 10).total_us();
+        let cut = (nfp_seq - par) / nfp_seq;
+        t.row([
+            cycles.to_string(),
+            format!("{:.2}", svc / 1000.0),
+            us(onvm),
+            us(nfp_seq),
+            us(par),
+            us(copy),
+            pct(cut),
+            mpps(model::nfp_throughput(&g_par, &m, 10, 2)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper shape: the latency cut grows with per-packet cycles toward ~50%\n\
+         (paper reports ~45% at 3000 cycles); copy adds a near-constant penalty\n\
+         that shrinks in relative terms as the NF gets heavier."
+    );
+}

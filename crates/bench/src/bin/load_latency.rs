@@ -1,0 +1,62 @@
+//! Latency vs offered load — the §5 centralized-switch hot-spot argument,
+//! quantified: as load rises, OpenNetVM's switch (which serves every hop
+//! of every packet) saturates first and its queueing delay explodes, while
+//! NFP's distributed runtimes keep every stage lightly loaded.
+
+use nfp_bench::calibrate::{nf_service_ns, Calibration};
+use nfp_bench::table::TablePrinter;
+use nfp_sim::queueing::{pipeline_latency, saturation_pps, Stage};
+
+fn main() {
+    let cal = Calibration::measure();
+    println!("{cal}\n");
+    println!("== latency vs offered load: 3-firewall chain, NFP vs ONVM ==\n");
+
+    let fw_s = nf_service_ns("Firewall", 64) / 1e9;
+    let hop_s = cal.hop_ns / 1e9;
+    let switch_s = cal.switch_ns / 1e9;
+    let n = 3usize;
+
+    let nf_stage = Stage {
+        service_s: fw_s + hop_s,
+        visits: 1.0,
+    };
+    let switch_stage = Stage {
+        service_s: switch_s,
+        visits: (n + 1) as f64,
+    };
+    let nfp: Vec<Stage> = vec![nf_stage; n];
+    let onvm: Vec<Stage> = {
+        let mut v = vec![nf_stage; n];
+        v.push(switch_stage);
+        v
+    };
+
+    println!(
+        "saturation: NFP {:.2} Mpps, ONVM {:.2} Mpps (switch-bound)\n",
+        saturation_pps(&nfp) / 1e6,
+        saturation_pps(&onvm) / 1e6
+    );
+
+    let onvm_sat = saturation_pps(&onvm);
+    let mut t = TablePrinter::new(["offered Mpps", "NFP us", "ONVM us"]);
+    for frac in [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.05] {
+        let rate = onvm_sat * frac;
+        let fmt = |l: Option<f64>| match l {
+            Some(v) => format!("{:.1}", v * 1e6),
+            None => "saturated".to_string(),
+        };
+        t.row([
+            format!("{:.2}", rate / 1e6),
+            fmt(pipeline_latency(&nfp, rate)),
+            fmt(pipeline_latency(&onvm, rate)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nshape: ONVM's latency diverges as load approaches its switch-bound\n\
+         saturation while NFP stays near its zero-load latency — the paper's\n\
+         'packet queuing in this centralized switch would compromise the\n\
+         performance' argument (§5), and the Ananta 200µs–1ms citation (§1)."
+    );
+}

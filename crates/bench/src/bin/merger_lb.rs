@@ -1,0 +1,96 @@
+//! §6.3.3 — merger load balancing.
+//!
+//! Paper: "one merger instance can handle 10.7 Mpps processing rate with
+//! no packet loss … for packets of any size, two merger instances are
+//! sufficient to support full speed packet processing with the parallelism
+//! degree of up to 5."
+//!
+//! Here we measure a merger instance's real peak merge rate on this host
+//! (degree 2, no ops — the paper's firewall setup), verify the agent's
+//! PID-hash spreads load evenly, and compute how many instances each
+//! parallelism degree needs to keep up with the NF stages.
+
+use nfp_bench::calibrate::{nf_service_ns, time_per_iter, Calibration};
+use nfp_bench::table::{mpps, TablePrinter};
+use nfp_dataplane::merger::{agent_pick, arrival_from, resolve_and_merge, MergeOutcome};
+use nfp_orchestrator::tables::{FtAction, MemberSpec, MergeSpec};
+use nfp_packet::pool::PacketPool;
+use nfp_packet::Metadata;
+
+fn merge_spec(degree: usize) -> MergeSpec {
+    MergeSpec {
+        segment: 0,
+        total_count: degree,
+        ops: vec![],
+        members: (0..degree)
+            .map(|i| MemberSpec {
+                version: 1,
+                priority: i as u32,
+                drop_capable: false,
+            })
+            .collect(),
+        next: vec![FtAction::Output { version: 1 }],
+    }
+}
+
+fn main() {
+    let cal = Calibration::measure();
+    println!("{cal}\n");
+    println!("== §6.3.3: merger instance capacity and load balancing ==\n");
+
+    // Peak single-instance merge rate per degree.
+    let mut t = TablePrinter::new([
+        "degree",
+        "merge ns/pkt",
+        "1 instance Mpps",
+        "instances for FW-speed",
+    ]);
+    let fw_ns = nf_service_ns("Firewall", 64);
+    for degree in 2..=5usize {
+        let spec = merge_spec(degree);
+        let pool = PacketPool::new(16);
+        let mut tmpl = nfp_bench::setups::fixed_traffic(1, 64).pop().unwrap();
+        tmpl.set_meta(Metadata::new(1, 1, 1));
+        let per_merge_ns = time_per_iter(20_000, || {
+            let v1 = pool.insert(tmpl.clone()).unwrap();
+            for _ in 1..degree {
+                pool.retain(v1);
+            }
+            let arrivals: Vec<_> = (0..degree).map(|_| arrival_from(&pool, v1)).collect();
+            match resolve_and_merge(&spec, &arrivals, &pool).unwrap() {
+                MergeOutcome::Forward(r) => pool.release(r),
+                MergeOutcome::Dropped => {}
+            }
+        });
+        let rate = 1e9 / per_merge_ns;
+        // An NF stage emits one packet per (service + hop); the merger must
+        // absorb `degree` arrivals per packet.
+        let nf_rate = 1e9 / (fw_ns + cal.hop_ns);
+        let needed = (nf_rate / rate).ceil().max(1.0) as usize;
+        t.row([
+            degree.to_string(),
+            format!("{per_merge_ns:.0}"),
+            mpps(rate),
+            needed.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: one instance handles 10.7 Mpps; two instances suffice up to degree 5."
+    );
+
+    // Agent load-balance quality.
+    println!("\nmerger agent PID-hash distribution over 100k packets, 2 instances:");
+    let mut counts = [0u64; 2];
+    for pid in 0..100_000u64 {
+        counts[agent_pick(pid, 2)] += 1;
+    }
+    let skew = (counts[0] as f64 - counts[1] as f64).abs() / 100_000.0;
+    println!(
+        "  instance 0: {}  instance 1: {}  (skew {:.2}%)",
+        counts[0],
+        counts[1],
+        skew * 100.0
+    );
+    println!("  all copies of one PID always hash to the same instance by construction.");
+}

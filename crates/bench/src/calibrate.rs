@@ -1,0 +1,257 @@
+//! Host cost calibration.
+//!
+//! Measures the real per-packet cost of every primitive the virtual-time
+//! model needs, on this machine: NF service times, ring hops, header/full
+//! copies, merge operations and classification.
+
+use crate::setups::make_nf;
+use nfp_dataplane::ring;
+use nfp_nf::PacketView;
+use nfp_orchestrator::graph::ServiceGraph;
+use nfp_orchestrator::tables::{FtAction, MemberSpec, MergeSpec};
+use nfp_packet::pool::PacketPool;
+use nfp_packet::{Metadata, Packet};
+use nfp_sim::CostModel;
+use std::time::Instant;
+
+/// Measured primitive costs (ns/packet).
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// One SPSC ring push+pop.
+    pub hop_ns: f64,
+    /// Centralized-switch transit surcharge (modelled as one extra ring
+    /// round-trip plus a routing lookup; measured as 2× hop).
+    pub switch_ns: f64,
+    /// Classifier admit cost.
+    pub classify_ns: f64,
+    /// Header-only copy.
+    pub copy_header_ns: f64,
+    /// Full-copy per-byte slope.
+    pub copy_per_byte_ns: f64,
+    /// Merge fixed cost.
+    pub merge_base_ns: f64,
+    /// Merge per-arrival cost.
+    pub merge_per_arrival_ns: f64,
+    /// Merge per-op cost.
+    pub merge_per_op_ns: f64,
+}
+
+/// Measure elapsed ns per iteration of `f` over `iters` iterations.
+pub fn time_per_iter(iters: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup pass keeps first-touch costs out of the measurement.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Measure one NF's per-packet service time over representative traffic.
+pub fn nf_service_ns(nf_type: &str, frame: usize) -> f64 {
+    let mut nf = make_nf(nf_type);
+    let pkts = crate::setups::fixed_traffic(64, frame.max(64));
+    let mut idx = 0usize;
+    // VPN keeps growing packets; re-clone from pristine templates.
+    time_per_iter(2_000, || {
+        let mut p = pkts[idx % pkts.len()].clone();
+        idx += 1;
+        let mut view = PacketView::Exclusive(&mut p);
+        let _ = nf.process(&mut view);
+    }) - clone_overhead_ns(&pkts)
+}
+
+fn clone_overhead_ns(pkts: &[Packet]) -> f64 {
+    let mut idx = 0usize;
+    time_per_iter(2_000, || {
+        let p = pkts[idx % pkts.len()].clone();
+        idx += 1;
+        std::hint::black_box(&p);
+    })
+}
+
+impl Calibration {
+    /// Run the full calibration suite (≈ a second of wall time).
+    pub fn measure() -> Self {
+        // Ring hop: push+pop of a Msg-sized value.
+        let (tx, rx) = ring::channel::<u64>(1024);
+        let hop_ns = time_per_iter(200_000, || {
+            tx.push(7).unwrap();
+            std::hint::black_box(rx.pop());
+        });
+
+        // Copies.
+        let pool = PacketPool::new(8);
+        let big = crate::setups::fixed_traffic(1, 1400).pop().unwrap();
+        let small = crate::setups::fixed_traffic(1, 64).pop().unwrap();
+        let r_big = pool.insert(big).unwrap();
+        let r_small = pool.insert(small).unwrap();
+        let copy_header_ns = time_per_iter(20_000, || {
+            let c = pool.header_only_copy(r_big, 2).unwrap().unwrap();
+            pool.release(c);
+        });
+        let full_small = time_per_iter(20_000, || {
+            let c = pool.full_copy(r_small, 2).unwrap().unwrap();
+            pool.release(c);
+        });
+        let full_big = time_per_iter(20_000, || {
+            let c = pool.full_copy(r_big, 2).unwrap().unwrap();
+            pool.release(c);
+        });
+        let copy_per_byte_ns = ((full_big - full_small) / (1400.0 - 64.0)).max(0.0);
+
+        // Merge: 2 arrivals, no ops vs one op.
+        let merge = |ops: usize| -> f64 {
+            let spec = MergeSpec {
+                segment: 0,
+                total_count: 2,
+                ops: (0..ops)
+                    .map(|_| nfp_orchestrator::graph::MergeOp::Modify {
+                        field: nfp_packet::FieldId::Tos,
+                        from_version: 2,
+                    })
+                    .collect(),
+                members: vec![
+                    MemberSpec {
+                        version: 1,
+                        priority: 0,
+                        drop_capable: false,
+                    },
+                    MemberSpec {
+                        version: 2,
+                        priority: 1,
+                        drop_capable: false,
+                    },
+                ],
+                next: vec![FtAction::Output { version: 1 }],
+            };
+            let mpool = PacketPool::new(8);
+            let mut tmpl = crate::setups::fixed_traffic(1, 128).pop().unwrap();
+            tmpl.set_meta(Metadata::new(1, 1, 1));
+            time_per_iter(20_000, || {
+                let v1 = mpool.insert(tmpl.clone()).unwrap();
+                let v2 = mpool.full_copy(v1, 2).unwrap().unwrap();
+                let arrivals = [
+                    nfp_dataplane::merger::arrival_from(&mpool, v1),
+                    nfp_dataplane::merger::arrival_from(&mpool, v2),
+                ];
+                match nfp_dataplane::merger::resolve_and_merge(&spec, &arrivals, &mpool).unwrap() {
+                    nfp_dataplane::merger::MergeOutcome::Forward(r) => mpool.release(r),
+                    nfp_dataplane::merger::MergeOutcome::Dropped => {}
+                }
+            })
+        };
+        let merge2 = merge(0);
+        let merge2_1op = merge(1);
+        let merge_per_op_ns = (merge2_1op - merge2).max(10.0);
+        // Split the 2-arrival cost into base + per-arrival halves.
+        let merge_base_ns = (merge2 / 2.0).max(10.0);
+        let merge_per_arrival_ns = (merge2 / 4.0).max(10.0);
+
+        // Classifier: admit into a null sink (entry action = Output).
+        let classify_ns = {
+            use nfp_dataplane::actions::{Deliver, Msg};
+            use nfp_orchestrator::tables::Target;
+            struct Null<'a>(&'a PacketPool);
+            impl Deliver for Null<'_> {
+                fn deliver(&mut self, _t: Target, msg: Msg) {
+                    self.0.release(msg.r);
+                }
+            }
+            let tables = std::sync::Arc::new(nfp_orchestrator::tables::GraphTables {
+                mid: 1,
+                entry_actions: vec![FtAction::Output { version: 1 }],
+                nf_configs: vec![],
+                merge_specs: vec![],
+            });
+            let cpool = PacketPool::new(8);
+            let mut cl = nfp_dataplane::Classifier::single(tables);
+            let tmpl = crate::setups::fixed_traffic(1, 128).pop().unwrap();
+            time_per_iter(20_000, || {
+                let mut sink = Null(&cpool);
+                cl.admit(tmpl.clone(), &cpool, &mut sink).unwrap();
+            })
+        };
+
+        pool.release(r_big);
+        pool.release(r_small);
+        Self {
+            hop_ns,
+            switch_ns: 2.0 * hop_ns + classify_ns, // relay + forwarding lookup
+            classify_ns,
+            copy_header_ns,
+            copy_per_byte_ns,
+            merge_base_ns,
+            merge_per_arrival_ns,
+            merge_per_op_ns,
+        }
+    }
+
+    /// Build a [`CostModel`] for `graph` by measuring each node's NF
+    /// service time at the given frame size.
+    pub fn model_for(&self, graph: &ServiceGraph, frame: usize) -> CostModel {
+        let services = graph
+            .nodes
+            .iter()
+            .map(|n| {
+                // Instance names like "Firewall#1" map to their type.
+                let ty = n.name.as_str().split('#').next().unwrap();
+                nf_service_ns(ty, frame)
+            })
+            .collect();
+        self.model_with_services(services)
+    }
+
+    /// Build a [`CostModel`] from explicit per-node service times.
+    pub fn model_with_services(&self, nf_service_ns: Vec<f64>) -> CostModel {
+        CostModel {
+            classify_ns: self.classify_ns,
+            hop_ns: self.hop_ns,
+            switch_ns: self.switch_ns,
+            copy_header_ns: self.copy_header_ns,
+            copy_per_byte_ns: self.copy_per_byte_ns,
+            merge_base_ns: self.merge_base_ns,
+            merge_per_arrival_ns: self.merge_per_arrival_ns,
+            merge_per_op_ns: self.merge_per_op_ns,
+            nf_service_ns,
+        }
+    }
+}
+
+impl core::fmt::Display for Calibration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "host calibration (ns/packet):")?;
+        writeln!(f, "  ring hop        {:8.1}", self.hop_ns)?;
+        writeln!(f, "  switch transit  {:8.1}", self.switch_ns)?;
+        writeln!(f, "  classify        {:8.1}", self.classify_ns)?;
+        writeln!(f, "  header copy     {:8.1}", self.copy_header_ns)?;
+        writeln!(f, "  copy per byte   {:8.3}", self.copy_per_byte_ns)?;
+        writeln!(f, "  merge base      {:8.1}", self.merge_base_ns)?;
+        writeln!(f, "  merge/arrival   {:8.1}", self.merge_per_arrival_ns)?;
+        write!(f, "  merge/op        {:8.1}", self.merge_per_op_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_yields_positive_costs() {
+        let c = Calibration::measure();
+        assert!(c.hop_ns > 0.0 && c.hop_ns < 100_000.0, "{c}");
+        assert!(c.copy_header_ns > 0.0);
+        assert!(c.merge_base_ns > 0.0);
+        assert!(c.classify_ns > 0.0);
+    }
+
+    #[test]
+    fn nf_services_ordered_by_complexity() {
+        // The paper's Figure 8 premise: Forwarder is the lightest NF, the
+        // VPN/IDS the heaviest (payload work).
+        let fwd = nf_service_ns("Forwarder", 128);
+        let vpn = nf_service_ns("VPN", 1400);
+        assert!(fwd > 0.0);
+        assert!(vpn > fwd, "vpn {vpn} <= fwd {fwd}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # nfp-bench
+//!
+//! The benchmark harness regenerating **every table and figure** of the
+//! NFP paper's evaluation (§6). Each `src/bin/*` binary prints one
+//! table/figure's rows next to the paper's reported values; see
+//! EXPERIMENTS.md for the index and methodology.
+//!
+//! Methodology on a single-core host (see DESIGN.md): real per-packet
+//! costs are **measured** here ([`calibrate`]) and loaded into
+//! `nfp-sim`'s virtual-time model, which evaluates the three systems'
+//! execution disciplines. The multi-threaded engines are exercised for
+//! semantics, not for wall-clock latency.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod setups;
+pub mod table;
+
+pub use calibrate::Calibration;
+
+/// 10GbE line rate in packets/second for a given frame size (8B preamble +
+/// 12B inter-frame gap per frame on the wire).
+pub fn line_rate_pps(frame_bytes: usize) -> f64 {
+    10e9 / ((frame_bytes as f64 + 20.0) * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn line_rate_64b_is_14_88_mpps() {
+        let r = super::line_rate_pps(64) / 1e6;
+        assert!((r - 14.88).abs() < 0.01, "{r}");
+    }
+}

@@ -1,0 +1,162 @@
+//! `nfp` — command-line front end for the NFP orchestrator.
+//!
+//! ```text
+//! nfp census [--uniform]          the §4.3 parallelizability statistics
+//! nfp check   <policy-file>       parse + conflict-check a policy
+//! nfp compile <policy-file>       compile a policy into a service graph
+//!             [--sequential]     …without parallelization (baseline)
+//!             [--no-dirty-reuse] …with OP#1 disabled
+//!             [--tables]         …and print the generated runtime tables
+//! ```
+//!
+//! Policies use the paper's §3 syntax (see `examples/policy_playground.rs`);
+//! NF names resolve against the built-in Table 2 registry.
+
+use nfp_core::orchestrator::census::{census, Weighting};
+use nfp_core::orchestrator::tables;
+use nfp_core::prelude::*;
+use nfp_core::sim::overhead;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("census") => cmd_census(args.iter().any(|a| a == "--uniform")),
+        Some("check") => match it.next() {
+            Some(path) => cmd_check(path),
+            None => usage("check needs a policy file"),
+        },
+        Some("compile") => {
+            let files: Vec<&str> = args[1..]
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .collect();
+            match files.first() {
+                Some(path) => cmd_compile(
+                    path,
+                    args.iter().any(|a| a == "--sequential"),
+                    args.iter().any(|a| a == "--no-dirty-reuse"),
+                    args.iter().any(|a| a == "--tables"),
+                ),
+                None => usage("compile needs a policy file"),
+            }
+        }
+        Some("--help") | Some("-h") | None => usage(""),
+        Some(other) => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  nfp census [--uniform]\n  nfp check <policy-file>\n  \
+         nfp compile <policy-file> [--sequential] [--no-dirty-reuse] [--tables]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn cmd_census(uniform: bool) -> ExitCode {
+    let weighting = if uniform {
+        Weighting::Uniform
+    } else {
+        Weighting::DeploymentShare
+    };
+    let r = census(
+        &Registry::paper_table2(),
+        weighting,
+        Default::default(),
+    );
+    println!(
+        "{weighting:?} census over Table 2: parallelizable {:.1}%, no-copy {:.1}%, with-copy {:.1}%",
+        r.parallelizable * 100.0,
+        r.no_copy * 100.0,
+        r.with_copy * 100.0
+    );
+    if !uniform {
+        println!("paper §4.3 reports: 53.8% / 41.5% / 12.3%");
+    }
+    ExitCode::SUCCESS
+}
+
+fn read_policy(path: &str) -> Result<Policy, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::from(1)
+    })?;
+    parse_policy(&text).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_check(path: &str) -> ExitCode {
+    let policy = match read_policy(path) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let conflicts = nfp_core::policy::check_conflicts(&policy);
+    if conflicts.is_empty() {
+        println!("ok: {} rules, no conflicts", policy.len());
+        ExitCode::SUCCESS
+    } else {
+        for c in &conflicts {
+            eprintln!("conflict: {c}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_compile(path: &str, sequential: bool, no_dirty_reuse: bool, show_tables: bool) -> ExitCode {
+    let policy = match read_policy(path) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let opts = CompileOptions {
+        force_sequential: sequential,
+        identify: nfp_core::orchestrator::IdentifyOptions {
+            dirty_memory_reusing: !no_dirty_reuse,
+        },
+    };
+    let compiled = match compile(&policy, &Registry::paper_table2(), &[], &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let g = &compiled.graph;
+    println!("graph:            {}", g.describe());
+    println!("equivalent length: {}", g.equivalent_chain_length());
+    println!("NFs:               {}", g.nf_count());
+    println!("max degree:        {}", g.max_degree());
+    println!("copies/packet:     {}", g.copies_per_packet());
+    println!(
+        "overhead (DC mix): {:.1}%",
+        g.copies_per_packet() as f64 * overhead::datacenter_overhead(2) * 100.0
+    );
+    for w in &compiled.warnings {
+        println!("warning: {w:?}");
+    }
+    if show_tables {
+        let t = tables::generate(g, 1);
+        println!("\nclassifier actions: {:?}", t.entry_actions);
+        for (i, cfg) in t.nf_configs.iter().enumerate() {
+            println!("{}: {:?}", g.nodes[i].name, cfg.actions);
+        }
+        for spec in &t.merge_specs {
+            println!(
+                "merger@{}: expect {}, ops {:?}",
+                spec.segment, spec.total_count, spec.ops
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,277 @@
+//! The forwarding-action interpreter.
+//!
+//! Classifier entry actions, per-NF forwarding-table slices and merger
+//! `next` actions all use the same small action language
+//! ([`FtAction`]: `copy` / `distribute` / `output`, §5.2). This module
+//! interprets an action list against a packet (identified by its version
+//! map) and a [`Deliver`] sink, so the threaded engine, the deterministic
+//! sync engine and the tests all share one semantics.
+
+use nfp_orchestrator::graph::CopyKind;
+use nfp_orchestrator::tables::{FtAction, Target};
+use nfp_packet::pool::{PacketPool, PacketRef};
+
+/// Where interpreted actions send packet references.
+pub trait Deliver {
+    /// Deliver a reference to a target (NF ring, merger, or graph exit).
+    fn deliver(&mut self, target: Target, msg: Msg);
+}
+
+/// The unit rings carry: a packet reference plus the parallel segment it
+/// is heading to (meaningful only for merger-bound messages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Pooled packet reference.
+    pub r: PacketRef,
+    /// Parallel segment index for merger-bound messages.
+    pub segment: u32,
+}
+
+impl Msg {
+    /// A message not bound for a merger.
+    pub fn plain(r: PacketRef) -> Self {
+        Self { r, segment: 0 }
+    }
+}
+
+/// Failures while interpreting actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionError {
+    /// A referenced version was not in the version map (table bug).
+    UnknownVersion(u8),
+    /// The packet pool is exhausted; the caller decides whether to retry
+    /// or drop.
+    PoolExhausted,
+    /// Copying failed because the source packet would not parse.
+    CopyFailed,
+}
+
+/// A small version→reference map (versions are 4 bits).
+#[derive(Debug, Default, Clone)]
+pub struct VersionMap {
+    entries: Vec<(u8, PacketRef)>,
+}
+
+impl VersionMap {
+    /// Map with a single version.
+    pub fn single(version: u8, r: PacketRef) -> Self {
+        Self {
+            entries: vec![(version, r)],
+        }
+    }
+
+    /// Look up a version.
+    pub fn get(&self, version: u8) -> Option<PacketRef> {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(_, r)| *r)
+    }
+
+    /// Insert or replace a version.
+    pub fn insert(&mut self, version: u8, r: PacketRef) {
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == version) {
+            e.1 = r;
+        } else {
+            self.entries.push((version, r));
+        }
+    }
+}
+
+/// Interpret `actions` over the packet versions in `versions`.
+///
+/// Reference-count discipline: the caller owns one share of every mapped
+/// reference; `distribute` transfers that share to the first target and
+/// retains once per additional target; `copy` allocates a new slot. After
+/// execution the caller owns nothing it didn't re-insert.
+pub fn execute(
+    actions: &[FtAction],
+    pool: &PacketPool,
+    versions: &mut VersionMap,
+    sink: &mut impl Deliver,
+) -> Result<(), ActionError> {
+    for action in actions {
+        match action {
+            FtAction::Copy { from, to, kind } => {
+                let src = versions.get(*from).ok_or(ActionError::UnknownVersion(*from))?;
+                let copied = match kind {
+                    CopyKind::HeaderOnly => pool.header_only_copy(src, *to),
+                    CopyKind::Full | CopyKind::None => pool.full_copy(src, *to),
+                };
+                match copied {
+                    Some(Ok(new_ref)) => versions.insert(*to, new_ref),
+                    Some(Err(_)) => return Err(ActionError::CopyFailed),
+                    None => return Err(ActionError::PoolExhausted),
+                }
+            }
+            FtAction::Distribute { version, targets } => {
+                let r = versions
+                    .get(*version)
+                    .ok_or(ActionError::UnknownVersion(*version))?;
+                // One share per extra target.
+                for _ in 1..targets.len() {
+                    pool.retain(r);
+                }
+                for target in targets {
+                    let segment = match target {
+                        Target::Merger(s) => *s as u32,
+                        _ => 0,
+                    };
+                    sink.deliver(*target, Msg { r, segment });
+                }
+            }
+            FtAction::Output { version } => {
+                let r = versions
+                    .get(*version)
+                    .ok_or(ActionError::UnknownVersion(*version))?;
+                sink.deliver(Target::Output, Msg::plain(r));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Capture {
+        delivered: Vec<(Target, Msg)>,
+    }
+
+    impl Deliver for Capture {
+        fn deliver(&mut self, target: Target, msg: Msg) {
+            self.delivered.push((target, msg));
+        }
+    }
+
+    fn pool_with_packet() -> (PacketPool, PacketRef) {
+        let pool = PacketPool::new(8);
+        let frame = nfp_traffic::gen::build_tcp_frame(
+            nfp_packet::ipv4::Ipv4Addr::new(1, 1, 1, 1),
+            nfp_packet::ipv4::Ipv4Addr::new(2, 2, 2, 2),
+            10,
+            80,
+            b"payload",
+        );
+        let r = pool.insert(frame).unwrap();
+        (pool, r)
+    }
+
+    #[test]
+    fn distribute_retains_per_extra_target() {
+        let (pool, r) = pool_with_packet();
+        let mut sink = Capture::default();
+        let mut vm = VersionMap::single(1, r);
+        execute(
+            &[FtAction::Distribute {
+                version: 1,
+                targets: vec![Target::Nf(0), Target::Nf(1), Target::Nf(2)],
+            }],
+            &pool,
+            &mut vm,
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(pool.refcount(r), 3);
+        assert_eq!(sink.delivered.len(), 3);
+    }
+
+    #[test]
+    fn copy_then_distribute_builds_fanout() {
+        let (pool, r) = pool_with_packet();
+        let mut sink = Capture::default();
+        let mut vm = VersionMap::single(1, r);
+        execute(
+            &[
+                FtAction::Copy {
+                    from: 1,
+                    to: 2,
+                    kind: CopyKind::HeaderOnly,
+                },
+                FtAction::Distribute {
+                    version: 1,
+                    targets: vec![Target::Nf(0)],
+                },
+                FtAction::Distribute {
+                    version: 2,
+                    targets: vec![Target::Nf(1)],
+                },
+            ],
+            &pool,
+            &mut vm,
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(pool.in_use(), 2);
+        let copy_ref = vm.get(2).unwrap();
+        pool.with(copy_ref, |p| {
+            assert!(p.is_header_only());
+            assert_eq!(p.meta().version(), 2);
+        });
+        assert_eq!(sink.delivered[0].0, Target::Nf(0));
+        assert_eq!(sink.delivered[1].0, Target::Nf(1));
+        assert_eq!(sink.delivered[1].1.r, copy_ref);
+    }
+
+    #[test]
+    fn merger_target_carries_segment() {
+        let (pool, r) = pool_with_packet();
+        let mut sink = Capture::default();
+        let mut vm = VersionMap::single(1, r);
+        execute(
+            &[FtAction::Distribute {
+                version: 1,
+                targets: vec![Target::Merger(3)],
+            }],
+            &pool,
+            &mut vm,
+            &mut sink,
+        )
+        .unwrap();
+        assert_eq!(sink.delivered[0].1.segment, 3);
+    }
+
+    #[test]
+    fn unknown_version_is_an_error() {
+        let (pool, r) = pool_with_packet();
+        let mut sink = Capture::default();
+        let mut vm = VersionMap::single(1, r);
+        let err = execute(
+            &[FtAction::Output { version: 9 }],
+            &pool,
+            &mut vm,
+            &mut sink,
+        )
+        .unwrap_err();
+        assert_eq!(err, ActionError::UnknownVersion(9));
+    }
+
+    #[test]
+    fn copy_on_exhausted_pool_reports() {
+        let pool = PacketPool::new(1);
+        let p = nfp_traffic::gen::build_tcp_frame(
+            nfp_packet::ipv4::Ipv4Addr::new(1, 1, 1, 1),
+            nfp_packet::ipv4::Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            b"",
+        );
+        let r = pool.insert(p).unwrap();
+        let mut sink = Capture::default();
+        let mut vm = VersionMap::single(1, r);
+        let err = execute(
+            &[FtAction::Copy {
+                from: 1,
+                to: 2,
+                kind: CopyKind::Full,
+            }],
+            &pool,
+            &mut vm,
+            &mut sink,
+        )
+        .unwrap_err();
+        assert_eq!(err, ActionError::PoolExhausted);
+    }
+}

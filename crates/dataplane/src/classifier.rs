@@ -1,0 +1,354 @@
+//! The packet classifier — paper §5.1.
+//!
+//! "The classifier module takes an incoming packet from the NIC and finds
+//! out the corresponding service graph information for the packet … tags
+//! those packets that follow the same service graph with the same Match ID
+//! (MID) … we design a Packet ID (PID) identifier of 40 bits … and assign
+//! a version to each packet copy."
+
+use crate::actions::{self, Deliver, VersionMap};
+use nfp_orchestrator::tables::GraphTables;
+use nfp_packet::ipv4::Ipv4Addr;
+use nfp_packet::meta::{Metadata, PID_MAX, VERSION_ORIGINAL};
+use nfp_packet::pool::PacketPool;
+use nfp_packet::Packet;
+use std::sync::Arc;
+
+/// Classification-table match field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowMatch {
+    /// Match every packet (single-graph deployments).
+    Any,
+    /// Exact 5-tuple.
+    FiveTuple {
+        /// Source address.
+        sip: Ipv4Addr,
+        /// Destination address.
+        dip: Ipv4Addr,
+        /// Source port.
+        sport: u16,
+        /// Destination port.
+        dport: u16,
+        /// L4 protocol.
+        proto: u8,
+    },
+    /// Destination-port match (coarse service selection).
+    Dport(u16),
+    /// Destination-prefix match.
+    DipPrefix {
+        /// Prefix address.
+        prefix: Ipv4Addr,
+        /// Prefix length.
+        len: u8,
+    },
+}
+
+impl FlowMatch {
+    /// Does this matcher cover `pkt`?
+    pub fn matches(&self, pkt: &Packet) -> bool {
+        match self {
+            FlowMatch::Any => true,
+            FlowMatch::FiveTuple {
+                sip,
+                dip,
+                sport,
+                dport,
+                proto,
+            } => pkt
+                .five_tuple()
+                .map(|t| t == (*sip, *dip, *sport, *dport, *proto))
+                .unwrap_or(false),
+            FlowMatch::Dport(p) => pkt.dport().map(|d| d == *p).unwrap_or(false),
+            FlowMatch::DipPrefix { prefix, len } => match pkt.dip() {
+                Ok(d) => {
+                    if *len == 0 {
+                        true
+                    } else {
+                        let mask = u32::MAX << (32 - u32::from(*len));
+                        (d.to_u32() & mask) == (prefix.to_u32() & mask)
+                    }
+                }
+                Err(_) => false,
+            },
+        }
+    }
+}
+
+/// One Classification Table row: match → service graph tables.
+#[derive(Debug, Clone)]
+pub struct CtEntry {
+    /// The match field.
+    pub matcher: FlowMatch,
+    /// The graph's compiled tables (carrying its MID).
+    pub tables: Arc<GraphTables>,
+}
+
+/// Why a packet could not be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// No Classification Table entry matched.
+    NoMatch,
+    /// The packet pool is exhausted (backpressure point).
+    PoolExhausted,
+    /// The packet does not parse as Ethernet/IPv4/TCP|UDP.
+    Unparseable,
+    /// Entry actions failed (table inconsistency).
+    ActionFailed,
+}
+
+/// The classifier: first-match CT lookup, metadata tagging, entry-action
+/// launch.
+#[derive(Debug)]
+pub struct Classifier {
+    entries: Vec<CtEntry>,
+    next_pid: u64,
+    /// Packets admitted (diagnostics).
+    pub admitted: u64,
+    /// Packets rejected (diagnostics).
+    pub rejected: u64,
+}
+
+impl Classifier {
+    /// Build a classifier from CT entries (first match wins).
+    pub fn new(entries: Vec<CtEntry>) -> Self {
+        Self {
+            entries,
+            next_pid: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Single-graph classifier matching everything.
+    pub fn single(tables: Arc<GraphTables>) -> Self {
+        Self::new(vec![CtEntry {
+            matcher: FlowMatch::Any,
+            tables,
+        }])
+    }
+
+    /// Number of CT entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Admit one packet: find its graph, tag MID/PID/v1 metadata, move it
+    /// into the pool and run the graph's entry actions against `sink`.
+    pub fn admit(
+        &mut self,
+        mut pkt: Packet,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+    ) -> Result<Arc<GraphTables>, AdmitError> {
+        if pkt.parse().is_err() {
+            self.rejected += 1;
+            return Err(AdmitError::Unparseable);
+        }
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.matcher.matches(&pkt))
+            .cloned();
+        let Some(entry) = entry else {
+            self.rejected += 1;
+            return Err(AdmitError::NoMatch);
+        };
+        // The PID only advances on success, so retried packets (pool
+        // backpressure) keep a dense injection-order numbering.
+        let pid = self.next_pid;
+        pkt.set_meta(Metadata::new(entry.tables.mid, pid, VERSION_ORIGINAL));
+        let r = match pool.insert(pkt) {
+            Ok(r) => r,
+            Err(_) => {
+                return Err(AdmitError::PoolExhausted);
+            }
+        };
+        let mut versions = VersionMap::single(VERSION_ORIGINAL, r);
+        match actions::execute(&entry.tables.entry_actions, pool, &mut versions, sink) {
+            Ok(()) => {
+                self.next_pid = (pid + 1) & PID_MAX;
+                self.admitted += 1;
+                Ok(entry.tables)
+            }
+            Err(_) => {
+                // Release what we still own; copies already delivered are
+                // the sink's problem only on success paths, but entry
+                // actions fail before any delivery of the failed version.
+                pool.release(r);
+                self.rejected += 1;
+                Err(AdmitError::ActionFailed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::Msg;
+    use nfp_orchestrator::tables::{FtAction, Target};
+    use nfp_orchestrator::{compile, CompileOptions, Registry};
+    use nfp_policy::Policy;
+
+    #[derive(Default)]
+    struct Capture(Vec<(Target, Msg)>);
+    impl Deliver for Capture {
+        fn deliver(&mut self, target: Target, msg: Msg) {
+            self.0.push((target, msg));
+        }
+    }
+
+    fn tables(chain: &[&str]) -> Arc<GraphTables> {
+        let reg = Registry::paper_table2();
+        let c = compile(
+            &Policy::from_chain(chain.iter().copied()),
+            &reg,
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        Arc::new(nfp_orchestrator::tables::generate(&c.graph, 5))
+    }
+
+    fn pkt(dport: u16) -> Packet {
+        nfp_traffic::gen::build_tcp_frame(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 9, 9, 9),
+            1234,
+            dport,
+            b"x",
+        )
+    }
+
+    #[test]
+    fn admit_tags_metadata_and_launches_entry() {
+        let pool = PacketPool::new(8);
+        let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
+        let mut sink = Capture::default();
+        cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        cl.admit(pkt(81), &pool, &mut sink).unwrap();
+        // Parallel pair shares v1: one distribute of the same ref to both.
+        assert_eq!(sink.0.len(), 4);
+        let m0 = sink.0[0].1;
+        pool.with(m0.r, |p| {
+            assert_eq!(p.meta().mid(), 5);
+            assert_eq!(p.meta().pid(), 0);
+            assert_eq!(p.meta().version(), 1);
+        });
+        let m2 = sink.0[2].1;
+        pool.with(m2.r, |p| assert_eq!(p.meta().pid(), 1));
+        assert_eq!(cl.admitted, 2);
+    }
+
+    #[test]
+    fn first_match_wins_and_no_match_rejects() {
+        let pool = PacketPool::new(8);
+        let t80 = tables(&["Monitor", "Firewall"]);
+        let t_other = tables(&["NAT", "LoadBalancer"]);
+        let mut cl = Classifier::new(vec![
+            CtEntry {
+                matcher: FlowMatch::Dport(80),
+                tables: Arc::clone(&t80),
+            },
+            CtEntry {
+                matcher: FlowMatch::DipPrefix {
+                    prefix: Ipv4Addr::new(10, 0, 0, 0),
+                    len: 8,
+                },
+                tables: Arc::clone(&t_other),
+            },
+        ]);
+        let mut sink = Capture::default();
+        let t = cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        assert_eq!(t.mid, t80.mid);
+        let t = cl.admit(pkt(443), &pool, &mut sink).unwrap();
+        assert_eq!(t.mid, t_other.mid);
+        // Non-matching packet.
+        let mut cl2 = Classifier::new(vec![CtEntry {
+            matcher: FlowMatch::Dport(9),
+            tables: t80,
+        }]);
+        assert_eq!(
+            cl2.admit(pkt(80), &pool, &mut sink).unwrap_err(),
+            AdmitError::NoMatch
+        );
+        assert_eq!(cl2.rejected, 1);
+    }
+
+    #[test]
+    fn five_tuple_match() {
+        let m = FlowMatch::FiveTuple {
+            sip: Ipv4Addr::new(10, 0, 0, 1),
+            dip: Ipv4Addr::new(10, 9, 9, 9),
+            sport: 1234,
+            dport: 80,
+            proto: nfp_packet::ipv4::PROTO_TCP,
+        };
+        assert!(m.matches(&pkt(80)));
+        assert!(!m.matches(&pkt(81)));
+    }
+
+    #[test]
+    fn pool_exhaustion_is_backpressure() {
+        let pool = PacketPool::new(1);
+        let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
+        let mut sink = Capture::default();
+        cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        assert_eq!(
+            cl.admit(pkt(80), &pool, &mut sink).unwrap_err(),
+            AdmitError::PoolExhausted
+        );
+    }
+
+    #[test]
+    fn pids_wrap_at_40_bits() {
+        let pool = PacketPool::new(4);
+        let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
+        cl.next_pid = PID_MAX;
+        let mut sink = Capture::default();
+        cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        assert_eq!(cl.next_pid, 0);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let pool = PacketPool::new(4);
+        let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
+        let mut sink = Capture::default();
+        let garbage = Packet::from_bytes(&[0u8; 60]).unwrap();
+        assert_eq!(
+            cl.admit(garbage, &pool, &mut sink).unwrap_err(),
+            AdmitError::Unparseable
+        );
+    }
+
+    #[test]
+    fn entry_with_copy_for_east_west_head() {
+        // Monitor∥LB needs a header-only copy from the very first hop when
+        // the group opens the graph.
+        let pool = PacketPool::new(8);
+        let reg = {
+            let mut r = Registry::paper_table2();
+            let mut ids = r.get("NIDS").unwrap().clone();
+            ids.nf_type = "IDS".into();
+            r.register(ids.drops());
+            r
+        };
+        let c = compile(
+            &Policy::from_chain(["Monitor", "LoadBalancer"]),
+            &reg,
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let t = Arc::new(nfp_orchestrator::tables::generate(&c.graph, 1));
+        assert!(t
+            .entry_actions
+            .iter()
+            .any(|a| matches!(a, FtAction::Copy { .. })));
+        let mut cl = Classifier::single(t);
+        let mut sink = Capture::default();
+        cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        assert_eq!(pool.in_use(), 2, "original + header-only copy");
+    }
+}

@@ -1,0 +1,38 @@
+//! # nfp-dataplane
+//!
+//! The NFP **infrastructure** (paper §5): everything below the orchestrator
+//! that actually moves and merges packets.
+//!
+//! * [`ring`] — from-scratch lock-free SPSC ring buffers; the stand-in for
+//!   the paper's per-NF receive/transmit rings in huge-page shared memory.
+//! * [`classifier`] — the Classification Table: matches arriving packets
+//!   to a service graph, assigns MID/PID/version metadata (paper Fig. 5)
+//!   and launches the graph's entry actions.
+//! * [`actions`] — the forwarding-action interpreter shared by classifier,
+//!   NF runtimes and mergers (`copy` / `distribute` / `output`).
+//! * [`runtime`] — the distributed per-NF runtime: polls receive rings,
+//!   drives the NF, applies its forwarding-table slice, and converts drops
+//!   into nil packets toward the merger (§5.2).
+//! * [`merger`] — the Accumulating Table and merge-operation executor
+//!   (§5.3), including priority-based drop-conflict resolution, plus the
+//!   merger agent's PID-hash load balancing.
+//! * [`sync_engine`] — a deterministic single-threaded executor with the
+//!   exact same table semantics; the reference for correctness tests
+//!   (paper §6.4's replay experiment) and property tests.
+//! * [`engine`] — the multi-threaded engine: one thread per NF (the
+//!   paper's one-container-per-core), a classifier thread, a merger agent
+//!   and N merger instances, wired with SPSC rings.
+
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod classifier;
+pub mod engine;
+pub mod merger;
+pub mod ring;
+pub mod runtime;
+pub mod sync_engine;
+
+pub use classifier::Classifier;
+pub use engine::{Engine, EngineConfig, EngineReport};
+pub use sync_engine::SyncEngine;

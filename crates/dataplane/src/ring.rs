@@ -1,0 +1,252 @@
+//! Lock-free single-producer/single-consumer ring buffers.
+//!
+//! "Each NF owns a receive ring buffer and a transmit ring buffer, which
+//! are stored in a shared memory region … an NF simply writes packet
+//! references into the receive ring buffer of the other NF to realize
+//! packet delivery" (§5). Every producer→consumer edge in the engine gets
+//! its own ring, so each ring has exactly one producer and one consumer —
+//! the classic DPDK-style point-to-point queue, which needs no CAS loops,
+//! only acquire/release loads and stores.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the producer writes (only the producer mutates).
+    tail: AtomicUsize,
+    /// Next slot the consumer reads (only the consumer mutates).
+    head: AtomicUsize,
+}
+
+// SAFETY: only the single Producer writes slots between head and tail, and
+// only the single Consumer reads them; the acquire/release pair on
+// tail/head publishes slot contents correctly. T must be Send to cross the
+// thread boundary.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// The producing half of an SPSC ring.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming half of an SPSC ring.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an SPSC ring with capacity rounded up to a power of two
+/// (minimum 2). The ring stores up to `capacity` items.
+pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        buf,
+        mask: cap - 1,
+        tail: AtomicUsize::new(0),
+        head: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Push an item; on a full ring the item is handed back so the caller
+    /// can apply backpressure (spin, yield, or drop explicitly).
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > s.mask {
+            return Err(item);
+        }
+        // SAFETY: this slot is strictly between head and tail+1, so the
+        // consumer will not touch it until we publish via the tail store.
+        unsafe {
+            (*s.buf[tail & s.mask].get()).write(item);
+        }
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(s.head.load(Ordering::Acquire))
+    }
+
+    /// True when the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the consumer half has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.shared) < 2
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Pop an item, if any.
+    pub fn pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: head < tail, so the producer published this slot and will
+        // not reuse it until we advance head.
+        let item = unsafe { (*s.buf[head & s.mask].get()).assume_init_read() };
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(s.head.load(Ordering::Relaxed))
+    }
+
+    /// True when the ring holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the producer half has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.shared) < 2
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Drain initialized-but-unconsumed items so T's Drop runs.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut i = head;
+        while i != tail {
+            // SAFETY: slots in [head, tail) hold initialized values and
+            // nobody else can access them anymore (we own &mut self).
+            unsafe {
+                (*self.buf[i & self.mask].get()).assume_init_drop();
+            }
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = channel::<u32>(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two_and_fills() {
+        let (tx, rx) = channel::<u8>(5); // rounds to 8
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        assert_eq!(tx.len(), 8);
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(8).unwrap(); // slot freed
+        assert_eq!(rx.len(), 8);
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (tx, rx) = channel::<usize>(4);
+        for round in 0..1000 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn disconnection_detection() {
+        let (tx, rx) = channel::<u8>(2);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
+        let (tx2, rx2) = channel::<u8>(2);
+        drop(tx2);
+        assert!(rx2.is_disconnected());
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let (tx, rx) = channel::<u64>(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut item = i;
+                loop {
+                    match tx.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn drops_unconsumed_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = channel::<Counted>(4);
+        tx.push(Counted).unwrap();
+        tx.push(Counted).unwrap();
+        drop(rx.pop()); // one consumed
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

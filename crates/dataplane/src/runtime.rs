@@ -1,0 +1,254 @@
+//! The distributed NF runtime — paper §5.2.
+//!
+//! "To make this process transparent to NF developers and incur no NF
+//! modifications, we design an NF runtime for each NF to perform traffic
+//! steering. After packet processing, the NF could delegate the packet to
+//! the NF runtime, which copies the packet reference to the next NFs' ring
+//! buffer." The runtime also converts drop verdicts into nil packets
+//! toward the merger and selects the access mode (exclusive vs
+//! field-scoped shared) the compiled graph granted this NF.
+
+use crate::actions::{self, Deliver, Msg, VersionMap};
+use crate::merger::make_nil;
+use nfp_orchestrator::tables::{AccessMode, DropBehavior, FtAction, NfConfig, Target};
+use nfp_nf::{NetworkFunction, PacketView, Verdict};
+use nfp_packet::pool::PacketPool;
+use nfp_packet::Metadata;
+
+/// One NF plus its installed forwarding-table slice.
+pub struct NfRuntime<N: NetworkFunction> {
+    nf: N,
+    config: NfConfig,
+    /// Packets processed (diagnostics).
+    pub processed: u64,
+    /// Packets this NF dropped.
+    pub dropped: u64,
+    /// Action/table failures (packets discarded defensively).
+    pub errors: u64,
+}
+
+impl<N: NetworkFunction> NfRuntime<N> {
+    /// Wrap an NF with its runtime config (installed by the chaining
+    /// manager).
+    pub fn new(nf: N, config: NfConfig) -> Self {
+        Self {
+            nf,
+            config,
+            processed: 0,
+            dropped: 0,
+            errors: 0,
+        }
+    }
+
+    /// Access the wrapped NF (stats inspection after a run).
+    pub fn nf(&self) -> &N {
+        &self.nf
+    }
+
+    /// Unwrap the NF (engine teardown).
+    pub fn into_nf(self) -> N {
+        self.nf
+    }
+
+    /// The member version this runtime's forwarding actions operate on.
+    fn own_version(&self) -> u8 {
+        // Every per-NF action list references exactly one source version.
+        for a in &self.config.actions {
+            match a {
+                FtAction::Distribute { version, .. } | FtAction::Output { version } => {
+                    return *version
+                }
+                FtAction::Copy { from, .. } => return *from,
+            }
+        }
+        nfp_packet::meta::VERSION_ORIGINAL
+    }
+
+    /// Handle one packet reference popped from a receive ring.
+    pub fn handle(&mut self, msg: Msg, pool: &PacketPool, sink: &mut impl Deliver) {
+        let r = msg.r;
+        let verdict = match self.config.access {
+            AccessMode::Exclusive => pool.with_mut(r, |p| {
+                let mut view = PacketView::Exclusive(p);
+                self.nf.process(&mut view)
+            }),
+            AccessMode::SharedField => {
+                let mut view = PacketView::Shared { pool, r };
+                self.nf.process(&mut view)
+            }
+        };
+        self.processed += 1;
+        match verdict {
+            Verdict::Pass => {
+                let mut versions = VersionMap::single(self.own_version(), r);
+                if actions::execute(&self.config.actions, pool, &mut versions, sink).is_err() {
+                    // Defensive: drop the packet rather than wedging the
+                    // graph; in parallel positions the merger still needs
+                    // an arrival, so fall through to the nil path.
+                    self.errors += 1;
+                    self.emit_drop(r, pool, sink);
+                }
+            }
+            Verdict::Drop => {
+                self.dropped += 1;
+                self.emit_drop(r, pool, sink);
+            }
+        }
+    }
+
+    /// Implement the drop intention: discard in sequential positions, nil
+    /// packet to the merger in parallel positions (§5.2 `ignore`).
+    fn emit_drop(&mut self, r: nfp_packet::pool::PacketRef, pool: &PacketPool, sink: &mut impl Deliver) {
+        let meta: Metadata = pool.with(r, |p| p.meta());
+        pool.release(r);
+        match self.config.on_drop {
+            DropBehavior::Discard => {}
+            DropBehavior::NilToMerger { segment, priority } => {
+                // Nil packets come from the same pre-allocated pool; under
+                // transient exhaustion we wait for the mergers to drain —
+                // a nil *must* arrive or the merger's count never closes.
+                let mut nil = make_nil(meta, priority);
+                let nil_ref = loop {
+                    match pool.insert(nil) {
+                        Ok(nr) => break nr,
+                        Err(back) => {
+                            nil = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                };
+                sink.deliver(
+                    Target::Merger(segment),
+                    Msg {
+                        r: nil_ref,
+                        segment: segment as u32,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_nf::firewall::Firewall;
+    use nfp_nf::monitor::Monitor;
+    use nfp_packet::ipv4::Ipv4Addr;
+    use nfp_packet::meta::VERSION_ORIGINAL;
+    use nfp_packet::Packet;
+
+    #[derive(Default)]
+    struct Capture(Vec<(Target, Msg)>);
+    impl Deliver for Capture {
+        fn deliver(&mut self, target: Target, msg: Msg) {
+            self.0.push((target, msg));
+        }
+    }
+
+    fn pooled(pool: &PacketPool, dport: u16) -> nfp_packet::pool::PacketRef {
+        let mut p: Packet = nfp_traffic::gen::build_tcp_frame(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(172, 16, 3, 3),
+            999,
+            dport,
+            b"",
+        );
+        p.set_meta(Metadata::new(2, 7, VERSION_ORIGINAL));
+        pool.insert(p).unwrap()
+    }
+
+    fn seq_config(next: Target) -> NfConfig {
+        NfConfig {
+            actions: vec![FtAction::Distribute {
+                version: 1,
+                targets: vec![next],
+            }],
+            access: AccessMode::Exclusive,
+            on_drop: DropBehavior::Discard,
+        }
+    }
+
+    #[test]
+    fn pass_forwards_along_table() {
+        let pool = PacketPool::new(4);
+        let mut rt = NfRuntime::new(Monitor::new("mon"), seq_config(Target::Nf(3)));
+        let mut sink = Capture::default();
+        let r = pooled(&pool, 80);
+        rt.handle(Msg::plain(r), &pool, &mut sink);
+        assert_eq!(rt.processed, 1);
+        assert_eq!(sink.0, vec![(Target::Nf(3), Msg::plain(r))]);
+        assert_eq!(rt.nf().total_packets, 1);
+    }
+
+    #[test]
+    fn sequential_drop_discards() {
+        let pool = PacketPool::new(4);
+        let mut rt = NfRuntime::new(
+            Firewall::with_synthetic_acl("fw", 100),
+            seq_config(Target::Nf(1)),
+        );
+        let mut sink = Capture::default();
+        let r = pooled(&pool, 7003); // matches a deny rule
+        rt.handle(Msg::plain(r), &pool, &mut sink);
+        assert_eq!(rt.dropped, 1);
+        assert!(sink.0.is_empty());
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn parallel_drop_emits_nil_with_priority() {
+        let pool = PacketPool::new(4);
+        let config = NfConfig {
+            actions: vec![FtAction::Distribute {
+                version: 1,
+                targets: vec![Target::Merger(2)],
+            }],
+            access: AccessMode::SharedField,
+            on_drop: DropBehavior::NilToMerger {
+                segment: 2,
+                priority: 9,
+            },
+        };
+        let mut rt = NfRuntime::new(Firewall::with_synthetic_acl("fw", 100), config);
+        let mut sink = Capture::default();
+        let r = pooled(&pool, 7003);
+        rt.handle(Msg::plain(r), &pool, &mut sink);
+        assert_eq!(rt.dropped, 1);
+        assert_eq!(sink.0.len(), 1);
+        let (target, msg) = sink.0[0];
+        assert_eq!(target, Target::Merger(2));
+        pool.with(msg.r, |p| {
+            assert!(p.is_nil());
+            assert_eq!(p.nil_priority(), 9);
+            assert_eq!(p.meta().pid(), 7, "nil keeps the packet identity");
+        });
+        pool.release(msg.r);
+        assert_eq!(pool.in_use(), 0, "data share released");
+    }
+
+    #[test]
+    fn shared_access_mode_reaches_nf() {
+        let pool = PacketPool::new(4);
+        let config = NfConfig {
+            actions: vec![FtAction::Distribute {
+                version: 1,
+                targets: vec![Target::Merger(0)],
+            }],
+            access: AccessMode::SharedField,
+            on_drop: DropBehavior::NilToMerger {
+                segment: 0,
+                priority: 0,
+            },
+        };
+        let mut rt = NfRuntime::new(Monitor::new("mon"), config);
+        let mut sink = Capture::default();
+        let r = pooled(&pool, 80);
+        pool.retain(r); // simulate a second concurrent sharer
+        rt.handle(Msg::plain(r), &pool, &mut sink);
+        assert_eq!(rt.nf().total_packets, 1);
+        assert_eq!(sink.0.len(), 1);
+        pool.release(r);
+        pool.release(r);
+    }
+}

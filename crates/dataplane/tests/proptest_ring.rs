@@ -1,0 +1,85 @@
+//! Model-based property test for the SPSC ring: any interleaving of push
+//! and pop operations behaves exactly like a bounded FIFO queue.
+
+use nfp_dataplane::ring;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![any::<u32>().prop_map(Op::Push), Just(Op::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn ring_behaves_like_bounded_fifo(capacity in 1usize..32, ops in ops()) {
+        let (tx, rx) = ring::channel::<u32>(capacity);
+        let real_cap = capacity.max(2).next_power_of_two();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let result = tx.push(v);
+                    if model.len() < real_cap {
+                        prop_assert_eq!(result, Ok(()), "push rejected below capacity");
+                        model.push_back(v);
+                    } else {
+                        prop_assert_eq!(result, Err(v), "push accepted at capacity");
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(tx.len(), model.len());
+            prop_assert_eq!(rx.len(), model.len());
+            prop_assert_eq!(rx.is_empty(), model.is_empty());
+        }
+        // Drain and confirm full FIFO order of the residue.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(expected));
+        }
+        prop_assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn ring_cross_thread_preserves_order_and_counts(
+        values in proptest::collection::vec(any::<u64>(), 1..2000),
+        capacity in 1usize..64,
+    ) {
+        let (tx, rx) = ring::channel::<u64>(capacity);
+        let expected = values.clone();
+        let producer = std::thread::spawn(move || {
+            for v in values {
+                let mut item = v;
+                loop {
+                    match tx.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut received = Vec::with_capacity(expected.len());
+        while received.len() < expected.len() {
+            match rx.pop() {
+                Some(v) => received.push(v),
+                None => std::thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(received, expected);
+        prop_assert_eq!(rx.pop(), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! The IDS NF: "a simple NF similar to the core signature matching
+//! component of the Snort intrusion detection system with 100 signature
+//! inspection rules" (§6.1).
+//!
+//! The paper's compiled east-west graph keeps the IDS sequential in front
+//! of the Monitor∥LB group, which implies the evaluated IDS runs *inline*
+//! (it may drop); we default to inline mode and offer a passive (detect-
+//! only) mode matching Table 2's read-only NIDS row.
+
+use crate::aho::AhoCorasick;
+use crate::nf::{NetworkFunction, PacketView, Verdict};
+use nfp_orchestrator::ActionProfile;
+use nfp_packet::FieldId;
+
+/// Whether the IDS sits inline (IPS: drops on match) or passively alerts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdsMode {
+    /// Drop packets whose payload matches a signature.
+    Inline,
+    /// Only count alerts; never drop.
+    Passive,
+}
+
+/// Signature-matching IDS over an Aho–Corasick automaton.
+#[derive(Debug)]
+pub struct Ids {
+    name: String,
+    automaton: AhoCorasick,
+    mode: IdsMode,
+    /// Alerts raised (matched packets).
+    pub alerts: u64,
+    /// Packets scanned.
+    pub scanned: u64,
+    scratch: Vec<u8>,
+}
+
+impl Ids {
+    /// Create an IDS from explicit signatures.
+    pub fn new<I, P>(name: impl Into<String>, signatures: I, mode: IdsMode) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        Self {
+            name: name.into(),
+            automaton: AhoCorasick::new(signatures),
+            mode,
+            alerts: 0,
+            scanned: 0,
+            scratch: vec![0u8; nfp_packet::packet::CAPACITY],
+        }
+    }
+
+    /// The paper's shape: 100 synthetic signatures.
+    pub fn with_synthetic_signatures(name: impl Into<String>, n: usize, mode: IdsMode) -> Self {
+        let sigs: Vec<String> = (0..n).map(|i| format!("EVIL{i:04}SIG")).collect();
+        Self::new(name, sigs, mode)
+    }
+
+    /// Number of compiled signatures.
+    pub fn signature_count(&self) -> usize {
+        self.automaton.pattern_count()
+    }
+}
+
+impl NetworkFunction for Ids {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn profile(&self) -> ActionProfile {
+        let p = ActionProfile::new(self.name.clone()).reads([
+            FieldId::Sip,
+            FieldId::Dip,
+            FieldId::Sport,
+            FieldId::Dport,
+            FieldId::Payload,
+        ]);
+        match self.mode {
+            IdsMode::Inline => p.drops(),
+            IdsMode::Passive => p,
+        }
+    }
+
+    fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
+        self.scanned += 1;
+        let n = match pkt.read_bytes(FieldId::Payload, &mut self.scratch) {
+            Ok(n) => n,
+            Err(_) => return Verdict::Pass, // header-only copies carry no payload
+        };
+        if self.automaton.any_match(&self.scratch[..n]) {
+            self.alerts += 1;
+            if self.mode == IdsMode::Inline {
+                return Verdict::Drop;
+            }
+        }
+        Verdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nf::testutil::*;
+
+    #[test]
+    fn inline_drops_on_signature() {
+        let mut ids = Ids::with_synthetic_signatures("ids", 100, IdsMode::Inline);
+        assert_eq!(ids.signature_count(), 100);
+        let mut bad = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"xxEVIL0031SIGxx");
+        assert_eq!(
+            ids.process(&mut PacketView::Exclusive(&mut bad)),
+            Verdict::Drop
+        );
+        let mut good = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"hello world");
+        assert_eq!(
+            ids.process(&mut PacketView::Exclusive(&mut good)),
+            Verdict::Pass
+        );
+        assert_eq!(ids.alerts, 1);
+        assert_eq!(ids.scanned, 2);
+    }
+
+    #[test]
+    fn passive_alerts_without_dropping() {
+        let mut ids = Ids::with_synthetic_signatures("ids", 10, IdsMode::Passive);
+        let mut bad = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"EVIL0001SIG");
+        assert_eq!(
+            ids.process(&mut PacketView::Exclusive(&mut bad)),
+            Verdict::Pass
+        );
+        assert_eq!(ids.alerts, 1);
+    }
+
+    #[test]
+    fn profile_tracks_mode() {
+        let inline = Ids::with_synthetic_signatures("a", 1, IdsMode::Inline);
+        assert!(inline.profile().has_drop());
+        let passive = Ids::with_synthetic_signatures("b", 1, IdsMode::Passive);
+        assert!(!passive.profile().has_drop());
+        assert!(passive.profile().read_mask().contains(FieldId::Payload));
+    }
+
+    #[test]
+    fn empty_payload_is_clean() {
+        let mut ids = Ids::with_synthetic_signatures("ids", 5, IdsMode::Inline);
+        let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"");
+        assert_eq!(ids.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(ids.alerts, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Longest-prefix-match table: a from-scratch binary trie over IPv4
+//! prefixes, backing the L3 forwarder ("a longest prefix matching table
+//! with 1000 entries", §6.1).
+
+use nfp_packet::ipv4::Ipv4Addr;
+
+/// A routing trie mapping IPv4 prefixes to values (next hops).
+#[derive(Debug, Clone)]
+pub struct LpmTable<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: [Option<u32>; 2],
+    value: Option<T>,
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Self {
+            children: [None, None],
+            value: None,
+        }
+    }
+}
+
+impl<T> Default for LpmTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LpmTable<T> {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::default()],
+            len: 0,
+        }
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefix is installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `prefix/prefix_len → value`, replacing any previous value for
+    /// the same prefix. Returns the old value if one existed.
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn insert(&mut self, prefix: Ipv4Addr, prefix_len: u8, value: T) -> Option<T> {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} > 32");
+        let addr = prefix.to_u32();
+        let mut node = 0usize;
+        for depth in 0..prefix_len {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            node = match self.nodes[node].children[bit] {
+                Some(c) => c as usize,
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[node].children[bit] = Some(idx);
+                    idx as usize
+                }
+            };
+        }
+        let old = self.nodes[node].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix lookup: the value of the most specific installed
+    /// prefix covering `addr`.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&T> {
+        let a = addr.to_u32();
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for depth in 0..32 {
+            let bit = ((a >> (31 - depth)) & 1) as usize;
+            match self.nodes[node].children[bit] {
+                Some(c) => {
+                    node = c as usize;
+                    if let Some(v) = self.nodes[node].value.as_ref() {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-prefix lookup (diagnostics).
+    pub fn get(&self, prefix: Ipv4Addr, prefix_len: u8) -> Option<&T> {
+        assert!(prefix_len <= 32);
+        let addr = prefix.to_u32();
+        let mut node = 0usize;
+        for depth in 0..prefix_len {
+            let bit = ((addr >> (31 - depth)) & 1) as usize;
+            node = self.nodes[node].children[bit]? as usize;
+        }
+        self.nodes[node].value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = LpmTable::new();
+        t.insert(ip("10.0.0.0"), 8, "broad");
+        t.insert(ip("10.1.0.0"), 16, "mid");
+        t.insert(ip("10.1.2.0"), 24, "narrow");
+        assert_eq!(t.lookup(ip("10.1.2.3")), Some(&"narrow"));
+        assert_eq!(t.lookup(ip("10.1.9.9")), Some(&"mid"));
+        assert_eq!(t.lookup(ip("10.200.0.1")), Some(&"broad"));
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = LpmTable::new();
+        t.insert(ip("0.0.0.0"), 0, "default");
+        t.insert(ip("192.168.0.0"), 16, "lan");
+        assert_eq!(t.lookup(ip("8.8.8.8")), Some(&"default"));
+        assert_eq!(t.lookup(ip("192.168.3.4")), Some(&"lan"));
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = LpmTable::new();
+        t.insert(ip("1.2.3.4"), 32, 7u32);
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some(&7));
+        assert_eq!(t.lookup(ip("1.2.3.5")), None);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = LpmTable::new();
+        assert_eq!(t.insert(ip("10.0.0.0"), 8, 1), None);
+        assert_eq!(t.insert(ip("10.0.0.0"), 8, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(ip("10.0.0.0"), 8), Some(&2));
+    }
+
+    #[test]
+    fn dense_table_consistency() {
+        // 1000 /24 prefixes, like the paper's forwarder table.
+        let mut t = LpmTable::new();
+        for i in 0..1000u32 {
+            let prefix = Ipv4Addr::from_u32((10 << 24) | (i << 8));
+            t.insert(prefix, 24, i);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in (0..1000u32).step_by(37) {
+            let host = Ipv4Addr::from_u32((10 << 24) | (i << 8) | 99);
+            assert_eq!(t.lookup(host), Some(&i));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The monitor NF: "maintains per-flow counters, which can be obtained by
+//! the operator. The counter table uses the hash value of the 5-tuple as
+//! the key" (§6.1).
+
+use crate::nf::{NetworkFunction, PacketView, Verdict};
+use nfp_orchestrator::ActionProfile;
+use nfp_packet::FieldId;
+use std::collections::HashMap;
+
+/// Per-flow statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Packets observed.
+    pub packets: u64,
+    /// Bytes observed (frame lengths).
+    pub bytes: u64,
+}
+
+/// NetFlow-style per-flow monitor.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    name: String,
+    flows: HashMap<u64, FlowStats>,
+    /// Total packets observed.
+    pub total_packets: u64,
+}
+
+impl Monitor {
+    /// Create a monitor.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            flows: HashMap::new(),
+            total_packets: 0,
+        }
+    }
+
+    /// The 5-tuple hash used as the flow key (FNV-1a, like the paper's
+    /// "hash value of the 5-tuple as the key").
+    pub fn flow_key(sip: u32, dip: u32, sport: u16, dport: u16, proto: u8) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in sip
+            .to_be_bytes()
+            .into_iter()
+            .chain(dip.to_be_bytes())
+            .chain(sport.to_be_bytes())
+            .chain(dport.to_be_bytes())
+            .chain([proto])
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Number of distinct flows observed.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Stats for one flow key, if observed.
+    pub fn stats(&self, key: u64) -> Option<FlowStats> {
+        self.flows.get(&key).copied()
+    }
+}
+
+impl NetworkFunction for Monitor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn profile(&self) -> ActionProfile {
+        // Table 2's Monitor row: reads the 4-tuple (no modification).
+        ActionProfile::new(self.name.clone()).reads([
+            FieldId::Sip,
+            FieldId::Dip,
+            FieldId::Sport,
+            FieldId::Dport,
+        ])
+    }
+
+    fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
+        let Ok((sip, dip, sport, dport, proto)) = pkt.five_tuple() else {
+            return Verdict::Pass;
+        };
+        let key = Self::flow_key(sip.to_u32(), dip.to_u32(), sport, dport, proto);
+        let entry = self.flows.entry(key).or_default();
+        entry.packets += 1;
+        entry.bytes += pkt.len() as u64;
+        self.total_packets += 1;
+        Verdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nf::testutil::*;
+
+    #[test]
+    fn counts_per_flow() {
+        let mut m = Monitor::new("mon");
+        for _ in 0..3 {
+            let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 10, 20, b"abc");
+            m.process(&mut PacketView::Exclusive(&mut p));
+        }
+        let mut other = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 11, 20, b"");
+        m.process(&mut PacketView::Exclusive(&mut other));
+        assert_eq!(m.flow_count(), 2);
+        assert_eq!(m.total_packets, 4);
+        let key = Monitor::flow_key(
+            ip(1, 1, 1, 1).to_u32(),
+            ip(2, 2, 2, 2).to_u32(),
+            10,
+            20,
+            nfp_packet::ipv4::PROTO_TCP,
+        );
+        let stats = m.stats(key).unwrap();
+        assert_eq!(stats.packets, 3);
+        assert_eq!(stats.bytes, 3 * (14 + 20 + 20 + 3));
+    }
+
+    #[test]
+    fn never_modifies_the_packet() {
+        let mut m = Monitor::new("mon");
+        let mut p = tcp_packet(ip(9, 9, 9, 9), ip(8, 8, 8, 8), 1, 2, b"payload");
+        let before = p.data().to_vec();
+        assert_eq!(m.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(p.data(), &before[..]);
+        assert!(m.profile().is_read_only());
+    }
+
+    #[test]
+    fn shared_mode_counting() {
+        use nfp_packet::pool::PacketPool;
+        let pool = PacketPool::new(2);
+        let r = pool
+            .insert(tcp_packet(ip(1, 2, 3, 4), ip(5, 6, 7, 8), 1, 2, b""))
+            .unwrap();
+        let mut m = Monitor::new("mon");
+        m.process(&mut PacketView::Shared { pool: &pool, r });
+        assert_eq!(m.total_packets, 1);
+        pool.release(r);
+    }
+}

@@ -1,0 +1,163 @@
+//! Source NAT with dynamic port allocation (Table 2's NAT row: `R/W` on
+//! all four header-tuple fields).
+
+use crate::nf::{NetworkFunction, PacketView, Verdict};
+use nfp_orchestrator::ActionProfile;
+use nfp_packet::ipv4::Ipv4Addr;
+use nfp_packet::FieldId;
+use std::collections::HashMap;
+
+/// Key identifying an internal flow.
+type FlowKey = (u32, u16); // (internal ip, internal port)
+
+/// Masquerading source NAT.
+#[derive(Debug)]
+pub struct Nat {
+    name: String,
+    external_ip: Ipv4Addr,
+    next_port: u16,
+    /// internal (ip, port) → external port.
+    bindings: HashMap<FlowKey, u16>,
+    /// external port → internal (ip, port), for the reverse path.
+    reverse: HashMap<u16, FlowKey>,
+    /// Packets translated.
+    pub translated: u64,
+    /// Packets dropped because the port pool is exhausted.
+    pub exhausted: u64,
+}
+
+impl Nat {
+    /// Ports allocated from this base upward.
+    pub const PORT_BASE: u16 = 30000;
+
+    /// Create a NAT masquerading as `external_ip`.
+    pub fn new(name: impl Into<String>, external_ip: Ipv4Addr) -> Self {
+        Self {
+            name: name.into(),
+            external_ip,
+            next_port: Self::PORT_BASE,
+            bindings: HashMap::new(),
+            reverse: HashMap::new(),
+            translated: 0,
+            exhausted: 0,
+        }
+    }
+
+    /// Number of active bindings.
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Look up the internal endpoint behind an external port.
+    pub fn reverse_lookup(&self, external_port: u16) -> Option<(Ipv4Addr, u16)> {
+        self.reverse
+            .get(&external_port)
+            .map(|&(ip, port)| (Ipv4Addr::from_u32(ip), port))
+    }
+
+    fn allocate(&mut self, key: FlowKey) -> Option<u16> {
+        if let Some(&p) = self.bindings.get(&key) {
+            return Some(p);
+        }
+        // Linear probe from next_port; fails when the pool wraps around.
+        let start = self.next_port;
+        loop {
+            let candidate = self.next_port;
+            self.next_port = if self.next_port == u16::MAX {
+                Self::PORT_BASE
+            } else {
+                self.next_port + 1
+            };
+            if !self.reverse.contains_key(&candidate) {
+                self.bindings.insert(key, candidate);
+                self.reverse.insert(candidate, key);
+                return Some(candidate);
+            }
+            if self.next_port == start {
+                return None;
+            }
+        }
+    }
+}
+
+impl NetworkFunction for Nat {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn profile(&self) -> ActionProfile {
+        ActionProfile::new(self.name.clone()).reads_writes([
+            FieldId::Sip,
+            FieldId::Dip,
+            FieldId::Sport,
+            FieldId::Dport,
+        ])
+    }
+
+    fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
+        let Ok((sip, _dip, sport, _dport, _)) = pkt.five_tuple() else {
+            return Verdict::Pass;
+        };
+        match self.allocate((sip.to_u32(), sport)) {
+            Some(ext_port) => {
+                let _ = pkt.write(FieldId::Sip, &self.external_ip.0);
+                let _ = pkt.write(FieldId::Sport, &ext_port.to_be_bytes());
+                self.translated += 1;
+                Verdict::Pass
+            }
+            None => {
+                self.exhausted += 1;
+                Verdict::Drop
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nf::testutil::*;
+
+    #[test]
+    fn translates_source_and_keeps_binding() {
+        let mut nat = Nat::new("nat", ip(203, 0, 113, 1));
+        let mut p1 = tcp_packet(ip(192, 168, 0, 5), ip(8, 8, 8, 8), 40000, 443, b"");
+        nat.process(&mut PacketView::Exclusive(&mut p1));
+        assert_eq!(p1.sip().unwrap(), ip(203, 0, 113, 1));
+        let ext1 = p1.sport().unwrap();
+        assert!(ext1 >= Nat::PORT_BASE);
+        // Same flow → same external port.
+        let mut p2 = tcp_packet(ip(192, 168, 0, 5), ip(8, 8, 8, 8), 40000, 443, b"");
+        nat.process(&mut PacketView::Exclusive(&mut p2));
+        assert_eq!(p2.sport().unwrap(), ext1);
+        assert_eq!(nat.binding_count(), 1);
+        // Reverse mapping installed.
+        assert_eq!(
+            nat.reverse_lookup(ext1),
+            Some((ip(192, 168, 0, 5), 40000))
+        );
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let mut nat = Nat::new("nat", ip(203, 0, 113, 1));
+        let mut seen = std::collections::HashSet::new();
+        for sport in 1000..1100u16 {
+            let mut p = tcp_packet(ip(192, 168, 0, 9), ip(8, 8, 8, 8), sport, 80, b"");
+            nat.process(&mut PacketView::Exclusive(&mut p));
+            assert!(seen.insert(p.sport().unwrap()), "port reused");
+        }
+        assert_eq!(nat.binding_count(), 100);
+        assert_eq!(nat.translated, 100);
+    }
+
+    #[test]
+    fn profile_is_full_tuple_rw() {
+        let nat = Nat::new("nat", ip(1, 1, 1, 1));
+        let p = nat.profile();
+        for f in [FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport] {
+            assert!(p.read_mask().contains(f));
+            assert!(p.write_mask().contains(f));
+        }
+    }
+}

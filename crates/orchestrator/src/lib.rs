@@ -1,0 +1,56 @@
+//! # nfp-orchestrator
+//!
+//! The NFP **orchestrator** (paper §4): it "takes the NFP policies as input,
+//! identifies NF dependencies, and automatically compiles policies into high
+//! performance service graphs possibly with parallel NFs", with the twin
+//! optimization goals of *maximum parallelism* and *minimal resource
+//! overhead*.
+//!
+//! Pipeline (paper Figure 2):
+//!
+//! ```text
+//! Policy ──transform──▶ Intermediate Representations ──compile──▶
+//!        Micrographs (Single NF | Tree | Plain Parallelism) ──merge──▶
+//!        Final service graph + Classification/Forwarding/Merging tables
+//! ```
+//!
+//! Module map:
+//!
+//! * [`action`] — the NF action model: `Read`/`Write` over packet fields,
+//!   `AddRm` (header addition/removal) and `Drop`, plus [`action::ActionProfile`].
+//! * [`table2`] — the built-in NF action table (paper Table 2) with
+//!   deployment percentages, and the profile [`table2::Registry`] new NFs
+//!   are registered into (§5.4).
+//! * [`deps`] — the action dependency table (paper Table 3).
+//! * [`alg1`] — the NF Parallelism Identification algorithm (paper
+//!   Algorithm 1), including OP#1 *Dirty Memory Reusing*.
+//! * [`census`](mod@census) — reproduces the paper's §4.3 statistic ("53.8% NF pairs
+//!   can work in parallel; 41.5% without extra resource overhead").
+//! * [`graph`] — the compiled service-graph representation.
+//! * [`compile`](mod@compile) — the §4.4 three-step compiler (IR → micrographs → graph).
+//! * [`tables`] — generation of the classification, forwarding and merging
+//!   tables the infrastructure installs (§4.4.3/§5).
+//! * [`modular`] — OpenBox-style block-level parallelism merge (paper §7,
+//!   Figure 15).
+//! * [`partition`] — cross-server graph partitioning sketch (paper §7).
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod alg1;
+pub mod census;
+pub mod compile;
+pub mod deps;
+pub mod graph;
+pub mod modular;
+pub mod partition;
+pub mod table2;
+pub mod tables;
+
+pub use action::{Action, ActionKind, ActionProfile, HeaderKind};
+pub use alg1::{identify, identify_in, IdentifyOptions, PairAnalysis, PairContext};
+pub use census::{census, CensusReport};
+pub use compile::{compile, CompileError, CompileOptions, CompileWarning, Compiled};
+pub use deps::{DependencyTable, Parallelism};
+pub use graph::{NodeId, ParallelGroup, Segment, ServiceGraph};
+pub use table2::Registry;

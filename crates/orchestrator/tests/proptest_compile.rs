@@ -1,0 +1,170 @@
+//! Property tests for the orchestrator: Algorithm 1 invariants over random
+//! action profiles, and compiler soundness over random policies built from
+//! random registries.
+
+use nfp_orchestrator::graph::Segment;
+use nfp_orchestrator::tables::generate;
+use nfp_orchestrator::{
+    compile, identify, Action, ActionProfile, CompileError, CompileOptions, DependencyTable,
+    IdentifyOptions, Parallelism, Registry,
+};
+use nfp_packet::FieldId;
+use nfp_policy::{Policy, Rule};
+use proptest::prelude::*;
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    let field = proptest::sample::select(FieldId::ALL.to_vec());
+    prop_oneof![
+        field.clone().prop_map(Action::read),
+        field.prop_map(Action::write),
+        Just(Action::add_rm()),
+        Just(Action::drop()),
+    ]
+}
+
+fn profile_strategy(name: &'static str) -> impl Strategy<Value = ActionProfile> {
+    proptest::collection::vec(action_strategy(), 0..8).prop_map(move |actions| {
+        let mut p = ActionProfile::new(name);
+        for a in actions {
+            p.push(a);
+        }
+        if p.has_add_rm() {
+            p.add_rm_header = Some(nfp_orchestrator::HeaderKind::AuthHeader);
+        }
+        p
+    })
+}
+
+proptest! {
+    #[test]
+    fn algorithm1_is_deterministic_and_consistent(
+        p1 in profile_strategy("A"),
+        p2 in profile_strategy("B"),
+    ) {
+        let dt = DependencyTable::paper_table3();
+        let a = identify(&p1, &p2, &dt, IdentifyOptions::default());
+        let b = identify(&p1, &p2, &dt, IdentifyOptions::default());
+        prop_assert_eq!(a.clone(), b);
+        // Verdict classification is consistent with fields.
+        match a.verdict() {
+            Parallelism::NotParallelizable => prop_assert!(!a.parallelizable),
+            Parallelism::ParallelizableNoCopy => {
+                prop_assert!(a.parallelizable && a.conflicting_actions.is_empty());
+            }
+            Parallelism::ParallelizableWithCopy => {
+                prop_assert!(a.parallelizable && !a.conflicting_actions.is_empty());
+            }
+        }
+        // Conflicting actions only arise from pairs the two NFs possess.
+        for (x, y) in &a.conflicting_actions {
+            prop_assert!(p1.actions.contains(x));
+            prop_assert!(p2.actions.contains(y));
+        }
+    }
+
+    #[test]
+    fn op1_never_reduces_copies_needed(
+        p1 in profile_strategy("A"),
+        p2 in profile_strategy("B"),
+    ) {
+        let dt = DependencyTable::paper_table3();
+        let on = identify(&p1, &p2, &dt, IdentifyOptions { dirty_memory_reusing: true });
+        let off = identify(&p1, &p2, &dt, IdentifyOptions { dirty_memory_reusing: false });
+        prop_assert_eq!(on.parallelizable, off.parallelizable);
+        if on.parallelizable {
+            prop_assert!(on.conflicting_actions.len() <= off.conflicting_actions.len());
+        }
+    }
+
+    #[test]
+    fn read_only_pairs_always_share_copyless(
+        fields1 in proptest::collection::vec(proptest::sample::select(FieldId::ALL.to_vec()), 0..6),
+        fields2 in proptest::collection::vec(proptest::sample::select(FieldId::ALL.to_vec()), 0..6),
+    ) {
+        let p1 = ActionProfile::new("R1").reads(fields1);
+        let p2 = ActionProfile::new("R2").reads(fields2);
+        let dt = DependencyTable::paper_table3();
+        let a = identify(&p1, &p2, &dt, IdentifyOptions::default());
+        prop_assert_eq!(a.verdict(), Parallelism::ParallelizableNoCopy);
+    }
+
+    #[test]
+    fn compiler_is_sound_over_random_registries(
+        profiles in proptest::collection::vec(
+            proptest::collection::vec(action_strategy(), 0..6),
+            2..6
+        ),
+        force_seq in any::<bool>(),
+    ) {
+        let mut registry = Registry::new();
+        let names: Vec<String> = (0..profiles.len()).map(|i| format!("NF{i}")).collect();
+        for (name, actions) in names.iter().zip(&profiles) {
+            let mut p = ActionProfile::new(name.clone());
+            for a in actions {
+                p.push(*a);
+            }
+            if p.has_add_rm() {
+                p.add_rm_header = Some(nfp_orchestrator::HeaderKind::AuthHeader);
+            }
+            registry.register(p);
+        }
+        let policy = Policy::from_chain(names.iter().map(String::as_str));
+        let opts = CompileOptions {
+            force_sequential: force_seq,
+            ..CompileOptions::default()
+        };
+        match compile(&policy, &registry, &[], &opts) {
+            Ok(compiled) => {
+                let g = &compiled.graph;
+                prop_assert_eq!(g.validate(), Ok(()));
+                prop_assert_eq!(g.nf_count(), names.len());
+                if force_seq {
+                    prop_assert_eq!(g.equivalent_chain_length(), names.len());
+                    prop_assert_eq!(g.copies_per_packet(), 0);
+                }
+                // Table generation is total over valid graphs, and every
+                // parallel segment gets a merge spec with matching count.
+                let t = generate(g, 3);
+                for (i, seg) in g.segments.iter().enumerate() {
+                    if let Segment::Parallel(grp) = seg {
+                        let spec = t.merge_spec_for(i).expect("spec per parallel segment");
+                        prop_assert_eq!(spec.total_count, grp.expected_arrivals());
+                        prop_assert_eq!(spec.members.len(), grp.degree());
+                    }
+                }
+            }
+            Err(CompileError::TooManyVersions { .. }) => {
+                // Legal outcome for extreme profiles; anything else is not.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    #[test]
+    fn priority_policies_compile_or_fail_gracefully(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 1..5),
+    ) {
+        let mut registry = Registry::new();
+        for i in 0..4 {
+            registry.register(
+                ActionProfile::new(format!("P{i}"))
+                    .reads([FieldId::Sip, FieldId::Dport])
+                    .drops(),
+            );
+        }
+        let rules: Vec<Rule> = pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Rule::priority(format!("P{a}"), format!("P{b}")))
+            .collect();
+        if rules.is_empty() {
+            return Ok(());
+        }
+        let policy = Policy::from_rules(rules);
+        match compile(&policy, &registry, &[], &CompileOptions::default()) {
+            Ok(c) => prop_assert_eq!(c.graph.validate(), Ok(())),
+            Err(CompileError::PolicyConflicts(_)) | Err(CompileError::DependencyCycle) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        }
+    }
+}

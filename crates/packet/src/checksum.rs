@@ -1,0 +1,138 @@
+//! The Internet checksum (RFC 1071) used by IPv4, TCP and UDP.
+
+/// Incrementally computable Internet checksum state.
+///
+/// Fold bytes in with [`Checksum::add_bytes`]; obtain the ones-complement
+/// result with [`Checksum::finish`].
+///
+/// ```
+/// use nfp_packet::checksum::Checksum;
+/// let mut c = Checksum::new();
+/// c.add_bytes(&[0x45, 0x00, 0x00, 0x73]);
+/// let _sum = c.finish();
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Checksum {
+    sum: u32,
+    /// Pending odd byte (checksum operates on 16-bit words).
+    odd: Option<u8>,
+}
+
+impl Checksum {
+    /// Create a fresh checksum accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a byte slice into the checksum.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut data = data;
+        if let Some(hi) = self.odd.take() {
+            if let Some((&lo, rest)) = data.split_first() {
+                self.sum += u32::from(u16::from_be_bytes([hi, lo]));
+                data = rest;
+            } else {
+                self.odd = Some(hi);
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(2);
+        for w in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([w[0], w[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.odd = Some(*last);
+        }
+    }
+
+    /// Fold a big-endian 16-bit word into the checksum.
+    pub fn add_u16(&mut self, word: u16) {
+        // Only valid at even offsets; NFP headers always are.
+        debug_assert!(self.odd.is_none(), "add_u16 at odd offset");
+        self.sum += u32::from(word);
+    }
+
+    /// Finish the computation, returning the ones-complement checksum.
+    pub fn finish(mut self) -> u16 {
+        if let Some(hi) = self.odd.take() {
+            self.sum += u32::from(u16::from_be_bytes([hi, 0]));
+        }
+        let mut s = self.sum;
+        while s >> 16 != 0 {
+            s = (s & 0xffff) + (s >> 16);
+        }
+        !(s as u16)
+    }
+}
+
+/// One-shot Internet checksum over a byte slice.
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(data);
+    c.finish()
+}
+
+/// Pseudo-header checksum contribution for TCP/UDP over IPv4.
+pub fn pseudo_header(src: [u8; 4], dst: [u8; 4], protocol: u8, l4_len: u16) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_bytes(&src);
+    c.add_bytes(&dst);
+    c.add_u16(u16::from(protocol));
+    c.add_u16(l4_len);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example adapted from RFC 1071 §3: words 0x0001, 0xf203, 0xf4f5, 0xf6f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn zero_buffer_checksums_to_ffff() {
+        assert_eq!(checksum(&[0u8; 20]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // 0xab00 word after padding.
+        assert_eq!(checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn split_feeding_equals_one_shot() {
+        let data: Vec<u8> = (0u16..100).map(|i| (i * 7 % 251) as u8).collect();
+        let whole = checksum(&data);
+        for split in 0..data.len() {
+            let mut c = Checksum::new();
+            c.add_bytes(&data[..split]);
+            c.add_bytes(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn verifying_a_packet_with_its_checksum_yields_zero() {
+        // A checksummed region including its own correct checksum sums to 0.
+        let mut data = vec![0x45, 0x00, 0x01, 0x02, 0x00, 0x00, 0x11, 0x22];
+        let sum = checksum(&data);
+        data[4] = (sum >> 8) as u8;
+        data[5] = (sum & 0xff) as u8;
+        assert_eq!(checksum(&data), 0);
+    }
+
+    #[test]
+    fn real_ipv4_header_checksum() {
+        // Classic example header from Wikipedia's IPv4 article.
+        let hdr = [
+            0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&hdr), 0xb861);
+    }
+}

@@ -1,0 +1,134 @@
+//! NFP per-packet metadata, paper Figure 5.
+//!
+//! The classifier attaches a 64-bit metadata word to every packet copy:
+//!
+//! ```text
+//! | MID (20 bits) | PID (40 bits) | version (4 bits) |
+//! ```
+//!
+//! * **MID** identifies the service graph the packet follows ("twenty bits
+//!   of MID could express 1M service graphs").
+//! * **PID** identifies the packet within its flow so the merger can collect
+//!   all copies of the same packet.
+//! * **version** distinguishes copies of one packet (`v1` is the original).
+
+/// Number of bits in the match ID.
+pub const MID_BITS: u32 = 20;
+/// Number of bits in the packet ID.
+pub const PID_BITS: u32 = 40;
+/// Number of bits in the copy version.
+pub const VERSION_BITS: u32 = 4;
+
+/// Maximum representable match ID (1M-1 service graphs).
+pub const MID_MAX: u32 = (1 << MID_BITS) - 1;
+/// Maximum representable packet ID.
+pub const PID_MAX: u64 = (1 << PID_BITS) - 1;
+/// Maximum representable version.
+pub const VERSION_MAX: u8 = (1 << VERSION_BITS) - 1;
+
+/// The packed 64-bit NFP metadata word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Metadata(u64);
+
+impl Metadata {
+    /// Pack a metadata word. Values are masked to their field widths in
+    /// release builds and asserted in debug builds.
+    pub fn new(mid: u32, pid: u64, version: u8) -> Self {
+        debug_assert!(mid <= MID_MAX, "MID overflows 20 bits");
+        debug_assert!(pid <= PID_MAX, "PID overflows 40 bits");
+        debug_assert!(version <= VERSION_MAX, "version overflows 4 bits");
+        let mid = u64::from(mid & MID_MAX);
+        let pid = pid & PID_MAX;
+        let version = u64::from(version & VERSION_MAX);
+        Self((mid << (PID_BITS + VERSION_BITS)) | (pid << VERSION_BITS) | version)
+    }
+
+    /// The match ID: which service graph this packet follows.
+    pub fn mid(self) -> u32 {
+        ((self.0 >> (PID_BITS + VERSION_BITS)) & u64::from(MID_MAX)) as u32
+    }
+
+    /// The packet ID: immutable per-packet identity used by the merger and
+    /// by the merger agent's load-balancing hash.
+    pub fn pid(self) -> u64 {
+        (self.0 >> VERSION_BITS) & PID_MAX
+    }
+
+    /// The copy version (v1 = original).
+    pub fn version(self) -> u8 {
+        (self.0 & u64::from(VERSION_MAX)) as u8
+    }
+
+    /// Same metadata with a different version — used when the runtime
+    /// executes a `copy(v1, v2)` action.
+    pub fn with_version(self, version: u8) -> Self {
+        Self::new(self.mid(), self.pid(), version)
+    }
+
+    /// The raw 64-bit representation (what would sit in front of the packet
+    /// buffer on the wire between NFP modules).
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from the raw representation.
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// Version tag of the original packet copy.
+pub const VERSION_ORIGINAL: u8 = 1;
+
+impl core::fmt::Display for Metadata {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "mid={} pid={} v{}", self.mid(), self.pid(), self.version())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_extremes() {
+        for (mid, pid, ver) in [
+            (0u32, 0u64, 0u8),
+            (MID_MAX, PID_MAX, VERSION_MAX),
+            (1, 1, 1),
+            (0xabcde, 0x12_3456_789a, 0x9),
+        ] {
+            let m = Metadata::new(mid, pid, ver);
+            assert_eq!(m.mid(), mid);
+            assert_eq!(m.pid(), pid);
+            assert_eq!(m.version(), ver);
+            assert_eq!(Metadata::from_raw(m.to_raw()), m);
+        }
+    }
+
+    #[test]
+    fn with_version_preserves_identity() {
+        let m = Metadata::new(77, 123_456_789, VERSION_ORIGINAL);
+        let v2 = m.with_version(2);
+        assert_eq!(v2.mid(), 77);
+        assert_eq!(v2.pid(), 123_456_789);
+        assert_eq!(v2.version(), 2);
+    }
+
+    #[test]
+    fn fields_do_not_bleed() {
+        // A PID of all ones must not disturb MID or version.
+        let m = Metadata::new(0, PID_MAX, 0);
+        assert_eq!(m.mid(), 0);
+        assert_eq!(m.version(), 0);
+        let m = Metadata::new(MID_MAX, 0, 0);
+        assert_eq!(m.pid(), 0);
+        assert_eq!(m.version(), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Metadata::new(3, 42, 1);
+        assert_eq!(m.to_string(), "mid=3 pid=42 v1");
+    }
+}

@@ -1,0 +1,460 @@
+//! The shared packet pool.
+//!
+//! The NFP infrastructure keeps all packets "in a shared memory region
+//! allocated in huge pages accessible to all NFs" and passes *references*
+//! between NFs instead of copying (paper §5, NetVM-style zero-copy
+//! delivery). [`PacketPool`] reproduces that substrate in user space:
+//!
+//! * a fixed number of pre-allocated packet slots ("we prepare memory blocks
+//!   to store input or copied packets during the system initialization", so
+//!   copies never allocate on the datapath);
+//! * cheap [`PacketRef`] handles that rings carry between NF threads;
+//! * per-slot reference counts so one packet can be *distributed* to several
+//!   parallel NFs without copying, and freed exactly when the merger is done
+//!   with every copy;
+//! * header-only copy (paper OP#2) as a pool operation.
+//!
+//! # Aliasing contract (the one `unsafe` region in this workspace)
+//!
+//! Slots hold packets in `UnsafeCell` so several NF threads can access one
+//! packet concurrently, which is exactly NFP's Dirty Memory Reusing (OP#1):
+//! the orchestrator has *proven at graph-compile time* that concurrent NFs
+//! touch disjoint field sets. The pool exposes three access levels:
+//!
+//! 1. [`PacketPool::with_mut`] — exclusive: asserts the reference count is
+//!    1, hands out `&mut Packet`. Used on sequential graph segments and by
+//!    the merger.
+//! 2. [`PacketPool::with`] — shared read of the whole packet: sound only
+//!    while no concurrent writer exists for this slot (the compiled graph
+//!    guarantees it for read-only parallel stages).
+//! 3. [`PacketPool::read_field`] / [`PacketPool::write_field`] — field-
+//!    scoped raw-pointer access for parallel stages under Dirty Memory
+//!    Reusing. Writes to *disjoint byte ranges* from different threads are
+//!    not data races; the orchestrator's dependency tables (paper Table 3 +
+//!    Algorithm 1) are what makes the ranges disjoint.
+//!
+//! The free list is a lock-free Treiber stack with an ABA tag, so alloc and
+//! release never take a lock on the datapath.
+
+use crate::field::FieldId;
+use crate::packet::Packet;
+use crate::{PacketError, Result};
+use core::cell::UnsafeCell;
+use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel "null" index terminating the free list.
+const NIL: u32 = u32::MAX;
+
+/// A handle to a pooled packet slot. `Copy`, 4 bytes — this is what ring
+/// buffers between NFs actually carry ("an NF simply writes packet
+/// references into the receive ring buffer of the other NF").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketRef(u32);
+
+impl PacketRef {
+    /// The slot index (stable for the lifetime of the allocation).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+struct Slot {
+    /// 0 = free; otherwise the number of logical owners.
+    refcount: AtomicU32,
+    /// Free-list link (valid only while free).
+    next: AtomicU32,
+    pkt: UnsafeCell<Packet>,
+}
+
+// SAFETY: concurrent access to `pkt` is governed by the contract documented
+// in the module docs: exclusive access is runtime-checked via `refcount`,
+// and shared field-level access is restricted to disjoint byte ranges by
+// the orchestrator's compiled graph.
+unsafe impl Sync for Slot {}
+unsafe impl Send for Slot {}
+
+/// A pre-allocated, reference-counted pool of packet slots shared by every
+/// NF in one NFP server.
+pub struct PacketPool {
+    slots: Box<[Slot]>,
+    /// Treiber stack head: (index, aba-tag) packed into 64 bits.
+    free_head: AtomicU64,
+    /// High-water mark of concurrently live slots (diagnostics).
+    in_use: AtomicU32,
+}
+
+fn pack(index: u32, tag: u32) -> u64 {
+    (u64::from(tag) << 32) | u64::from(index)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    (v as u32, (v >> 32) as u32)
+}
+
+impl PacketPool {
+    /// Create a pool with `capacity` packet slots, all pre-allocated.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0 && capacity < NIL as usize, "bad pool capacity");
+        let slots: Box<[Slot]> = (0..capacity)
+            .map(|i| Slot {
+                refcount: AtomicU32::new(0),
+                next: AtomicU32::new(if i + 1 < capacity { i as u32 + 1 } else { NIL }),
+                pkt: UnsafeCell::new(Packet::new()),
+            })
+            .collect();
+        Self {
+            slots,
+            free_head: AtomicU64::new(pack(0, 0)),
+            in_use: AtomicU32::new(0),
+        }
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of currently allocated slots.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed) as usize
+    }
+
+    fn pop_free(&self) -> Option<u32> {
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let (idx, tag) = unpack(head);
+            if idx == NIL {
+                return None;
+            }
+            let next = self.slots[idx as usize].next.load(Ordering::Relaxed);
+            match self.free_head.compare_exchange_weak(
+                head,
+                pack(next, tag.wrapping_add(1)),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(idx),
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    fn push_free(&self, idx: u32) {
+        let mut head = self.free_head.load(Ordering::Acquire);
+        loop {
+            let (old_idx, tag) = unpack(head);
+            self.slots[idx as usize].next.store(old_idx, Ordering::Relaxed);
+            match self.free_head.compare_exchange_weak(
+                head,
+                pack(idx, tag.wrapping_add(1)),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Move `pkt` into a fresh slot. On pool exhaustion the packet is handed
+    /// back so the caller can apply backpressure instead of dropping.
+    pub fn insert(&self, pkt: Packet) -> core::result::Result<PacketRef, Packet> {
+        match self.pop_free() {
+            Some(idx) => {
+                let slot = &self.slots[idx as usize];
+                debug_assert_eq!(slot.refcount.load(Ordering::Relaxed), 0);
+                // SAFETY: the slot was on the free list, so no other thread
+                // holds a reference to it; we have exclusive access.
+                unsafe { *slot.pkt.get() = pkt };
+                slot.refcount.store(1, Ordering::Release);
+                self.in_use.fetch_add(1, Ordering::Relaxed);
+                Ok(PacketRef(idx))
+            }
+            None => Err(pkt),
+        }
+    }
+
+    /// Add one logical owner (used by `distribute` to several parallel NFs
+    /// without copying).
+    pub fn retain(&self, r: PacketRef) {
+        let prev = self.slots[r.0 as usize].refcount.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "retain of a free slot");
+    }
+
+    /// Drop one logical owner; the slot returns to the free list when the
+    /// count reaches zero.
+    pub fn release(&self, r: PacketRef) {
+        let slot = &self.slots[r.0 as usize];
+        let prev = slot.refcount.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "release of a free slot");
+        if prev == 1 {
+            self.in_use.fetch_sub(1, Ordering::Relaxed);
+            self.push_free(r.0);
+        }
+    }
+
+    /// Current reference count (diagnostics/tests).
+    pub fn refcount(&self, r: PacketRef) -> u32 {
+        self.slots[r.0 as usize].refcount.load(Ordering::Acquire)
+    }
+
+    /// Exclusive access. Panics if the slot is shared — calling this on a
+    /// shared slot is a graph-compiler bug, not a recoverable condition.
+    pub fn with_mut<R>(&self, r: PacketRef, f: impl FnOnce(&mut Packet) -> R) -> R {
+        let slot = &self.slots[r.0 as usize];
+        let rc = slot.refcount.load(Ordering::Acquire);
+        assert_eq!(rc, 1, "with_mut on a slot with refcount {rc}");
+        // SAFETY: refcount is 1 and the caller is that single owner, so no
+        // other thread can access this slot concurrently.
+        f(unsafe { &mut *slot.pkt.get() })
+    }
+
+    /// Shared read access. Sound while the compiled graph guarantees no
+    /// concurrent writer for this slot (read-only parallel stages, merger
+    /// input collection).
+    pub fn with<R>(&self, r: PacketRef, f: impl FnOnce(&Packet) -> R) -> R {
+        let slot = &self.slots[r.0 as usize];
+        debug_assert!(slot.refcount.load(Ordering::Acquire) > 0, "with on free slot");
+        // SAFETY: per the module contract, no `&mut Packet` exists while
+        // shared readers run; field-level writers touch only byte ranges the
+        // orchestrator proved disjoint from anything read here.
+        f(unsafe { &*slot.pkt.get() })
+    }
+
+    /// Read a field's bytes into `buf` under the Dirty-Memory-Reusing
+    /// contract; returns the number of bytes written.
+    pub fn read_field(&self, r: PacketRef, field: FieldId, buf: &mut [u8]) -> Result<usize> {
+        let slot = &self.slots[r.0 as usize];
+        // SAFETY: see `with`; additionally we only read this field's bytes,
+        // which the compiled graph guarantees no concurrent NF writes.
+        let pkt = unsafe { &*slot.pkt.get() };
+        let range = pkt.field_range(field)?;
+        let n = range.len();
+        if buf.len() < n {
+            return Err(PacketError::NoCapacity {
+                requested: n,
+                capacity: buf.len(),
+            });
+        }
+        buf[..n].copy_from_slice(&pkt.data()[range]);
+        Ok(n)
+    }
+
+    /// Overwrite a field's bytes under the Dirty-Memory-Reusing contract.
+    /// Concurrent writers to *other* fields of the same packet are allowed;
+    /// the orchestrator never schedules two concurrent writers of the same
+    /// field without a copy (paper Table 3, read-write/write-write rows).
+    pub fn write_field(&self, r: PacketRef, field: FieldId, value: &[u8]) -> Result<()> {
+        let slot = &self.slots[r.0 as usize];
+        // SAFETY: we form a shared reference only to *parse* (pure read of
+        // header structure, which no NF mutates during a parallel stage) and
+        // then write through a raw pointer without creating `&mut Packet`.
+        let pkt = unsafe { &*slot.pkt.get() };
+        let range = pkt.field_range(field)?;
+        if range.len() != value.len() {
+            return Err(PacketError::Malformed {
+                what: "field value width mismatch",
+            });
+        }
+        let base = pkt.frame_ptr() as *mut u8;
+        // SAFETY: `range` is in-bounds of the frame (checked by
+        // `field_range`), and disjointness from concurrent accesses is
+        // guaranteed by the compiled service graph.
+        unsafe {
+            core::ptr::copy_nonoverlapping(value.as_ptr(), base.add(range.start), value.len());
+        }
+        Ok(())
+    }
+
+    /// Move the packet out of its slot (requires exclusive ownership) and
+    /// free the slot.
+    pub fn take(&self, r: PacketRef) -> Packet {
+        let slot = &self.slots[r.0 as usize];
+        let rc = slot.refcount.load(Ordering::Acquire);
+        assert_eq!(rc, 1, "take on a slot with refcount {rc}");
+        // SAFETY: sole owner, as asserted.
+        let pkt = unsafe { core::mem::take(&mut *slot.pkt.get()) };
+        slot.refcount.store(0, Ordering::Release);
+        self.in_use.fetch_sub(1, Ordering::Relaxed);
+        self.push_free(r.0);
+        pkt
+    }
+
+    /// Allocate a **header-only copy** (paper OP#2) of `r`, tagged with
+    /// `version`. Returns `None` on pool exhaustion.
+    pub fn header_only_copy(&self, r: PacketRef, version: u8) -> Option<Result<PacketRef>> {
+        let copied = self.with(r, |p| p.header_only_copy(version));
+        match copied {
+            Ok(c) => match self.insert(c) {
+                Ok(nr) => Some(Ok(nr)),
+                Err(_) => None,
+            },
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    /// Allocate a full copy of `r`, tagged with `version`.
+    pub fn full_copy(&self, r: PacketRef, version: u8) -> Option<Result<PacketRef>> {
+        let copied = self.with(r, |p| p.full_copy(version));
+        match copied {
+            Ok(c) => match self.insert(c) {
+                Ok(nr) => Some(Ok(nr)),
+                Err(_) => None,
+            },
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+impl core::fmt::Debug for PacketPool {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PacketPool")
+            .field("capacity", &self.capacity())
+            .field("in_use", &self.in_use())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn alloc_release_cycles_all_slots() {
+        let pool = PacketPool::new(4);
+        let refs: Vec<_> = (0..4)
+            .map(|_| pool.insert(Packet::new()).unwrap())
+            .collect();
+        assert_eq!(pool.in_use(), 4);
+        assert!(pool.insert(Packet::new()).is_err());
+        for r in refs {
+            pool.release(r);
+        }
+        assert_eq!(pool.in_use(), 0);
+        // All four slots usable again.
+        for _ in 0..4 {
+            pool.insert(Packet::new()).unwrap();
+        }
+    }
+
+    #[test]
+    fn retain_keeps_slot_alive() {
+        let pool = PacketPool::new(2);
+        let r = pool.insert(Packet::new()).unwrap();
+        pool.retain(r);
+        assert_eq!(pool.refcount(r), 2);
+        pool.release(r);
+        assert_eq!(pool.in_use(), 1);
+        pool.release(r);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_mut on a slot")]
+    fn with_mut_on_shared_slot_panics() {
+        let pool = PacketPool::new(2);
+        let r = pool.insert(Packet::new()).unwrap();
+        pool.retain(r);
+        pool.with_mut(r, |_| ());
+    }
+
+    #[test]
+    fn take_moves_packet_out() {
+        let pool = PacketPool::new(1);
+        let mut p = Packet::new();
+        p.set_meta(crate::Metadata::new(7, 9, 1));
+        let r = pool.insert(p).unwrap();
+        let out = pool.take(r);
+        assert_eq!(out.meta().pid(), 9);
+        assert_eq!(pool.in_use(), 0);
+        pool.insert(Packet::new()).unwrap();
+    }
+
+    fn tcp_packet() -> Packet {
+        let frame = crate::packet::tests::tcp_frame(32);
+        let mut p = Packet::from_bytes(&frame).unwrap();
+        p.parse().unwrap();
+        p
+    }
+
+    #[test]
+    fn field_read_write_through_pool() {
+        let pool = PacketPool::new(2);
+        let r = pool.insert(tcp_packet()).unwrap();
+        pool.write_field(r, FieldId::Dport, &443u16.to_be_bytes()).unwrap();
+        let mut buf = [0u8; 2];
+        assert_eq!(pool.read_field(r, FieldId::Dport, &mut buf).unwrap(), 2);
+        assert_eq!(u16::from_be_bytes(buf), 443);
+        pool.release(r);
+    }
+
+    #[test]
+    fn header_only_copy_through_pool() {
+        let pool = PacketPool::new(2);
+        let r = pool.insert(tcp_packet()).unwrap();
+        let c = pool.header_only_copy(r, 2).unwrap().unwrap();
+        pool.with(c, |p| {
+            assert!(p.is_header_only());
+            assert_eq!(p.meta().version(), 2);
+        });
+        pool.release(r);
+        pool.release(c);
+    }
+
+    #[test]
+    fn copy_on_exhausted_pool_returns_none() {
+        let pool = PacketPool::new(1);
+        let r = pool.insert(tcp_packet()).unwrap();
+        assert!(pool.full_copy(r, 2).is_none());
+        pool.release(r);
+    }
+
+    #[test]
+    fn concurrent_alloc_release_stress() {
+        let pool = Arc::new(PacketPool::new(64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    if let Ok(r) = pool.insert(Packet::new()) {
+                        pool.retain(r);
+                        pool.release(r);
+                        pool.release(r);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn concurrent_disjoint_field_writes() {
+        // Two threads write different fields of the same packet — the
+        // Dirty Memory Reusing scenario. Both writes must land.
+        let pool = Arc::new(PacketPool::new(2));
+        let r = pool.insert(tcp_packet()).unwrap();
+        pool.retain(r);
+        let p1 = Arc::clone(&pool);
+        let p2 = Arc::clone(&pool);
+        let t1 = std::thread::spawn(move || {
+            for i in 0..1000u16 {
+                p1.write_field(r, FieldId::Sport, &i.to_be_bytes()).unwrap();
+            }
+            p1.release(r);
+        });
+        let t2 = std::thread::spawn(move || {
+            for i in 0..1000u16 {
+                p2.write_field(r, FieldId::Dport, &(!i).to_be_bytes()).unwrap();
+            }
+            p2.release(r);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(pool.in_use(), 0);
+    }
+}

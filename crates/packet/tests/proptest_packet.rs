@@ -1,0 +1,158 @@
+//! Property tests for the packet substrate: parse/emit roundtrips,
+//! checksum soundness, structural-edit inverses, field-mask algebra and
+//! metadata packing over arbitrary inputs.
+
+use nfp_packet::checksum::checksum;
+use nfp_packet::ether::{self, MacAddr};
+use nfp_packet::ipv4::{self, Ipv4Addr, Ipv4Emit};
+use nfp_packet::meta::{Metadata, MID_MAX, PID_MAX, VERSION_MAX};
+use nfp_packet::tcp::{self, TcpEmit};
+use nfp_packet::{FieldId, FieldMask, Packet};
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = Vec<u8>> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..1200),
+    )
+        .prop_map(|(sip, dip, sport, dport, payload)| {
+            let ip_total = 40 + payload.len();
+            let mut f = vec![0u8; 14 + ip_total];
+            ether::emit(
+                &mut f,
+                MacAddr([2, 0, 0, 0, 0, 2]),
+                MacAddr([2, 0, 0, 0, 0, 1]),
+                ether::ETHERTYPE_IPV4,
+            )
+            .unwrap();
+            ipv4::emit(
+                &mut f[14..],
+                &Ipv4Emit {
+                    src: Ipv4Addr::from_u32(sip),
+                    dst: Ipv4Addr::from_u32(dip),
+                    protocol: ipv4::PROTO_TCP,
+                    total_len: ip_total as u16,
+                    ttl: 64,
+                    ident: 7,
+                },
+            )
+            .unwrap();
+            tcp::emit(
+                &mut f[34..],
+                &TcpEmit {
+                    sport,
+                    dport,
+                    ..TcpEmit::default()
+                },
+            )
+            .unwrap();
+            f[54..].copy_from_slice(&payload);
+            tcp::fill_checksum(&mut f[34..], Ipv4Addr::from_u32(sip), Ipv4Addr::from_u32(dip));
+            f
+        })
+}
+
+proptest! {
+    #[test]
+    fn any_emitted_frame_parses_with_valid_checksums(frame in frame_strategy()) {
+        let mut p = Packet::from_bytes(&frame).unwrap();
+        let l = p.parse().unwrap();
+        prop_assert_eq!(l.l3, 14);
+        prop_assert_eq!(l.payload, 54);
+        let d = p.data();
+        prop_assert!(ipv4::Ipv4View::new(&d[14..]).unwrap().verify_checksum());
+        prop_assert!(tcp::verify_checksum(&d[34..], p.sip().unwrap(), p.dip().unwrap()));
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips(frame in frame_strategy(), bit in 0usize..100) {
+        let mut p = Packet::from_bytes(&frame).unwrap();
+        p.parse().unwrap();
+        let idx = 14 + (bit % 20); // somewhere in the IPv4 header
+        let mut mutated = frame.clone();
+        mutated[idx] ^= 1 << (bit % 8);
+        if mutated[14] >> 4 == 4 && (mutated[14] & 0x0f) >= 5 {
+            let view = ipv4::Ipv4View::new(&mutated[14..34]);
+            if let Ok(v) = view {
+                prop_assert!(!v.verify_checksum(), "flip at {idx} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn field_write_then_read_roundtrips(frame in frame_strategy(), v in any::<u32>(), port in any::<u16>()) {
+        let mut p = Packet::from_bytes(&frame).unwrap();
+        p.parse().unwrap();
+        p.set_dip(Ipv4Addr::from_u32(v)).unwrap();
+        p.set_sport(port).unwrap();
+        prop_assert_eq!(p.dip().unwrap(), Ipv4Addr::from_u32(v));
+        prop_assert_eq!(p.sport().unwrap(), port);
+        // Untouched fields survive.
+        prop_assert_eq!(p.dport().unwrap(), u16::from_be_bytes([frame[36], frame[37]]));
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(frame in frame_strategy(), at_frac in 0.0f64..1.0, n in 1usize..64) {
+        let mut p = Packet::from_bytes(&frame).unwrap();
+        let at = ((frame.len() as f64) * at_frac) as usize;
+        p.insert_bytes(at, n).unwrap();
+        prop_assert_eq!(p.len(), frame.len() + n);
+        p.remove_bytes(at..at + n).unwrap();
+        prop_assert_eq!(p.data(), &frame[..]);
+    }
+
+    #[test]
+    fn header_only_copy_is_valid_and_bounded(frame in frame_strategy(), ver in 2u8..=15) {
+        let p = Packet::from_bytes(&frame).unwrap();
+        let c = p.header_only_copy(ver).unwrap();
+        prop_assert!(c.len() <= 54);
+        prop_assert!(c.is_header_only());
+        prop_assert_eq!(c.meta().version(), ver);
+        // The copy reparses and its IP length is internally consistent.
+        let l = c.parsed().unwrap();
+        let ip = ipv4::Ipv4View::new(&c.data()[l.l3..]).unwrap();
+        prop_assert_eq!(ip.total_len() as usize, c.len() - 14);
+        prop_assert!(ip.verify_checksum());
+    }
+
+    #[test]
+    fn metadata_roundtrips(mid in 0u32..=MID_MAX, pid in 0u64..=PID_MAX, ver in 0u8..=VERSION_MAX) {
+        let m = Metadata::new(mid, pid, ver);
+        prop_assert_eq!(m.mid(), mid);
+        prop_assert_eq!(m.pid(), pid);
+        prop_assert_eq!(m.version(), ver);
+        prop_assert_eq!(Metadata::from_raw(m.to_raw()), m);
+    }
+
+    #[test]
+    fn field_mask_algebra(bits_a in 0u16..1024, bits_b in 0u16..1024) {
+        let fields: Vec<FieldId> = FieldId::ALL.into_iter().collect();
+        let mask_of = |bits: u16| {
+            FieldMask::from_fields(
+                fields.iter().enumerate().filter(|(i, _)| bits & (1 << i) != 0).map(|(_, f)| *f),
+            )
+        };
+        let a = mask_of(bits_a);
+        let b = mask_of(bits_b);
+        // Union/intersection laws.
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.intersection(b), b.intersection(a));
+        prop_assert_eq!(a.union(a), a);
+        prop_assert_eq!(a.intersection(FieldMask::ALL), a);
+        prop_assert_eq!(a.is_disjoint(b), a.intersection(b).is_empty());
+        // Length via iteration agrees with count.
+        prop_assert_eq!(a.iter().count(), a.len());
+    }
+
+    #[test]
+    fn incremental_checksum_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600), split in 0usize..600) {
+        let split = split.min(data.len());
+        let mut c = nfp_packet::checksum::Checksum::new();
+        c.add_bytes(&data[..split]);
+        c.add_bytes(&data[split..]);
+        prop_assert_eq!(c.finish(), checksum(&data));
+    }
+}

@@ -1,0 +1,281 @@
+//! Policy conflict detection.
+//!
+//! The paper notes that "the rules manually written by operators could
+//! possibly conflict with each other" and leaves detection to future work
+//! (§3). We implement the three conflict classes the paper names, plus the
+//! cyclic generalization:
+//!
+//! * contradictory orders — `Order(NF1,before,NF2)` and `Order(NF2,before,
+//!   NF1)`, generalized to any cycle through Order rules;
+//! * contradictory positions — `Position(NF,first)` and `Position(NF,last)`;
+//! * contradictory priorities — `Priority(A > B)` and `Priority(B > A)`;
+//! * order/priority disagreement is *not* a conflict (the paper explicitly
+//!   allows both forms to coexist; Order is an intent the orchestrator may
+//!   convert into a Priority).
+
+use crate::policy::Policy;
+use crate::rule::{NfName, PositionAnchor, Rule};
+use std::collections::{HashMap, HashSet};
+
+/// A detected policy conflict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Conflict {
+    /// The `Order` rules form a cycle (e.g. A before B, B before A).
+    OrderCycle {
+        /// NFs on the detected cycle, in order.
+        cycle: Vec<NfName>,
+    },
+    /// An NF is pinned both first and last.
+    ContradictoryPosition {
+        /// The doubly pinned NF.
+        nf: NfName,
+    },
+    /// Two NFs are given priority over each other.
+    ContradictoryPriority {
+        /// One of the NFs.
+        a: NfName,
+        /// The other NF.
+        b: NfName,
+    },
+    /// Several NFs pinned `first` (or several pinned `last`) — ambiguous
+    /// head/tail. The orchestrator would have to pick an arbitrary order.
+    AmbiguousAnchor {
+        /// The contested anchor.
+        anchor: PositionAnchor,
+        /// NFs competing for it.
+        nfs: Vec<NfName>,
+    },
+}
+
+impl core::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Conflict::OrderCycle { cycle } => {
+                write!(f, "Order rules form a cycle: ")?;
+                for (i, nf) in cycle.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{nf}")?;
+                }
+                Ok(())
+            }
+            Conflict::ContradictoryPosition { nf } => {
+                write!(f, "{nf} is pinned both first and last")
+            }
+            Conflict::ContradictoryPriority { a, b } => {
+                write!(f, "{a} and {b} each claim priority over the other")
+            }
+            Conflict::AmbiguousAnchor { anchor, nfs } => {
+                write!(f, "multiple NFs pinned {anchor}:")?;
+                for nf in nfs {
+                    write!(f, " {nf}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Check a policy for conflicts. An empty result means the orchestrator can
+/// compile the policy deterministically.
+pub fn check_conflicts(policy: &Policy) -> Vec<Conflict> {
+    let mut conflicts = Vec::new();
+    conflicts.extend(order_cycles(policy));
+    conflicts.extend(position_conflicts(policy));
+    conflicts.extend(priority_conflicts(policy));
+    conflicts
+}
+
+fn order_cycles(policy: &Policy) -> Option<Conflict> {
+    // Standard iterative DFS 3-coloring over the Order digraph.
+    let mut adj: HashMap<&NfName, Vec<&NfName>> = HashMap::new();
+    for rule in policy.rules() {
+        if let Rule::Order { before, after } = rule {
+            adj.entry(before).or_default().push(after);
+            adj.entry(after).or_default();
+        }
+    }
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color: HashMap<&NfName, Color> = adj.keys().map(|k| (*k, Color::White)).collect();
+    let nodes: Vec<&NfName> = adj.keys().copied().collect();
+    for &start in &nodes {
+        if color[start] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-child-index); `path` mirrors the gray chain.
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        color.insert(start, Color::Gray);
+        while let Some((node, idx)) = stack.pop() {
+            let children = &adj[node];
+            if idx < children.len() {
+                stack.push((node, idx + 1));
+                let child = children[idx];
+                match color[child] {
+                    Color::White => {
+                        color.insert(child, Color::Gray);
+                        stack.push((child, 0));
+                        path.push(child);
+                    }
+                    Color::Gray => {
+                        let pos = path.iter().position(|n| *n == child).unwrap_or(0);
+                        let mut cycle: Vec<NfName> =
+                            path[pos..].iter().map(|n| (*n).clone()).collect();
+                        cycle.push(child.clone());
+                        return Some(Conflict::OrderCycle { cycle });
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color.insert(node, Color::Black);
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+fn position_conflicts(policy: &Policy) -> Vec<Conflict> {
+    let mut firsts: Vec<NfName> = Vec::new();
+    let mut lasts: Vec<NfName> = Vec::new();
+    for rule in policy.rules() {
+        if let Rule::Position { nf, anchor } = rule {
+            let list = match anchor {
+                PositionAnchor::First => &mut firsts,
+                PositionAnchor::Last => &mut lasts,
+            };
+            if !list.contains(nf) {
+                list.push(nf.clone());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for nf in &firsts {
+        if lasts.contains(nf) {
+            out.push(Conflict::ContradictoryPosition { nf: nf.clone() });
+        }
+    }
+    for (anchor, list) in [(PositionAnchor::First, firsts), (PositionAnchor::Last, lasts)] {
+        if list.len() > 1 {
+            out.push(Conflict::AmbiguousAnchor { anchor, nfs: list });
+        }
+    }
+    out
+}
+
+fn priority_conflicts(policy: &Policy) -> Vec<Conflict> {
+    let mut pairs: HashSet<(NfName, NfName)> = HashSet::new();
+    let mut out = Vec::new();
+    for rule in policy.rules() {
+        if let Rule::Priority { high, low } = rule {
+            if pairs.contains(&(low.clone(), high.clone())) {
+                out.push(Conflict::ContradictoryPriority {
+                    a: low.clone(),
+                    b: high.clone(),
+                });
+            }
+            pairs.insert((high.clone(), low.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_policy_has_no_conflicts() {
+        let p = Policy::from_chain(["VPN", "Monitor", "FW", "LB"]);
+        assert!(check_conflicts(&p).is_empty());
+    }
+
+    #[test]
+    fn direct_order_contradiction_is_a_cycle() {
+        // The paper's example: Order(NF1,before,NF2) and Order(NF2,before,NF1).
+        let p = Policy::new().order("NF1", "NF2").order("NF2", "NF1");
+        let c = check_conflicts(&p);
+        assert!(matches!(c.as_slice(), [Conflict::OrderCycle { .. }]));
+    }
+
+    #[test]
+    fn longer_cycles_detected() {
+        let p = Policy::new().order("A", "B").order("B", "C").order("C", "A");
+        let c = check_conflicts(&p);
+        assert_eq!(c.len(), 1);
+        if let Conflict::OrderCycle { cycle } = &c[0] {
+            assert!(cycle.len() >= 4); // A -> B -> C -> A
+            assert_eq!(cycle.first(), cycle.last());
+        } else {
+            panic!("expected cycle");
+        }
+    }
+
+    #[test]
+    fn first_and_last_contradiction() {
+        // The paper's example: Position(NF1,first) and Position(NF1,last).
+        let p = Policy::new()
+            .position("NF1", PositionAnchor::First)
+            .position("NF1", PositionAnchor::Last);
+        let c = check_conflicts(&p);
+        assert!(c
+            .iter()
+            .any(|c| matches!(c, Conflict::ContradictoryPosition { .. })));
+    }
+
+    #[test]
+    fn duplicate_same_anchor_is_ambiguous_not_contradictory() {
+        let p = Policy::new()
+            .position("A", PositionAnchor::First)
+            .position("B", PositionAnchor::First);
+        let c = check_conflicts(&p);
+        assert!(matches!(
+            c.as_slice(),
+            [Conflict::AmbiguousAnchor {
+                anchor: PositionAnchor::First,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn repeated_identical_position_is_fine() {
+        let p = Policy::new()
+            .position("A", PositionAnchor::First)
+            .position("A", PositionAnchor::First);
+        assert!(check_conflicts(&p).is_empty());
+    }
+
+    #[test]
+    fn priority_both_ways_conflicts() {
+        let p = Policy::new().priority("A", "B").priority("B", "A");
+        let c = check_conflicts(&p);
+        assert!(matches!(
+            c.as_slice(),
+            [Conflict::ContradictoryPriority { .. }]
+        ));
+    }
+
+    #[test]
+    fn order_plus_priority_is_not_a_conflict() {
+        // §3: an Order rule may be converted into a Priority — coexistence
+        // of Order(A,before,B) and Priority(B > A) is meaningful, not a bug.
+        let p = Policy::new().order("A", "B").priority("B", "A");
+        assert!(check_conflicts(&p).is_empty());
+    }
+
+    #[test]
+    fn conflicts_render_human_readable() {
+        let p = Policy::new().order("X", "Y").order("Y", "X");
+        let c = check_conflicts(&p);
+        let s = c[0].to_string();
+        assert!(s.contains("cycle"), "{s}");
+        assert!(s.contains("X") && s.contains("Y"), "{s}");
+    }
+}

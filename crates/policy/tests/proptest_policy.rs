@@ -1,0 +1,103 @@
+//! Property tests for the policy layer: printing and reparsing any policy
+//! is the identity; the conflict checker is total and agrees with a naive
+//! cycle oracle on random Order graphs.
+
+use nfp_policy::{check_conflicts, parse_policy, Conflict, Policy, PositionAnchor, Rule};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec!["FW", "IDS", "LB", "Mon", "VPN", "NAT", "GW", "Cache"])
+        .prop_map(str::to_string)
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    prop_oneof![
+        (name_strategy(), name_strategy()).prop_map(|(a, b)| Rule::order(a, b)),
+        (name_strategy(), name_strategy()).prop_map(|(a, b)| Rule::priority(a, b)),
+        (name_strategy(), any::<bool>()).prop_map(|(a, first)| Rule::position(
+            a,
+            if first { PositionAnchor::First } else { PositionAnchor::Last }
+        )),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    proptest::collection::vec(rule_strategy(), 0..12).prop_map(Policy::from_rules)
+}
+
+/// Naive reachability-based cycle oracle over the Order digraph.
+fn has_order_cycle(policy: &Policy) -> bool {
+    let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+    for r in policy.rules() {
+        if let Rule::Order { before, after } = r {
+            adj.entry(before.as_str()).or_default().push(after.as_str());
+        }
+    }
+    fn reaches(adj: &HashMap<&str, Vec<&str>>, from: &str, to: &str, seen: &mut HashSet<String>) -> bool {
+        if from == to {
+            return true;
+        }
+        if !seen.insert(from.to_string()) {
+            return false;
+        }
+        adj.get(from)
+            .map(|nexts| nexts.iter().any(|n| reaches(adj, n, to, seen)))
+            .unwrap_or(false)
+    }
+    adj.iter().any(|(node, nexts)| {
+        nexts
+            .iter()
+            .any(|n| reaches(&adj, n, node, &mut HashSet::new()))
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(policy in policy_strategy()) {
+        let text = policy.to_string();
+        let reparsed = parse_policy(&text).unwrap();
+        prop_assert_eq!(policy, reparsed);
+    }
+
+    #[test]
+    fn conflict_checker_is_total(policy in policy_strategy()) {
+        // Never panics, and every reported conflict mentions real NFs.
+        let mentioned = policy.mentioned_nfs();
+        for c in check_conflicts(&policy) {
+            match c {
+                Conflict::OrderCycle { cycle } => {
+                    prop_assert!(cycle.iter().all(|n| mentioned.contains(n)));
+                    prop_assert!(cycle.len() >= 2);
+                }
+                Conflict::ContradictoryPosition { nf } => prop_assert!(mentioned.contains(&nf)),
+                Conflict::ContradictoryPriority { a, b } => {
+                    prop_assert!(mentioned.contains(&a) && mentioned.contains(&b));
+                }
+                Conflict::AmbiguousAnchor { nfs, .. } => {
+                    prop_assert!(nfs.iter().all(|n| mentioned.contains(n)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detection_agrees_with_oracle(policy in policy_strategy()) {
+        let reported = check_conflicts(&policy)
+            .iter()
+            .any(|c| matches!(c, Conflict::OrderCycle { .. }));
+        prop_assert_eq!(reported, has_order_cycle(&policy));
+    }
+
+    #[test]
+    fn chain_policies_never_conflict(chain in proptest::collection::vec(name_strategy(), 1..8)) {
+        // Even with repeated NF names, windowed Order rules over a chain
+        // only conflict when the same pair appears in both directions.
+        let distinct: Vec<String> = {
+            let mut seen = std::collections::BTreeSet::new();
+            chain.into_iter().filter(|n| seen.insert(n.clone())).collect()
+        };
+        let policy = Policy::from_chain(distinct);
+        prop_assert!(check_conflicts(&policy).is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! # nfp-traffic
+//!
+//! Traffic generation and measurement for the NFP evaluation — the
+//! stand-in for the paper's "DPDK based packet generator that runs on a
+//! separate server" (§6): packet-size distributions (including the
+//! data-center mix from Benson et al. that the paper's resource-overhead
+//! analysis uses), flow-structured packet synthesis, and latency/
+//! throughput recorders.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod sizes;
+pub mod stats;
+
+pub use gen::{TrafficGenerator, TrafficSpec};
+pub use sizes::SizeDistribution;
+pub use stats::{LatencyRecorder, LatencySummary, ThroughputMeter};

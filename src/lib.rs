@@ -1,0 +1,3 @@
+//! NFP-rs repository root: examples and cross-crate integration tests
+//! live against this package; the implementation is in `crates/*`.
+pub use nfp_core as core;

@@ -1,0 +1,152 @@
+//! Cross-crate property tests: for *arbitrary* chains drawn from the
+//! paper's Table 2 NFs and arbitrary traffic, the compiled NFP graph is
+//! structurally sound and semantically equal to sequential composition —
+//! the result correctness principle, as a property.
+
+use nfp_core::prelude::*;
+use nfp_dataplane::sync_engine::{ProcessOutcome, SyncEngine};
+use nfp_packet::ipv4::Ipv4Addr;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// NF types with deterministic implementations available for replay —
+/// every Table 2 row except the NAT (port allocation order is stateful in
+/// a way replay covers separately) and the wall-clock-driven shaper.
+const REPLAYABLE: [&str; 9] = [
+    "Monitor",
+    "Firewall",
+    "LoadBalancer",
+    "IDS",
+    "VPN",
+    "Proxy",
+    "Compression",
+    "Gateway",
+    "Caching",
+];
+
+fn registry() -> Registry {
+    let mut r = Registry::paper_table2();
+    let mut ids = r.get("NIDS").unwrap().clone().drops();
+    ids.nf_type = "IDS".into();
+    r.register(ids);
+    r
+}
+
+fn make(name: &str) -> Box<dyn NetworkFunction> {
+    use nfp_core::nf::extra;
+    use nfp_core::nf::*;
+    match name {
+        "Monitor" => Box::new(monitor::Monitor::new(name)),
+        "Firewall" => Box::new(firewall::Firewall::with_synthetic_acl(name, 100)),
+        "LoadBalancer" => Box::new(lb::LoadBalancer::with_uniform_backends(name, 4)),
+        "IDS" => Box::new(ids::Ids::with_synthetic_signatures(name, 50, ids::IdsMode::Inline)),
+        "VPN" => Box::new(vpn::Vpn::new(name, [1; 16], 5, vpn::VpnMode::Encapsulate)),
+        "Proxy" => Box::new(extra::Proxy::new(
+            name,
+            nfp_packet::ipv4::Ipv4Addr::new(10, 0, 0, 99),
+            nfp_packet::ipv4::Ipv4Addr::new(10, 50, 0, 1),
+        )),
+        "Compression" => Box::new(extra::Compression::new(name, extra::CompressionMode::Compress)),
+        "Gateway" => Box::new(extra::Gateway::new(name)),
+        "Caching" => Box::new(extra::Caching::new(name, 64)),
+        other => unreachable!("{other}"),
+    }
+}
+
+/// A strategy producing chains of 1–5 *distinct* replayable NFs.
+fn chain_strategy() -> impl Strategy<Value = Vec<&'static str>> {
+    proptest::sample::subsequence(REPLAYABLE.to_vec(), 1..=REPLAYABLE.len())
+        .prop_shuffle()
+}
+
+fn packet_strategy() -> impl Strategy<Value = Packet> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..400),
+    )
+        .prop_map(|(sip, dip, sport, dport, payload)| {
+            nfp_traffic::gen::build_tcp_frame(
+                Ipv4Addr::from_u32(sip),
+                Ipv4Addr::from_u32(dip),
+                sport,
+                dport,
+                &payload,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn compiled_graphs_are_structurally_sound(chain in chain_strategy()) {
+        let compiled = compile(
+            &Policy::from_chain(chain.iter().copied()),
+            &registry(),
+            &[],
+            &CompileOptions::default(),
+        ).unwrap();
+        let g = &compiled.graph;
+        prop_assert_eq!(g.validate(), Ok(()));
+        prop_assert_eq!(g.nf_count(), chain.len());
+        prop_assert!(g.equivalent_chain_length() <= chain.len());
+        prop_assert!(g.equivalent_chain_length() >= 1);
+        prop_assert!(g.copies_per_packet() < chain.len().max(1));
+        // Tables generate without panicking and cover every node.
+        let t = nfp_orchestrator::tables::generate(g, 9);
+        prop_assert_eq!(t.nf_configs.len(), chain.len());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_any_chain_and_packet(
+        chain in chain_strategy(),
+        pkts in proptest::collection::vec(packet_strategy(), 1..8),
+    ) {
+        let compiled = compile(
+            &Policy::from_chain(chain.iter().copied()),
+            &registry(),
+            &[],
+            &CompileOptions::default(),
+        ).unwrap();
+        let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+        let nfs: Vec<_> = compiled.graph.nodes.iter().map(|n| make(n.name.as_str())).collect();
+        let mut parallel = SyncEngine::new(tables, nfs, 64);
+        let mut sequential = RunToCompletion::new(chain.iter().map(|n| make(n)).collect());
+        for pkt in pkts {
+            let seq = sequential.process(pkt.clone());
+            let par = parallel.process(pkt).unwrap();
+            match (seq, par) {
+                (Some(a), ProcessOutcome::Delivered(b)) => {
+                    prop_assert_eq!(a.data(), b.data(), "outputs diverge for chain {:?}", chain);
+                }
+                (None, ProcessOutcome::Dropped) => {}
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "drop divergence for {:?}: seq={:?} par_delivered={:?}",
+                        chain, a.is_some(), matches!(b, ProcessOutcome::Delivered(_))
+                    )));
+                }
+            }
+            prop_assert_eq!(parallel.pool_in_use(), 0);
+        }
+    }
+
+    #[test]
+    fn resource_overhead_equation_bounds_reality(
+        size in 64usize..1500,
+        degree in 2usize..=5,
+    ) {
+        let ro = nfp_sim::resource_overhead(size, degree);
+        prop_assert!(ro >= 0.0);
+        // A header copy can never exceed (d-1) full packets.
+        prop_assert!(ro <= (degree - 1) as f64);
+        // Monotone in degree.
+        prop_assert!(nfp_sim::resource_overhead(size, degree + 1) > ro);
+    }
+}

@@ -1,0 +1,207 @@
+//! Cross-crate integration: the multi-threaded engine must agree with the
+//! deterministic sync engine (same tables, same NF types) on delivery,
+//! drops and packet contents.
+
+use nfp_core::prelude::*;
+use nfp_dataplane::sync_engine::SyncEngine;
+use nfp_packet::ipv4::Ipv4Addr;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn make(name: &str) -> Box<dyn NetworkFunction> {
+    use nfp_core::nf::*;
+    match name {
+        "Monitor" => Box::new(monitor::Monitor::new(name)),
+        "Firewall" => Box::new(firewall::Firewall::with_synthetic_acl(name, 100)),
+        "LoadBalancer" => Box::new(lb::LoadBalancer::with_uniform_backends(name, 8)),
+        other => unreachable!("{other}"),
+    }
+}
+
+fn build(chain: &[&str]) -> (nfp_orchestrator::Compiled, Arc<nfp_orchestrator::tables::GraphTables>) {
+    let compiled = compile(
+        &Policy::from_chain(chain.iter().copied()),
+        &Registry::paper_table2(),
+        &[],
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    (compiled, tables)
+}
+
+fn traffic(n: usize) -> Vec<Packet> {
+    let mut gen = TrafficGenerator::new(TrafficSpec {
+        flows: 16,
+        sizes: SizeDistribution::Fixed(200),
+        ..TrafficSpec::default()
+    });
+    let mut pkts = gen.batch(n);
+    for (i, p) in pkts.iter_mut().enumerate() {
+        if i % 5 == 0 {
+            let x = (i % 100) as u16;
+            p.set_dip(Ipv4Addr::new(172, 16, (x % 256) as u8, 1)).unwrap();
+            p.set_dport(7000 + x).unwrap();
+            p.finalize_checksums().unwrap();
+        }
+    }
+    pkts
+}
+
+#[test]
+fn threaded_matches_sync_engine_with_copies_and_drops() {
+    let chain = ["Monitor", "Firewall", "LoadBalancer"];
+    let (compiled, tables) = build(&chain);
+    let nfs_threaded: Vec<_> = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|n| make(n.name.as_str()))
+        .collect();
+    let nfs_sync: Vec<_> = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|n| make(n.name.as_str()))
+        .collect();
+
+    let pkts = traffic(400);
+    let mut sync = SyncEngine::new(Arc::clone(&tables), nfs_sync, 128);
+    let mut expected: BTreeSet<Vec<u8>> = BTreeSet::new();
+    let mut expected_drops = 0u64;
+    for p in pkts.clone() {
+        match sync.process(p).unwrap().delivered() {
+            Some(out) => {
+                expected.insert(out.data().to_vec());
+            }
+            None => expected_drops += 1,
+        }
+    }
+
+    let mut engine = Engine::new(
+        tables,
+        nfs_threaded,
+        EngineConfig {
+            keep_packets: true,
+            max_in_flight: 32,
+            mergers: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let report = engine.run(pkts);
+    assert_eq!(report.dropped, expected_drops);
+    assert_eq!(report.delivered as usize, expected.len());
+    let got: BTreeSet<Vec<u8>> = report.packets.iter().map(|p| p.data().to_vec()).collect();
+    assert_eq!(got, expected, "threaded and sync outputs differ");
+    assert!(report.latency.is_some());
+}
+
+#[test]
+fn threaded_engine_with_single_merger() {
+    let chain = ["Monitor", "Firewall"];
+    let (compiled, tables) = build(&chain);
+    let nfs: Vec<_> = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|n| make(n.name.as_str()))
+        .collect();
+    let mut engine = Engine::new(
+        tables,
+        nfs,
+        EngineConfig {
+            mergers: 1,
+            max_in_flight: 8,
+            ..EngineConfig::default()
+        },
+    );
+    let report = engine.run(traffic(200));
+    assert_eq!(report.injected, 200);
+    assert_eq!(report.delivered + report.dropped, 200);
+}
+
+#[test]
+fn graph_with_two_parallel_segments_merges_twice() {
+    // Monitor∥LB(copy) → Caching∥Gateway: two merge points per packet.
+    let compiled = compile(
+        &Policy::from_chain(["Monitor", "LoadBalancer", "Caching", "Gateway"]),
+        &Registry::paper_table2(),
+        &[],
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let g = &compiled.graph;
+    let parallel_segments = g
+        .segments
+        .iter()
+        .filter(|s| matches!(s, nfp_orchestrator::graph::Segment::Parallel(_)))
+        .count();
+    assert_eq!(parallel_segments, 2, "{}", g.describe());
+    let tables = Arc::new(nfp_orchestrator::tables::generate(g, 1));
+    assert_eq!(tables.merge_specs.len(), 2);
+
+    let make_all = |g: &nfp_orchestrator::ServiceGraph| -> Vec<Box<dyn NetworkFunction>> {
+        g.nodes
+            .iter()
+            .map(|n| -> Box<dyn NetworkFunction> {
+                use nfp_core::nf::extra;
+                use nfp_core::nf::*;
+                match n.name.as_str() {
+                    "Monitor" => Box::new(monitor::Monitor::new("Monitor")),
+                    "LoadBalancer" => {
+                        Box::new(lb::LoadBalancer::with_uniform_backends("LB", 4))
+                    }
+                    "Caching" => Box::new(extra::Caching::new("Caching", 32)),
+                    "Gateway" => Box::new(extra::Gateway::new("Gateway")),
+                    other => unreachable!("{other}"),
+                }
+            })
+            .collect()
+    };
+
+    // Sync oracle.
+    let mut sync = SyncEngine::new(Arc::clone(&tables), make_all(g), 128);
+    let pkts = traffic(150);
+    let mut expected = Vec::new();
+    for p in pkts.clone() {
+        if let Some(out) = sync.process(p).unwrap().delivered() {
+            expected.push(out.data().to_vec());
+        }
+    }
+    // Threaded engine.
+    let mut engine = Engine::new(
+        tables,
+        make_all(g),
+        EngineConfig {
+            keep_packets: true,
+            max_in_flight: 16,
+            ..EngineConfig::default()
+        },
+    );
+    let report = engine.run(pkts);
+    assert_eq!(report.delivered as usize, expected.len());
+    let mut got: Vec<Vec<u8>> = report.packets.iter().map(|p| p.data().to_vec()).collect();
+    got.sort();
+    expected.sort();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn engine_rerun_accumulates() {
+    let chain = ["Monitor", "Firewall"];
+    let (compiled, tables) = build(&chain);
+    let nfs: Vec<_> = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|n| make(n.name.as_str()))
+        .collect();
+    let mut engine = Engine::new(tables, nfs, EngineConfig::default());
+    let r1 = engine.run(traffic(50));
+    let r2 = engine.run(traffic(50));
+    assert_eq!(r1.injected + r2.injected, 100);
+    assert_eq!(
+        r1.delivered + r1.dropped + r2.delivered + r2.dropped,
+        100
+    );
+}
