@@ -105,14 +105,12 @@ impl OnvmPipeline {
 
             // The centralized switch: serializes ALL hops.
             scope.spawn(|_| {
-                let push = |mut msg: OnvmMsg, tx: &ring::Producer<OnvmMsg>| {
-                    loop {
-                        match tx.push(msg) {
-                            Ok(()) => return,
-                            Err(back) => {
-                                msg = back;
-                                std::thread::yield_now();
-                            }
+                let push = |mut msg: OnvmMsg, tx: &ring::Producer<OnvmMsg>| loop {
+                    match tx.push(msg) {
+                        Ok(()) => return,
+                        Err(back) => {
+                            msg = back;
+                            std::thread::yield_now();
                         }
                     }
                 };
@@ -122,8 +120,8 @@ impl OnvmPipeline {
                         progress = true;
                         push(msg, &to_nf_tx[0]);
                     }
-                    for i in 0..n {
-                        if let Some(mut msg) = from_nf_rx[i].pop() {
+                    for (i, rx) in from_nf_rx.iter().enumerate().take(n) {
+                        if let Some(mut msg) = rx.pop() {
                             progress = true;
                             msg.stage = i + 1;
                             if msg.stage == n {
@@ -211,11 +209,9 @@ impl OnvmPipeline {
             // Closed-loop injection.
             let mut inject_times = Vec::with_capacity(packets.len());
             for (i, mut pkt) in packets.into_iter().enumerate() {
-                while (inject_times.len() as u64)
-                    .saturating_sub(
-                        delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire),
-                    )
-                    >= 64
+                while (inject_times.len() as u64).saturating_sub(
+                    delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire),
+                ) >= 64
                 {
                     std::thread::yield_now();
                 }

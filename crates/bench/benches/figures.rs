@@ -16,7 +16,11 @@ use std::sync::Arc;
 fn bench_nf_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("nf_service");
     for nf_type in EVAL_NFS {
-        let frame = if matches!(nf_type, "VPN" | "IDS") { 256 } else { 64 };
+        let frame = if matches!(nf_type, "VPN" | "IDS") {
+            256
+        } else {
+            64
+        };
         let mut nf = make_nf(nf_type);
         let pkts = fixed_traffic(32, frame);
         let mut i = 0usize;

@@ -22,6 +22,18 @@ fn bench_ring(c: &mut Criterion) {
             black_box(rx.pop());
         })
     });
+    // Burst transfer of 32 items: one Release publish per side per burst,
+    // amortizing the atomics the scalar path pays per item.
+    let (btx, brx) = ring::channel::<u64>(1024);
+    let burst: [u64; 32] = std::array::from_fn(|i| i as u64);
+    let mut out = Vec::with_capacity(32);
+    c.bench_function("ring_burst32_push_pop", |b| {
+        b.iter(|| {
+            assert_eq!(btx.push_burst(black_box(&burst)), 32);
+            out.clear();
+            assert_eq!(brx.pop_burst(black_box(&mut out), 32), 32);
+        })
+    });
 }
 
 fn bench_pool(c: &mut Criterion) {

@@ -126,9 +126,7 @@ fn main() {
         .filter(|k| *k != CopyKind::None)
         .collect();
     println!("compiled copy kinds: {kinds:?}");
-    println!(
-        "\nhost calibration for reference:\n{cal}"
-    );
+    println!("\nhost calibration for reference:\n{cal}");
     println!(
         "\npaper: OP#1 turns 12.3pp of would-be-copy pairs into zero-copy sharing;\n\
          OP#2 fixes copy overhead at 64B regardless of packet size (8.8% of the\n\

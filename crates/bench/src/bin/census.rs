@@ -58,7 +58,11 @@ fn main() {
     );
 
     // Per-pair detail for the deployment-weighted census.
-    let detail = census(&registry, Weighting::DeploymentShare, IdentifyOptions::default());
+    let detail = census(
+        &registry,
+        Weighting::DeploymentShare,
+        IdentifyOptions::default(),
+    );
     println!("\nper-pair verdicts (NF1 ordered before NF2):");
     let mut d = TablePrinter::new(["NF1", "NF2", "verdict", "weight"]);
     for row in &detail.pairs {

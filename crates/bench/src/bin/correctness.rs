@@ -27,8 +27,7 @@ fn main() {
             .map(|n| make_nf(n.name.as_str()))
             .collect();
         let mut parallel = SyncEngine::new(tables, nfs_par, 128);
-        let mut sequential =
-            RunToCompletion::new(chain.iter().map(|n| make_nf(n)).collect());
+        let mut sequential = RunToCompletion::new(chain.iter().map(|n| make_nf(n)).collect());
 
         let packets = datacenter_traffic(2_000);
         let mut same = 0u64;
@@ -68,5 +67,7 @@ fn main() {
         );
         assert_eq!(divergent, 0, "result correctness violated");
     }
-    println!("\nresult correctness holds: parallel graphs reproduce sequential outputs bit-for-bit.");
+    println!(
+        "\nresult correctness holds: parallel graphs reproduce sequential outputs bit-for-bit."
+    );
 }

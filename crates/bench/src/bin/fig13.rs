@@ -15,12 +15,15 @@ fn main() {
     let cal = Calibration::measure();
     println!("{cal}\n");
     let mean_frame = SizeDistribution::datacenter().mean().round() as usize;
-    println!(
-        "== Figure 13: real-world chains, data-center traffic (mean {mean_frame}B) ==\n"
-    );
+    println!("== Figure 13: real-world chains, data-center traffic (mean {mean_frame}B) ==\n");
 
     let chains: [(&str, &[&str], f64, f64); 2] = [
-        ("north-south", &["VPN", "Monitor", "Firewall", "LB"], 0.129, 0.0),
+        (
+            "north-south",
+            &["VPN", "Monitor", "Firewall", "LB"],
+            0.129,
+            0.0,
+        ),
         ("east-west", &["IDS", "Monitor", "LB"], 0.359, 0.088),
     ];
 
@@ -28,7 +31,10 @@ fn main() {
     // vSwitch, full DPDK path) that this bare-metal host does not pay; the
     // second table adds the paper's scale (~50 µs/NF, inferred from its
     // 220–241 µs 3–4-NF chains).
-    for (label, pad_ns) in [("bare-host NF costs", 0.0), ("containerized-NF emulation (+50us/NF)", 50_000.0)] {
+    for (label, pad_ns) in [
+        ("bare-host NF costs", 0.0),
+        ("containerized-NF emulation (+50us/NF)", 50_000.0),
+    ] {
         println!("--- {label} ---");
         let mut t = TablePrinter::new([
             "chain",
@@ -40,7 +46,7 @@ fn main() {
             "overhead",
             "paper ovh",
         ]);
-        for (name, chain, paper_cut, paper_ovh) in chains.clone() {
+        for (name, chain, paper_cut, paper_ovh) in chains {
             let compiled = compile_chain(chain);
             let graph = &compiled.graph;
             let services: Vec<f64> = graph

@@ -27,7 +27,9 @@ fn main() {
         "cut (no copy)",
         "rate par Mpps",
     ]);
-    for cycles in [1u64, 300, 600, 900, 1200, 1500, 1800, 2100, 2400, 2700, 3000] {
+    for cycles in [
+        1u64, 300, 600, 900, 1200, 1500, 1800, 2100, 2400, 2700, 3000,
+    ] {
         let nf = format!("CycleFW:{cycles}");
         let svc = nf_service_ns(&nf, 64);
         let services = vec![svc, svc];

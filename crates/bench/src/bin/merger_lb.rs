@@ -75,9 +75,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "\npaper: one instance handles 10.7 Mpps; two instances suffice up to degree 5."
-    );
+    println!("\npaper: one instance handles 10.7 Mpps; two instances suffice up to degree 5.");
 
     // Agent load-balance quality.
     println!("\nmerger agent PID-hash distribution over 100k packets, 2 instances:");

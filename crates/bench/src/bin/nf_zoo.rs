@@ -35,22 +35,53 @@ fn samples() -> Vec<Packet> {
 fn main() {
     println!("== Table 2, fully implemented: inspected profiles + measured cost ==\n");
     let mut zoo: Vec<(&str, Box<dyn NetworkFunction>)> = vec![
-        ("Firewall", Box::new(Firewall::with_synthetic_acl("Firewall", 100))),
-        ("NIDS", Box::new(Ids::with_synthetic_signatures("NIDS", 100, IdsMode::Passive))),
+        (
+            "Firewall",
+            Box::new(Firewall::with_synthetic_acl("Firewall", 100)),
+        ),
+        (
+            "NIDS",
+            Box::new(Ids::with_synthetic_signatures(
+                "NIDS",
+                100,
+                IdsMode::Passive,
+            )),
+        ),
         ("Gateway", Box::new(Gateway::new("Gateway"))),
-        ("LoadBalancer", Box::new(LoadBalancer::with_uniform_backends("LoadBalancer", 8))),
+        (
+            "LoadBalancer",
+            Box::new(LoadBalancer::with_uniform_backends("LoadBalancer", 8)),
+        ),
         ("Caching", Box::new(Caching::new("Caching", 128))),
-        ("VPN", Box::new(Vpn::new("VPN", [1; 16], 1, VpnMode::Encapsulate))),
-        ("NAT", Box::new(Nat::new("NAT", Ipv4Addr::new(203, 0, 113, 1)))),
-        ("Proxy", Box::new(Proxy::new(
+        (
+            "VPN",
+            Box::new(Vpn::new("VPN", [1; 16], 1, VpnMode::Encapsulate)),
+        ),
+        (
+            "NAT",
+            Box::new(Nat::new("NAT", Ipv4Addr::new(203, 0, 113, 1))),
+        ),
+        (
             "Proxy",
-            Ipv4Addr::new(10, 0, 0, 99),
-            Ipv4Addr::new(10, 50, 0, 1),
-        ))),
-        ("Compression", Box::new(Compression::new("Compression", CompressionMode::Compress))),
-        ("TrafficShaper", Box::new(TrafficShaper::new("TrafficShaper", 1e9, 1e6, false))),
+            Box::new(Proxy::new(
+                "Proxy",
+                Ipv4Addr::new(10, 0, 0, 99),
+                Ipv4Addr::new(10, 50, 0, 1),
+            )),
+        ),
+        (
+            "Compression",
+            Box::new(Compression::new("Compression", CompressionMode::Compress)),
+        ),
+        (
+            "TrafficShaper",
+            Box::new(TrafficShaper::new("TrafficShaper", 1e9, 1e6, false)),
+        ),
         ("Monitor", Box::new(Monitor::new("Monitor"))),
-        ("Forwarder", Box::new(L3Forwarder::with_uniform_table("Forwarder", 1000))),
+        (
+            "Forwarder",
+            Box::new(L3Forwarder::with_uniform_table("Forwarder", 1000)),
+        ),
     ];
 
     let mut t = TablePrinter::new(["NF (Table 2 row)", "inspected profile", "ns/pkt @724B"]);
@@ -71,11 +102,7 @@ fn main() {
                 })
             }
         };
-        t.row([
-            name.to_string(),
-            profile.to_string(),
-            format!("{cost:.0}"),
-        ]);
+        t.row([name.to_string(), profile.to_string(), format!("{cost:.0}")]);
     }
     t.print();
     println!(

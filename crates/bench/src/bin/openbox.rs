@@ -11,8 +11,14 @@ fn main() {
     let ips = figure15_ips();
     let merged = merge(&fw, &ips, IdentifyOptions::default());
 
-    println!("firewall blocks: {:?}", fw.blocks.iter().map(|b| &b.name).collect::<Vec<_>>());
-    println!("IPS blocks:      {:?}", ips.blocks.iter().map(|b| &b.name).collect::<Vec<_>>());
+    println!(
+        "firewall blocks: {:?}",
+        fw.blocks.iter().map(|b| &b.name).collect::<Vec<_>>()
+    );
+    println!(
+        "IPS blocks:      {:?}",
+        ips.blocks.iter().map(|b| &b.name).collect::<Vec<_>>()
+    );
     println!();
 
     let mut t = TablePrinter::new(["stage", "blocks", "shared"]);

@@ -167,9 +167,10 @@ impl Calibration {
             let cpool = PacketPool::new(8);
             let mut cl = nfp_dataplane::Classifier::single(tables);
             let tmpl = crate::setups::fixed_traffic(1, 128).pop().unwrap();
+            let cstats = nfp_dataplane::StageStats::new();
             time_per_iter(20_000, || {
                 let mut sink = Null(&cpool);
-                cl.admit(tmpl.clone(), &cpool, &mut sink).unwrap();
+                cl.admit(tmpl.clone(), &cpool, &mut sink, &cstats).unwrap();
             })
         };
 

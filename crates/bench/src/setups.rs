@@ -23,7 +23,10 @@ pub const EVAL_NFS: [&str; 6] = ["Forwarder", "LB", "Firewall", "Monitor", "VPN"
 /// `Burner:<n>` give the Figure 9/11 complexity-knob NFs.
 pub fn make_nf(name: &str) -> Box<dyn NetworkFunction> {
     if let Some(cycles) = name.strip_prefix("CycleFW:") {
-        return Box::new(CycleFirewall::new(name.to_string(), cycles.parse().unwrap()));
+        return Box::new(CycleFirewall::new(
+            name.to_string(),
+            cycles.parse().unwrap(),
+        ));
     }
     if let Some(cycles) = name.strip_prefix("Burner:") {
         return Box::new(CycleBurner::new(name.to_string(), cycles.parse().unwrap()));
@@ -169,11 +172,7 @@ pub fn figure14_structures(nf_type: &str) -> Vec<(&'static str, ServiceGraph)> {
             "(4) 1->2->1",
             ServiceGraph {
                 nodes: nodes(4),
-                segments: vec![
-                    Segment::Sequential(0),
-                    par(&[1, 2]),
-                    Segment::Sequential(3),
-                ],
+                segments: vec![Segment::Sequential(0), par(&[1, 2]), Segment::Sequential(3)],
             },
         ),
         (

@@ -69,11 +69,7 @@ fn cmd_census(uniform: bool) -> ExitCode {
     } else {
         Weighting::DeploymentShare
     };
-    let r = census(
-        &Registry::paper_table2(),
-        weighting,
-        Default::default(),
-    );
+    let r = census(&Registry::paper_table2(), weighting, Default::default());
     println!(
         "{weighting:?} census over Table 2: parallelizable {:.1}%, no-copy {:.1}%, with-copy {:.1}%",
         r.parallelizable * 100.0,

@@ -7,6 +7,7 @@
 //! map) and a [`Deliver`] sink, so the threaded engine, the deterministic
 //! sync engine and the tests all share one semantics.
 
+use crate::stats::StageStats;
 use nfp_orchestrator::graph::CopyKind;
 use nfp_orchestrator::tables::{FtAction, Target};
 use nfp_packet::pool::{PacketPool, PacketRef};
@@ -15,6 +16,12 @@ use nfp_packet::pool::{PacketPool, PacketRef};
 pub trait Deliver {
     /// Deliver a reference to a target (NF ring, merger, or graph exit).
     fn deliver(&mut self, target: Target, msg: Msg);
+
+    /// Hint that the caller is about to wait (e.g. on pool backpressure):
+    /// buffering sinks should push pending messages downstream now, since
+    /// the wait can only end once downstream frees resources. No-op for
+    /// unbuffered sinks.
+    fn flush_hint(&mut self) {}
 }
 
 /// The unit rings carry: a packet reference plus the parallel segment it
@@ -25,12 +32,27 @@ pub struct Msg {
     pub r: PacketRef,
     /// Parallel segment index for merger-bound messages.
     pub segment: u32,
+    /// Merge-order sequence number. The merger agent assigns a dense
+    /// per-(MID, segment) sequence at the first copy of each PID, so
+    /// merged packets can be released downstream in arrival order even
+    /// when several merger instances finish out of order. Zero everywhere
+    /// the agent has not stamped it.
+    pub seq: u64,
 }
 
 impl Msg {
     /// A message not bound for a merger.
     pub fn plain(r: PacketRef) -> Self {
-        Self { r, segment: 0 }
+        Self {
+            r,
+            segment: 0,
+            seq: 0,
+        }
+    }
+
+    /// A merger-bound message (sequence not yet assigned).
+    pub fn to_segment(r: PacketRef, segment: u32) -> Self {
+        Self { r, segment, seq: 0 }
     }
 }
 
@@ -76,6 +98,11 @@ impl VersionMap {
             self.entries.push((version, r));
         }
     }
+
+    /// All mapped references (rollback on failed action lists).
+    pub fn refs(&self) -> impl Iterator<Item = PacketRef> + '_ {
+        self.entries.iter().map(|(_, r)| *r)
+    }
 }
 
 /// Interpret `actions` over the packet versions in `versions`.
@@ -89,17 +116,23 @@ pub fn execute(
     pool: &PacketPool,
     versions: &mut VersionMap,
     sink: &mut impl Deliver,
+    stats: &StageStats,
 ) -> Result<(), ActionError> {
     for action in actions {
         match action {
             FtAction::Copy { from, to, kind } => {
-                let src = versions.get(*from).ok_or(ActionError::UnknownVersion(*from))?;
+                let src = versions
+                    .get(*from)
+                    .ok_or(ActionError::UnknownVersion(*from))?;
                 let copied = match kind {
                     CopyKind::HeaderOnly => pool.header_only_copy(src, *to),
                     CopyKind::Full | CopyKind::None => pool.full_copy(src, *to),
                 };
                 match copied {
-                    Some(Ok(new_ref)) => versions.insert(*to, new_ref),
+                    Some(Ok(new_ref)) => {
+                        stats.note_copy();
+                        versions.insert(*to, new_ref);
+                    }
                     Some(Err(_)) => return Err(ActionError::CopyFailed),
                     None => return Err(ActionError::PoolExhausted),
                 }
@@ -117,13 +150,15 @@ pub fn execute(
                         Target::Merger(s) => *s as u32,
                         _ => 0,
                     };
-                    sink.deliver(*target, Msg { r, segment });
+                    stats.note_out(1);
+                    sink.deliver(*target, Msg::to_segment(r, segment));
                 }
             }
             FtAction::Output { version } => {
                 let r = versions
                     .get(*version)
                     .ok_or(ActionError::UnknownVersion(*version))?;
+                stats.note_out(1);
                 sink.deliver(Target::Output, Msg::plain(r));
             }
         }
@@ -172,6 +207,7 @@ mod tests {
             &pool,
             &mut vm,
             &mut sink,
+            &StageStats::new(),
         )
         .unwrap();
         assert_eq!(pool.refcount(r), 3);
@@ -202,6 +238,7 @@ mod tests {
             &pool,
             &mut vm,
             &mut sink,
+            &StageStats::new(),
         )
         .unwrap();
         assert_eq!(pool.in_use(), 2);
@@ -228,6 +265,7 @@ mod tests {
             &pool,
             &mut vm,
             &mut sink,
+            &StageStats::new(),
         )
         .unwrap();
         assert_eq!(sink.delivered[0].1.segment, 3);
@@ -243,6 +281,7 @@ mod tests {
             &pool,
             &mut vm,
             &mut sink,
+            &StageStats::new(),
         )
         .unwrap_err();
         assert_eq!(err, ActionError::UnknownVersion(9));
@@ -270,6 +309,7 @@ mod tests {
             &pool,
             &mut vm,
             &mut sink,
+            &StageStats::new(),
         )
         .unwrap_err();
         assert_eq!(err, ActionError::PoolExhausted);

@@ -7,6 +7,7 @@
 //! a version to each packet copy."
 
 use crate::actions::{self, Deliver, VersionMap};
+use crate::stats::{DropCause, StageStats};
 use nfp_orchestrator::tables::GraphTables;
 use nfp_packet::ipv4::Ipv4Addr;
 use nfp_packet::meta::{Metadata, PID_MAX, VERSION_ORIGINAL};
@@ -139,9 +140,12 @@ impl Classifier {
         mut pkt: Packet,
         pool: &PacketPool,
         sink: &mut impl Deliver,
+        stats: &StageStats,
     ) -> Result<Arc<GraphTables>, AdmitError> {
         if pkt.parse().is_err() {
             self.rejected += 1;
+            stats.note_in(1);
+            stats.note_drop(DropCause::AdmitRejected);
             return Err(AdmitError::Unparseable);
         }
         let entry = self
@@ -151,6 +155,8 @@ impl Classifier {
             .cloned();
         let Some(entry) = entry else {
             self.rejected += 1;
+            stats.note_in(1);
+            stats.note_drop(DropCause::AdmitRejected);
             return Err(AdmitError::NoMatch);
         };
         // The PID only advances on success, so retried packets (pool
@@ -160,15 +166,36 @@ impl Classifier {
         let r = match pool.insert(pkt) {
             Ok(r) => r,
             Err(_) => {
+                // The caller retries this packet, so it is not counted as
+                // "in" yet — only the stall is recorded.
+                stats.note_backpressure();
                 return Err(AdmitError::PoolExhausted);
             }
         };
         let mut versions = VersionMap::single(VERSION_ORIGINAL, r);
-        match actions::execute(&entry.tables.entry_actions, pool, &mut versions, sink) {
+        match actions::execute(
+            &entry.tables.entry_actions,
+            pool,
+            &mut versions,
+            sink,
+            stats,
+        ) {
             Ok(()) => {
+                stats.note_in(1);
                 self.next_pid = (pid + 1) & PID_MAX;
                 self.admitted += 1;
                 Ok(entry.tables)
+            }
+            Err(actions::ActionError::PoolExhausted) => {
+                // Entry copies ran out of slots. Generated entry actions
+                // always order copies before distributes, so nothing has
+                // been delivered yet: roll back every reference we still
+                // own and let the caller retry once downstream drains.
+                for owned in versions.refs() {
+                    pool.release(owned);
+                }
+                stats.note_backpressure();
+                Err(AdmitError::PoolExhausted)
             }
             Err(_) => {
                 // Release what we still own; copies already delivered are
@@ -176,6 +203,8 @@ impl Classifier {
                 // actions fail before any delivery of the failed version.
                 pool.release(r);
                 self.rejected += 1;
+                stats.note_in(1);
+                stats.note_drop(DropCause::AdmitRejected);
                 Err(AdmitError::ActionFailed)
             }
         }
@@ -225,8 +254,10 @@ mod tests {
         let pool = PacketPool::new(8);
         let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
         let mut sink = Capture::default();
-        cl.admit(pkt(80), &pool, &mut sink).unwrap();
-        cl.admit(pkt(81), &pool, &mut sink).unwrap();
+        cl.admit(pkt(80), &pool, &mut sink, &StageStats::new())
+            .unwrap();
+        cl.admit(pkt(81), &pool, &mut sink, &StageStats::new())
+            .unwrap();
         // Parallel pair shares v1: one distribute of the same ref to both.
         assert_eq!(sink.0.len(), 4);
         let m0 = sink.0[0].1;
@@ -259,9 +290,13 @@ mod tests {
             },
         ]);
         let mut sink = Capture::default();
-        let t = cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        let t = cl
+            .admit(pkt(80), &pool, &mut sink, &StageStats::new())
+            .unwrap();
         assert_eq!(t.mid, t80.mid);
-        let t = cl.admit(pkt(443), &pool, &mut sink).unwrap();
+        let t = cl
+            .admit(pkt(443), &pool, &mut sink, &StageStats::new())
+            .unwrap();
         assert_eq!(t.mid, t_other.mid);
         // Non-matching packet.
         let mut cl2 = Classifier::new(vec![CtEntry {
@@ -269,7 +304,8 @@ mod tests {
             tables: t80,
         }]);
         assert_eq!(
-            cl2.admit(pkt(80), &pool, &mut sink).unwrap_err(),
+            cl2.admit(pkt(80), &pool, &mut sink, &StageStats::new())
+                .unwrap_err(),
             AdmitError::NoMatch
         );
         assert_eq!(cl2.rejected, 1);
@@ -293,9 +329,11 @@ mod tests {
         let pool = PacketPool::new(1);
         let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
         let mut sink = Capture::default();
-        cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        cl.admit(pkt(80), &pool, &mut sink, &StageStats::new())
+            .unwrap();
         assert_eq!(
-            cl.admit(pkt(80), &pool, &mut sink).unwrap_err(),
+            cl.admit(pkt(80), &pool, &mut sink, &StageStats::new())
+                .unwrap_err(),
             AdmitError::PoolExhausted
         );
     }
@@ -306,7 +344,8 @@ mod tests {
         let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
         cl.next_pid = PID_MAX;
         let mut sink = Capture::default();
-        cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        cl.admit(pkt(80), &pool, &mut sink, &StageStats::new())
+            .unwrap();
         assert_eq!(cl.next_pid, 0);
     }
 
@@ -317,7 +356,8 @@ mod tests {
         let mut sink = Capture::default();
         let garbage = Packet::from_bytes(&[0u8; 60]).unwrap();
         assert_eq!(
-            cl.admit(garbage, &pool, &mut sink).unwrap_err(),
+            cl.admit(garbage, &pool, &mut sink, &StageStats::new())
+                .unwrap_err(),
             AdmitError::Unparseable
         );
     }
@@ -348,7 +388,8 @@ mod tests {
             .any(|a| matches!(a, FtAction::Copy { .. })));
         let mut cl = Classifier::single(t);
         let mut sink = Capture::default();
-        cl.admit(pkt(80), &pool, &mut sink).unwrap();
+        cl.admit(pkt(80), &pool, &mut sink, &StageStats::new())
+            .unwrap();
         assert_eq!(pool.in_use(), 2, "original + header-only copy");
     }
 }

@@ -8,26 +8,58 @@
 //!
 //! All inter-thread edges are the from-scratch SPSC rings of
 //! [`crate::ring`]; every (producer context → consumer context) pair gets
-//! its own ring, so rings stay single-producer/single-consumer.
+//! its own ring, so rings stay single-producer/single-consumer. Threads
+//! drain and emit in **bursts** (`pop_burst`/`push_burst`): one atomic
+//! publish per burst instead of one per packet.
+//!
+//! # Merge-order sequencing (result correctness)
+//!
+//! With several merger instances, merges finish in racy order. If each
+//! instance forwarded its merged packets downstream directly, packets
+//! would cross the merge boundary in a different order than the
+//! sequential reference — and any stateful downstream NF (a VPN's
+//! per-packet sequence counter, say) would then produce byte-different
+//! output, violating the paper's result-correctness principle (§4.3).
+//!
+//! The agent therefore acts as router *and* sequencer. It assigns a dense
+//! per-(MID, segment) sequence number at the **first** copy of each PID —
+//! first-copy order across FIFO member rings is provably ascending-PID
+//! order — and stamps every copy of that PID with the same sequence.
+//! Merger instances still merge in parallel, but return their outcomes to
+//! the agent on dedicated outcome rings; the agent releases outcomes
+//! strictly in sequence order, executing the merge spec's `next` actions
+//! itself. Every seq gets exactly one outcome (dropped packets included —
+//! dropping members emit nils, so every merge completes), so the release
+//! cursor never stalls. The agent never blocks on a full ring (sends spill
+//! to an overflow stash, bounded by the in-flight window), which keeps the
+//! ring mesh deadlock-free.
 //!
 //! Threads busy-poll with `yield_now` when idle, so the engine is
 //! functional (if not representative of multi-core latency) even on a
 //! single-core host — see DESIGN.md on virtual-time experiments.
 
-use crate::actions::{Deliver, Msg};
+use crate::actions::{self, Deliver, Msg, VersionMap};
 use crate::classifier::{AdmitError, Classifier};
 use crate::merger::{self, Accumulator, MergeOutcome};
 use crate::ring::{self, Consumer, Producer};
 use crate::runtime::NfRuntime;
-use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
+use crate::stats::{DropCause, EngineStats, StageStats};
 use nfp_nf::NetworkFunction;
-use nfp_packet::pool::PacketPool;
+use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
+use nfp_packet::meta::VERSION_ORIGINAL;
+use nfp_packet::pool::{PacketPool, PacketRef};
 use nfp_packet::Packet;
 use nfp_traffic::{LatencyRecorder, LatencySummary};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Burst size for ring drains and emissions (the DPDK sweet spot).
+const BURST: usize = 32;
+
+/// Full-ring retries before a stall is recorded as a backpressure event.
+const RETRY_LIMIT: u32 = 64;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -65,7 +97,7 @@ pub struct EngineReport {
     pub injected: u64,
     /// Packets delivered to the output.
     pub delivered: u64,
-    /// Packets dropped (NF verdicts, merge resolutions).
+    /// Packets dropped (NF verdicts, merge resolutions, admit rejects).
     pub dropped: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
@@ -73,6 +105,8 @@ pub struct EngineReport {
     pub latency: Option<LatencySummary>,
     /// Delivered packets, in completion order (when `keep_packets`).
     pub packets: Vec<Packet>,
+    /// Per-stage counters for this run.
+    pub stats: EngineStats,
 }
 
 impl EngineReport {
@@ -95,38 +129,156 @@ enum Ctx {
     Collector,
 }
 
-/// A sink mapping abstract targets onto this context's ring producers.
-struct RingSink {
-    out: HashMap<Ctx, Producer<Msg>>,
+fn ctx_of(target: Target) -> Ctx {
+    match target {
+        Target::Nf(i) => Ctx::Nf(i),
+        Target::Merger(_) => Ctx::Agent,
+        Target::Output => Ctx::Collector,
+    }
 }
 
-impl RingSink {
-    fn send(&mut self, ctx: Ctx, mut msg: Msg) {
-        let p = self
+/// Flush `buf` into `p` as bursts, waiting out full rings. The wait is
+/// lossless by design — dropping a mid-graph reference would leak a pool
+/// slot and leave a merge waiting forever — and the ring mesh is
+/// deadlock-free (the collector always drains, the agent never blocks), so
+/// the wait always terminates. Stalls longer than [`RETRY_LIMIT`] retries
+/// are recorded as one backpressure event.
+fn flush_burst(p: &Producer<Msg>, buf: &mut Vec<Msg>, stats: &StageStats) {
+    let mut off = 0;
+    let mut attempts = 0u32;
+    while off < buf.len() {
+        let n = p.push_burst(&buf[off..]);
+        off += n;
+        if n == 0 {
+            attempts += 1;
+            if attempts == RETRY_LIMIT {
+                stats.note_backpressure();
+            }
+            std::thread::yield_now();
+        }
+    }
+    buf.clear();
+}
+
+/// A sink mapping abstract targets onto this context's ring producers,
+/// buffering messages per target and flushing them as bursts.
+struct BurstSink<'a> {
+    out: HashMap<Ctx, (Producer<Msg>, Vec<Msg>)>,
+    stats: &'a StageStats,
+}
+
+impl BurstSink<'_> {
+    fn send(&mut self, ctx: Ctx, msg: Msg) {
+        let (p, buf) = self
             .out
-            .get(&ctx)
+            .get_mut(&ctx)
             .unwrap_or_else(|| panic!("no ring from this context to {ctx:?}"));
-        loop {
-            match p.push(msg) {
-                Ok(()) => return,
-                Err(back) => {
-                    msg = back;
-                    std::thread::yield_now();
-                }
+        buf.push(msg);
+        if buf.len() >= BURST {
+            flush_burst(p, buf, self.stats);
+        }
+    }
+
+    /// Flush every per-target buffer (call at the end of a drain round).
+    fn flush(&mut self) {
+        for (p, buf) in self.out.values_mut() {
+            if !buf.is_empty() {
+                flush_burst(p, buf, self.stats);
             }
         }
     }
 }
 
-impl Deliver for RingSink {
+impl Deliver for BurstSink<'_> {
     fn deliver(&mut self, target: Target, msg: Msg) {
-        let ctx = match target {
-            Target::Nf(i) => Ctx::Nf(i),
-            Target::Merger(_) => Ctx::Agent,
-            Target::Output => Ctx::Collector,
-        };
-        self.send(ctx, msg);
+        self.send(ctx_of(target), msg);
     }
+
+    fn flush_hint(&mut self) {
+        self.flush();
+    }
+}
+
+/// The agent's sink: like [`BurstSink`] but **never blocks** — when a ring
+/// stays full, messages wait in a per-target overflow stash (bounded in
+/// practice by the closed-loop in-flight window) that [`AgentSink::pump`]
+/// retries every loop iteration. The agent must never block because every
+/// other stage may be blocked on *it* draining its inbound rings.
+struct AgentSink<'a> {
+    out: HashMap<Ctx, (Producer<Msg>, VecDeque<Msg>)>,
+    stats: &'a StageStats,
+}
+
+impl AgentSink<'_> {
+    fn send(&mut self, ctx: Ctx, msg: Msg) {
+        let (p, stash) = self
+            .out
+            .get_mut(&ctx)
+            .unwrap_or_else(|| panic!("no ring from the agent to {ctx:?}"));
+        if stash.is_empty() {
+            if let Err(back) = p.push(msg) {
+                self.stats.note_backpressure();
+                stash.push_back(back);
+            }
+        } else {
+            // Preserve per-target FIFO: new messages queue behind the stash.
+            stash.push_back(msg);
+        }
+    }
+
+    /// Retry stashed sends; returns true when every stash is empty.
+    fn pump(&mut self) -> bool {
+        let mut all_empty = true;
+        for (p, stash) in self.out.values_mut() {
+            while let Some(msg) = stash.pop_front() {
+                if let Err(back) = p.push(msg) {
+                    stash.push_front(back);
+                    all_empty = false;
+                    break;
+                }
+            }
+        }
+        all_empty
+    }
+}
+
+impl Deliver for AgentSink<'_> {
+    fn deliver(&mut self, target: Target, msg: Msg) {
+        // `Target::Merger` routes back through the agent itself (the
+        // Agent→Agent self-ring): a next-segment copy needs its own
+        // sequence assignment and instance pick.
+        self.send(ctx_of(target), msg);
+    }
+}
+
+/// A merge outcome returned from a merger instance to the agent.
+#[derive(Debug, Clone, Copy)]
+struct OutcomeMsg {
+    mid: u32,
+    segment: u32,
+    seq: u64,
+    /// Merged v1 to forward; `None` when the merge resolved to a drop or
+    /// failed (the instance already released all references).
+    forward: Option<PacketRef>,
+    /// True when the merge errored rather than resolving to a drop.
+    error: bool,
+}
+
+/// Per-(MID, segment) sequence assignment at the agent.
+#[derive(Default)]
+struct AssignState {
+    next_seq: u64,
+    /// PID → (assigned seq, copies routed so far). Entries are removed
+    /// once all `total_count` copies have passed through, so the map holds
+    /// at most the in-flight window.
+    by_pid: HashMap<u64, (u64, usize)>,
+}
+
+/// Per-(MID, segment) in-order release of merge outcomes at the agent.
+#[derive(Default)]
+struct ReleaseState {
+    next_seq: u64,
+    ready: HashMap<u64, (Option<PacketRef>, bool)>,
 }
 
 /// The threaded engine. Build once, run many times.
@@ -153,7 +305,8 @@ impl Engine {
         }
     }
 
-    /// Which contexts does `from` deliver to?
+    /// Which contexts does `from` deliver `Msg`s to? (Merger→agent outcome
+    /// rings are typed separately and not part of this mesh.)
     fn targets_of(&self, from: Ctx) -> Vec<Ctx> {
         let mut out = Vec::new();
         let add = |c: Ctx, out: &mut Vec<Ctx>| {
@@ -166,11 +319,7 @@ impl Engine {
                 match a {
                     FtAction::Distribute { targets, .. } => {
                         for t in targets {
-                            let c = match t {
-                                Target::Nf(i) => Ctx::Nf(*i),
-                                Target::Merger(_) => Ctx::Agent,
-                                Target::Output => Ctx::Collector,
-                            };
+                            let c = ctx_of(*t);
                             if !out.contains(&c) {
                                 out.push(c);
                             }
@@ -195,15 +344,19 @@ impl Engine {
                 }
             }
             Ctx::Agent => {
+                // Routing to the merger instances, plus the ordered release
+                // of every merge spec's `next` actions (which may route back
+                // to the agent itself for chained parallel segments).
                 for m in 0..self.config.mergers {
                     add(Ctx::Merger(m), &mut out);
                 }
-            }
-            Ctx::Merger(_) => {
                 for spec in &self.tables.merge_specs {
                     action_targets(&spec.next, &mut out);
                 }
             }
+            // Merger instances return outcomes on typed rings; they emit no
+            // `Msg`s of their own.
+            Ctx::Merger(_) => {}
             Ctx::Collector => {}
         }
         out
@@ -214,6 +367,14 @@ impl Engine {
         let pool = Arc::new(PacketPool::new(self.config.pool_size));
         let n_nfs = self.nfs.len();
         let n_mergers = self.config.mergers;
+
+        // Per-stage counters, borrowed by the worker threads for the
+        // duration of the scoped run and snapshotted into the report.
+        let classifier_stats = StageStats::new();
+        let nf_stats: Vec<StageStats> = (0..n_nfs).map(|_| StageStats::new()).collect();
+        let agent_stats = StageStats::new();
+        let merger_stats: Vec<StageStats> = (0..n_mergers).map(|_| StageStats::new()).collect();
+        let collector_stats = StageStats::new();
 
         // Build the ring mesh: one SPSC ring per (producer, consumer) edge.
         let mut producers: HashMap<(Ctx, Ctx), Producer<Msg>> = HashMap::new();
@@ -228,19 +389,25 @@ impl Engine {
                 consumers.entry(to).or_default().push(rx);
             }
         }
-        let sink_for = |from: Ctx, producers: &mut HashMap<(Ctx, Ctx), Producer<Msg>>| {
-            let mut out = HashMap::new();
+        let producers_from = |from: Ctx, producers: &mut HashMap<(Ctx, Ctx), Producer<Msg>>| {
             let keys: Vec<(Ctx, Ctx)> = producers
                 .keys()
                 .filter(|(f, _)| *f == from)
                 .copied()
                 .collect();
-            for key in keys {
-                let p = producers.remove(&key).unwrap();
-                out.insert(key.1, p);
-            }
-            RingSink { out }
+            keys.into_iter()
+                .map(|key| (key.1, producers.remove(&key).unwrap()))
+                .collect::<Vec<_>>()
         };
+
+        // Typed outcome rings: merger instance → agent.
+        let mut outcome_txs: Vec<Producer<OutcomeMsg>> = Vec::with_capacity(n_mergers);
+        let mut outcome_rxs: Vec<Consumer<OutcomeMsg>> = Vec::with_capacity(n_mergers);
+        for _ in 0..n_mergers {
+            let (tx, rx) = ring::channel(self.config.ring_capacity);
+            outcome_txs.push(tx);
+            outcome_rxs.push(rx);
+        }
 
         // Injection ring into the classifier.
         let (inject_tx, inject_rx) = ring::channel::<Packet>(self.config.ring_capacity);
@@ -250,14 +417,29 @@ impl Engine {
         let dropped = AtomicU64::new(0);
         let injected_total = packets.len() as u64;
 
-        let mut classifier_sink = sink_for(Ctx::Classifier, &mut producers);
-        let mut nf_sinks: Vec<RingSink> = (0..n_nfs)
-            .map(|i| sink_for(Ctx::Nf(i), &mut producers))
+        let mut classifier_sink = BurstSink {
+            out: producers_from(Ctx::Classifier, &mut producers)
+                .into_iter()
+                .map(|(to, p)| (to, (p, Vec::new())))
+                .collect(),
+            stats: &classifier_stats,
+        };
+        let mut nf_sinks: Vec<BurstSink> = (0..n_nfs)
+            .map(|i| BurstSink {
+                out: producers_from(Ctx::Nf(i), &mut producers)
+                    .into_iter()
+                    .map(|(to, p)| (to, (p, Vec::new())))
+                    .collect(),
+                stats: &nf_stats[i],
+            })
             .collect();
-        let mut agent_sink = sink_for(Ctx::Agent, &mut producers);
-        let mut merger_sinks: Vec<RingSink> = (0..n_mergers)
-            .map(|m| sink_for(Ctx::Merger(m), &mut producers))
-            .collect();
+        let mut agent_sink = AgentSink {
+            out: producers_from(Ctx::Agent, &mut producers)
+                .into_iter()
+                .map(|(to, p)| (to, (p, VecDeque::new())))
+                .collect(),
+            stats: &agent_stats,
+        };
         let mut nf_rx: Vec<Vec<Consumer<Msg>>> = (0..n_nfs)
             .map(|i| consumers.remove(&Ctx::Nf(i)).unwrap_or_default())
             .collect();
@@ -284,63 +466,95 @@ impl Engine {
         let started = Instant::now();
 
         crossbeam::thread::scope(|scope| {
-            // Classifier thread.
+            // Classifier thread: drains the injection ring in bursts.
             let pool_c = Arc::clone(&pool);
             let tables_c = Arc::clone(&tables);
             let stop_ref = &stop;
+            let dropped_ref = &dropped;
+            let cstats = &classifier_stats;
             scope.spawn(move |_| {
                 let mut classifier = Classifier::single(tables_c);
+                let mut batch: Vec<Packet> = Vec::new();
                 loop {
-                    match inject_rx.pop() {
-                        Some(pkt) => loop {
-                            match classifier.admit(pkt.clone(), &pool_c, &mut classifier_sink) {
+                    cstats.note_occupancy(inject_rx.len());
+                    batch.clear();
+                    if inject_rx.pop_burst(&mut batch, BURST) == 0 {
+                        classifier_sink.flush();
+                        if stop_ref.load(Ordering::Acquire) && inject_rx.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    for pkt in batch.drain(..) {
+                        loop {
+                            match classifier.admit(
+                                pkt.clone(),
+                                &pool_c,
+                                &mut classifier_sink,
+                                cstats,
+                            ) {
                                 Ok(_) => break,
-                                Err(AdmitError::PoolExhausted) => std::thread::yield_now(),
-                                Err(_) => break, // malformed: count as rejected
+                                Err(AdmitError::PoolExhausted) => {
+                                    // Let the mergers drain; flushing keeps
+                                    // downstream fed while we wait.
+                                    classifier_sink.flush();
+                                    std::thread::yield_now();
+                                }
+                                Err(_) => {
+                                    // Malformed / unmatched: the packet is
+                                    // finished here, and the closed loop
+                                    // must account for it.
+                                    dropped_ref.fetch_add(1, Ordering::Release);
+                                    break;
+                                }
                             }
-                        },
-                        None => {
-                            if stop_ref.load(Ordering::Acquire) && inject_rx.is_empty() {
-                                break;
-                            }
-                            std::thread::yield_now();
                         }
                     }
+                    classifier_sink.flush();
                 }
             });
 
             // NF threads (each returns its runtime so the engine can be
             // rerun and NF stats inspected).
-            let dropped_ref = &dropped;
             let mut nf_handles = Vec::new();
             for (i, mut rt) in runtimes.drain(..).enumerate() {
                 let rxs = std::mem::take(&mut nf_rx[i]);
                 let mut sink = std::mem::replace(
                     &mut nf_sinks[i],
-                    RingSink {
+                    BurstSink {
                         out: HashMap::new(),
+                        stats: &nf_stats[i],
                     },
                 );
                 let pool_n = Arc::clone(&pool);
-                let discard_counts =
-                    matches!(tables.nf_configs[i].on_drop, DropBehavior::Discard);
+                let nstats = &nf_stats[i];
+                let discard_counts = matches!(tables.nf_configs[i].on_drop, DropBehavior::Discard);
                 nf_handles.push(scope.spawn(move |_| {
+                    let mut batch: Vec<Msg> = Vec::new();
                     loop {
                         let mut progress = false;
                         for rx in &rxs {
-                            while let Some(msg) = rx.pop() {
+                            nstats.note_occupancy(rx.len());
+                            loop {
+                                batch.clear();
+                                if rx.pop_burst(&mut batch, BURST) == 0 {
+                                    break;
+                                }
                                 progress = true;
-                                let before = rt.dropped + rt.errors;
-                                rt.handle(msg, &pool_n, &mut sink);
-                                let after = rt.dropped + rt.errors;
-                                if discard_counts && after > before {
-                                    dropped_ref.fetch_add(after - before, Ordering::Release);
+                                for msg in batch.drain(..) {
+                                    let before = rt.dropped + rt.errors;
+                                    rt.handle(msg, &pool_n, &mut sink, nstats);
+                                    let after = rt.dropped + rt.errors;
+                                    if discard_counts && after > before {
+                                        dropped_ref.fetch_add(after - before, Ordering::Release);
+                                    }
                                 }
                             }
                         }
+                        sink.flush();
                         if !progress {
-                            if stop_ref.load(Ordering::Acquire)
-                                && rxs.iter().all(|r| r.is_empty())
+                            if stop_ref.load(Ordering::Acquire) && rxs.iter().all(|r| r.is_empty())
                             {
                                 break;
                             }
@@ -351,21 +565,97 @@ impl Engine {
                 }));
             }
 
-            // Merger agent thread: PID-hash load balancing (§5.3).
+            // Merger agent thread: PID-hash routing (§5.3) plus dense
+            // sequence assignment and in-order outcome release.
             let pool_a = Arc::clone(&pool);
+            let tables_a = Arc::clone(&tables);
+            let astats = &agent_stats;
             scope.spawn(move |_| {
+                let mut assign: HashMap<(u32, u32), AssignState> = HashMap::new();
+                let mut release: HashMap<(u32, u32), ReleaseState> = HashMap::new();
+                let mut batch: Vec<Msg> = Vec::new();
+                let mut obatch: Vec<OutcomeMsg> = Vec::new();
                 loop {
                     let mut progress = false;
+                    // 1. Route inbound copies/nils, stamping sequence numbers.
                     for rx in &agent_rx {
-                        while let Some(msg) = rx.pop() {
+                        astats.note_occupancy(rx.len());
+                        loop {
+                            batch.clear();
+                            if rx.pop_burst(&mut batch, BURST) == 0 {
+                                break;
+                            }
                             progress = true;
-                            let pid = pool_a.with(msg.r, |p| p.meta().pid());
-                            let instance = merger::agent_pick(pid, n_mergers);
-                            agent_sink.send(Ctx::Merger(instance), msg);
+                            for mut msg in batch.drain(..) {
+                                astats.note_in(1);
+                                let (mid, pid) =
+                                    pool_a.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
+                                let total = tables_a
+                                    .merge_spec_for(msg.segment as usize)
+                                    .expect("merger msg implies spec")
+                                    .total_count;
+                                let st = assign.entry((mid, msg.segment)).or_default();
+                                let entry = st.by_pid.entry(pid).or_insert_with(|| {
+                                    let s = st.next_seq;
+                                    st.next_seq += 1;
+                                    (s, 0)
+                                });
+                                entry.1 += 1;
+                                msg.seq = entry.0;
+                                if entry.1 >= total {
+                                    st.by_pid.remove(&pid);
+                                }
+                                let instance = merger::agent_pick(pid, n_mergers);
+                                astats.note_out(1);
+                                agent_sink.send(Ctx::Merger(instance), msg);
+                            }
                         }
                     }
+                    // 2. Release merge outcomes in sequence order.
+                    for orx in &outcome_rxs {
+                        loop {
+                            obatch.clear();
+                            if orx.pop_burst(&mut obatch, BURST) == 0 {
+                                break;
+                            }
+                            progress = true;
+                            for o in obatch.drain(..) {
+                                let rs = release.entry((o.mid, o.segment)).or_default();
+                                rs.ready.insert(o.seq, (o.forward, o.error));
+                                while let Some((fwd, err)) = rs.ready.remove(&rs.next_seq) {
+                                    rs.next_seq += 1;
+                                    match fwd {
+                                        Some(v1) => {
+                                            let spec = tables_a
+                                                .merge_spec_for(o.segment as usize)
+                                                .expect("outcome implies spec");
+                                            let mut versions =
+                                                VersionMap::single(VERSION_ORIGINAL, v1);
+                                            actions::execute(
+                                                &spec.next,
+                                                &pool_a,
+                                                &mut versions,
+                                                &mut agent_sink,
+                                                astats,
+                                            )
+                                            .expect("merger next actions");
+                                        }
+                                        None => {
+                                            let _ = err;
+                                            dropped_ref.fetch_add(1, Ordering::Release);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // 3. Retry stalled sends — the agent never blocks.
+                    let stashes_empty = agent_sink.pump();
                     if !progress {
-                        if stop_ref.load(Ordering::Acquire) && agent_rx.iter().all(|r| r.is_empty())
+                        if stop_ref.load(Ordering::Acquire)
+                            && stashes_empty
+                            && agent_rx.iter().all(|r| r.is_empty())
+                            && outcome_rxs.iter().all(|r| r.is_empty())
                         {
                             break;
                         }
@@ -374,49 +664,87 @@ impl Engine {
                 }
             });
 
-            // Merger instance threads.
-            for (m, mut sink) in merger_sinks.drain(..).enumerate() {
+            // Merger instance threads: accumulate, merge in parallel, and
+            // return outcomes to the agent for ordered release.
+            for (m, outcome_tx) in outcome_txs.drain(..).enumerate() {
                 let rxs = std::mem::take(&mut merger_rx[m]);
                 let pool_m = Arc::clone(&pool);
                 let tables_m = Arc::clone(&tables);
+                let mstats = &merger_stats[m];
                 scope.spawn(move |_| {
                     let mut at = Accumulator::new();
+                    let mut batch: Vec<Msg> = Vec::new();
+                    let mut outcomes: Vec<OutcomeMsg> = Vec::new();
                     loop {
                         let mut progress = false;
                         for rx in &rxs {
-                            while let Some(msg) = rx.pop() {
+                            mstats.note_occupancy(rx.len());
+                            loop {
+                                batch.clear();
+                                if rx.pop_burst(&mut batch, BURST) == 0 {
+                                    break;
+                                }
                                 progress = true;
-                                let spec = tables_m
-                                    .merge_spec_for(msg.segment as usize)
-                                    .expect("merger msg implies spec");
-                                let (mid, pid) =
-                                    pool_m.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
-                                let arrival = merger::arrival_from(&pool_m, msg.r);
-                                if let Some(arrivals) =
-                                    at.offer(mid, msg.segment, pid, arrival, spec.total_count)
-                                {
-                                    match merger::resolve_and_merge(spec, &arrivals, &pool_m) {
-                                        Ok(MergeOutcome::Forward(v1)) => {
-                                            let mut versions =
-                                                crate::actions::VersionMap::single(1, v1);
-                                            crate::actions::execute(
-                                                &spec.next,
-                                                &pool_m,
-                                                &mut versions,
-                                                &mut sink,
-                                            )
-                                            .expect("merger next actions");
+                                for msg in batch.drain(..) {
+                                    mstats.note_in(1);
+                                    let spec = tables_m
+                                        .merge_spec_for(msg.segment as usize)
+                                        .expect("merger msg implies spec");
+                                    let (mid, pid) =
+                                        pool_m.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
+                                    let arrival = merger::arrival_from(&pool_m, msg.r);
+                                    if arrival.nil {
+                                        mstats.note_nil();
+                                    }
+                                    let Some(arrivals) =
+                                        at.offer(mid, msg.segment, pid, arrival, spec.total_count)
+                                    else {
+                                        continue;
+                                    };
+                                    mstats.note_merge();
+                                    let (forward, error) =
+                                        match merger::resolve_and_merge(spec, &arrivals, &pool_m) {
+                                            Ok(MergeOutcome::Forward(v1)) => (Some(v1), false),
+                                            Ok(MergeOutcome::Dropped) => {
+                                                mstats.note_drop(DropCause::MergeResolved);
+                                                (None, false)
+                                            }
+                                            Err(_) => {
+                                                mstats.note_drop(DropCause::MergeError);
+                                                (None, true)
+                                            }
+                                        };
+                                    if forward.is_some() {
+                                        mstats.note_out(1);
+                                    }
+                                    outcomes.push(OutcomeMsg {
+                                        mid,
+                                        segment: msg.segment,
+                                        seq: msg.seq,
+                                        forward,
+                                        error,
+                                    });
+                                }
+                                // Return outcomes as a burst; the agent
+                                // always drains, so the wait is bounded.
+                                let mut off = 0;
+                                let mut attempts = 0u32;
+                                while off < outcomes.len() {
+                                    let n = outcome_tx.push_burst(&outcomes[off..]);
+                                    off += n;
+                                    if n == 0 {
+                                        attempts += 1;
+                                        if attempts == RETRY_LIMIT {
+                                            mstats.note_backpressure();
                                         }
-                                        Ok(MergeOutcome::Dropped) | Err(_) => {
-                                            dropped_ref.fetch_add(1, Ordering::Release);
-                                        }
+                                        std::thread::yield_now();
                                     }
                                 }
+                                outcomes.clear();
                             }
                         }
                         if !progress {
-                            if stop_ref.load(Ordering::Acquire)
-                                && rxs.iter().all(|r| r.is_empty())
+                            if stop_ref.load(Ordering::Acquire) && rxs.iter().all(|r| r.is_empty())
                             {
                                 break;
                             }
@@ -426,25 +754,32 @@ impl Engine {
                 });
             }
 
-            // Collector thread: pulls outputs, timestamps, counts.
+            // Collector thread: pulls outputs in bursts, timestamps, counts.
             let pool_o = Arc::clone(&pool);
             let delivered_ref = &delivered;
+            let ostats = &collector_stats;
             let collector = scope.spawn(move |_| {
                 let mut outputs: Vec<(u64, Instant, Option<Packet>)> = Vec::new();
+                let mut batch: Vec<Msg> = Vec::new();
                 loop {
                     let mut progress = false;
                     for rx in &collector_rx {
-                        while let Some(msg) = rx.pop() {
+                        ostats.note_occupancy(rx.len());
+                        loop {
+                            batch.clear();
+                            if rx.pop_burst(&mut batch, BURST) == 0 {
+                                break;
+                            }
                             progress = true;
-                            let mut pkt = pool_o.take(msg.r);
-                            pkt.finalize_checksums().ok();
-                            let pid = pkt.meta().pid();
-                            outputs.push((
-                                pid,
-                                Instant::now(),
-                                keep_packets.then_some(pkt),
-                            ));
-                            delivered_ref.fetch_add(1, Ordering::Release);
+                            for msg in batch.drain(..) {
+                                ostats.note_in(1);
+                                let mut pkt = pool_o.take(msg.r);
+                                pkt.finalize_checksums().ok();
+                                let pid = pkt.meta().pid();
+                                outputs.push((pid, Instant::now(), keep_packets.then_some(pkt)));
+                                ostats.note_out(1);
+                                delivered_ref.fetch_add(1, Ordering::Release);
+                            }
                         }
                     }
                     if !progress {
@@ -462,9 +797,9 @@ impl Engine {
             // Closed-loop injection on this thread.
             let mut inject_times: Vec<Instant> = Vec::with_capacity(packets.len());
             for pkt in packets {
-                while (inject_times.len() as u64)
-                    .saturating_sub(delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire))
-                    >= max_in_flight as u64
+                while (inject_times.len() as u64).saturating_sub(
+                    delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire),
+                ) >= max_in_flight as u64
                 {
                     std::thread::yield_now();
                 }
@@ -513,6 +848,13 @@ impl Engine {
             elapsed: started.elapsed(),
             latency: report_latency.summary(),
             packets: report_packets,
+            stats: EngineStats {
+                classifier: classifier_stats.snapshot(),
+                nfs: nf_stats.iter().map(StageStats::snapshot).collect(),
+                agent: agent_stats.snapshot(),
+                mergers: merger_stats.iter().map(StageStats::snapshot).collect(),
+                collector: collector_stats.snapshot(),
+            },
         }
     }
 }
@@ -619,5 +961,49 @@ mod tests {
         let report = e.run(pkts);
         assert_eq!(report.delivered, 30);
         assert_eq!(report.dropped, 20);
+    }
+
+    #[test]
+    fn stage_counters_balance_exactly() {
+        let mut e = build(
+            &["Monitor", "Firewall"],
+            EngineConfig {
+                mergers: 3,
+                max_in_flight: 16,
+                ..EngineConfig::default()
+            },
+        );
+        let mut gen = TrafficGenerator::new(TrafficSpec {
+            flows: 8,
+            sizes: SizeDistribution::Fixed(96),
+            ..TrafficSpec::default()
+        });
+        let mut pkts = gen.batch(120);
+        for p in pkts.iter_mut().take(30) {
+            p.set_dip(Ipv4Addr::new(172, 16, 7, 7)).unwrap();
+            p.set_dport(7007).unwrap();
+            p.finalize_checksums().unwrap();
+        }
+        let report = e.run(pkts);
+        let s = &report.stats;
+        // The report-level closed loop balances.
+        assert_eq!(report.injected, report.delivered + report.dropped);
+        // Every drop is attributed to a stage and a cause — no silent loss.
+        assert_eq!(s.total_drops(), report.dropped);
+        // The classifier admitted every injected packet exactly once.
+        assert_eq!(s.classifier.packets_in, report.injected);
+        // The collector delivered what the report says.
+        assert_eq!(s.collector.packets_out, report.delivered);
+        // Per packet: 2 parallel members → 2 agent-routed copies/nils, all
+        // of which reach the merger instances, and one merge each.
+        assert_eq!(s.agent.packets_in % report.injected, 0);
+        let merger_in: u64 = s.mergers.iter().map(|m| m.packets_in).sum();
+        assert_eq!(merger_in, s.agent.packets_in);
+        let merges: u64 = s.mergers.iter().map(|m| m.merges).sum();
+        assert_eq!(merges, report.injected);
+        // Nils emitted by NF runtimes == nils received by mergers.
+        let nf_nils: u64 = s.nfs.iter().map(|n| n.nil_packets).sum();
+        let merger_nils: u64 = s.mergers.iter().map(|m| m.nil_packets).sum();
+        assert_eq!(nf_nils, merger_nils);
     }
 }

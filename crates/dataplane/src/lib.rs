@@ -16,6 +16,9 @@
 //! * [`merger`] — the Accumulating Table and merge-operation executor
 //!   (§5.3), including priority-based drop-conflict resolution, plus the
 //!   merger agent's PID-hash load balancing.
+//! * [`stats`] — per-stage observability counters ([`stats::StageStats`]):
+//!   packets in/out, copies, nils, merges, drops by cause, backpressure
+//!   stalls and ring high-water marks, aggregated per engine run.
 //! * [`sync_engine`] — a deterministic single-threaded executor with the
 //!   exact same table semantics; the reference for correctness tests
 //!   (paper §6.4's replay experiment) and property tests.
@@ -31,8 +34,10 @@ pub mod engine;
 pub mod merger;
 pub mod ring;
 pub mod runtime;
+pub mod stats;
 pub mod sync_engine;
 
 pub use classifier::Classifier;
 pub use engine::{Engine, EngineConfig, EngineReport};
+pub use stats::{EngineStats, StageStats};
 pub use sync_engine::SyncEngine;

@@ -231,7 +231,10 @@ fn apply_op(
     pool: &PacketPool,
 ) -> Result<(), ()> {
     match op {
-        MergeOp::Modify { field, from_version: _ } => {
+        MergeOp::Modify {
+            field,
+            from_version: _,
+        } => {
             let src = src.ok_or(())?;
             let value = pool.with(src, |s| s.field_bytes(*field).map(<[u8]>::to_vec));
             let value = value.map_err(|_| ())?;
@@ -261,7 +264,8 @@ fn apply_op(
             }
             let insert_at = l.l4;
             let old_proto = l.l4_proto;
-            dst.insert_bytes(insert_at, ah::HEADER_LEN).map_err(|_| ())?;
+            dst.insert_bytes(insert_at, ah::HEADER_LEN)
+                .map_err(|_| ())?;
             let data = dst.data_mut();
             data[insert_at..insert_at + ah::HEADER_LEN].copy_from_slice(&ah_bytes);
             // Ensure the AH's next-header matches and chain IPv4 → AH.
@@ -275,8 +279,11 @@ fn apply_op(
         } => {
             let l = dst.parse().map_err(|_| ())?;
             let off = l.ah.ok_or(())?;
-            let next = ah::AhView::new(&dst.data()[off..]).map_err(|_| ())?.next_header();
-            dst.remove_bytes(off..off + ah::HEADER_LEN).map_err(|_| ())?;
+            let next = ah::AhView::new(&dst.data()[off..])
+                .map_err(|_| ())?
+                .next_header();
+            dst.remove_bytes(off..off + ah::HEADER_LEN)
+                .map_err(|_| ())?;
             let data = dst.data_mut();
             data[14 + ipv4::offsets::PROTOCOL] = next;
             dst.invalidate();
@@ -344,9 +351,7 @@ mod tests {
         let mut at = Accumulator::new();
         let r1 = pool.insert(packet(80)).unwrap();
         let r2 = pool.insert(packet(80)).unwrap();
-        assert!(at
-            .offer(1, 1, 42, arrival_from(&pool, r1), 2)
-            .is_none());
+        assert!(at.offer(1, 1, 42, arrival_from(&pool, r1), 2).is_none());
         assert_eq!(at.pending_len(), 1);
         let done = at.offer(1, 1, 42, arrival_from(&pool, r2), 2).unwrap();
         assert_eq!(done.len(), 2);
@@ -476,9 +481,13 @@ mod tests {
         // payload folded in via a Modify op as the compiler would emit).
         let v2 = pool.full_copy(v1, 2).unwrap().unwrap();
         pool.with_mut(v2, |p| {
-            let mut vpn = nfp_nf::vpn::Vpn::new("vpn", [5u8; 16], 77, nfp_nf::vpn::VpnMode::Encapsulate);
+            let mut vpn =
+                nfp_nf::vpn::Vpn::new("vpn", [5u8; 16], 77, nfp_nf::vpn::VpnMode::Encapsulate);
             use nfp_nf::{NetworkFunction, PacketView};
-            assert_eq!(vpn.process(&mut PacketView::Exclusive(p)), nfp_nf::Verdict::Pass);
+            assert_eq!(
+                vpn.process(&mut PacketView::Exclusive(p)),
+                nfp_nf::Verdict::Pass
+            );
         });
         let spec = spec(
             2,
@@ -513,7 +522,11 @@ mod tests {
         pool.with_mut(merged, |p| {
             let l = p.parse().unwrap();
             assert!(l.ah.is_some(), "AH grafted into v1");
-            assert_ne!(p.payload().unwrap(), &payload_before[..], "payload encrypted");
+            assert_ne!(
+                p.payload().unwrap(),
+                &payload_before[..],
+                "payload encrypted"
+            );
             let view = ah::AhView::new(&p.data()[l.ah.unwrap()..]).unwrap();
             assert_eq!(view.spi(), 77);
         });
@@ -527,7 +540,15 @@ mod tests {
         let mut p = packet(1);
         p.set_meta(Metadata::new(1, 1, 2)); // only a v2 copy
         let v2 = pool.insert(p).unwrap();
-        let spec = spec(1, vec![], vec![MemberSpec { version: 2, priority: 0, drop_capable: false }]);
+        let spec = spec(
+            1,
+            vec![],
+            vec![MemberSpec {
+                version: 2,
+                priority: 0,
+                drop_capable: false,
+            }],
+        );
         let arrivals = [arrival_from(&pool, v2)];
         assert_eq!(
             resolve_and_merge(&spec, &arrivals, &pool).unwrap_err(),
@@ -553,8 +574,16 @@ mod tests {
                 from_version: 2,
             }],
             vec![
-                MemberSpec { version: 1, priority: 0, drop_capable: false },
-                MemberSpec { version: 2, priority: 1, drop_capable: false },
+                MemberSpec {
+                    version: 1,
+                    priority: 0,
+                    drop_capable: false,
+                },
+                MemberSpec {
+                    version: 2,
+                    priority: 1,
+                    drop_capable: false,
+                },
             ],
         );
         // Copy first, original second.
@@ -583,11 +612,15 @@ mod tests {
         }
         // First arrivals for all PIDs, then second arrivals in reverse.
         for (pid, &r) in refs.iter().enumerate() {
-            assert!(at.offer(1, 1, pid as u64, arrival_from(&pool, r), 2).is_none());
+            assert!(at
+                .offer(1, 1, pid as u64, arrival_from(&pool, r), 2)
+                .is_none());
         }
         assert_eq!(at.pending_len(), 10);
         for (pid, &r) in refs.iter().enumerate().rev() {
-            let done = at.offer(1, 1, pid as u64, arrival_from(&pool, r), 2).unwrap();
+            let done = at
+                .offer(1, 1, pid as u64, arrival_from(&pool, r), 2)
+                .unwrap();
             assert_eq!(done.len(), 2);
             pool.release(r);
             pool.release(r);

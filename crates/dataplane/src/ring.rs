@@ -79,6 +79,34 @@ impl<T: Send> Producer<T> {
         Ok(())
     }
 
+    /// Push as many items from `items` as fit, in order, publishing the
+    /// whole burst with a **single** release store of the tail — one cache
+    /// line ping per burst instead of one per packet (the DPDK
+    /// `rte_ring_enqueue_burst` idiom). Returns the number pushed; the
+    /// caller retries the remainder under backpressure.
+    pub fn push_burst(&self, items: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let s = &*self.shared;
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        let free = s.mask + 1 - tail.wrapping_sub(head);
+        let n = items.len().min(free);
+        if n == 0 {
+            return 0;
+        }
+        for (i, item) in items[..n].iter().enumerate() {
+            // SAFETY: slots [tail, tail+n) are free (checked above) and
+            // invisible to the consumer until the tail store below.
+            unsafe {
+                (*s.buf[tail.wrapping_add(i) & s.mask].get()).write(*item);
+            }
+        }
+        s.tail.store(tail.wrapping_add(n), Ordering::Release);
+        n
+    }
+
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
         let s = &*self.shared;
@@ -112,6 +140,27 @@ impl<T: Send> Consumer<T> {
         let item = unsafe { (*s.buf[head & s.mask].get()).assume_init_read() };
         s.head.store(head.wrapping_add(1), Ordering::Release);
         Some(item)
+    }
+
+    /// Pop up to `max` items into `out`, consuming the whole burst with a
+    /// **single** release store of the head. Returns the number popped.
+    pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        let n = tail.wrapping_sub(head).min(max);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        for i in 0..n {
+            // SAFETY: slots [head, head+n) were published by the producer
+            // (head+n <= tail) and stay ours until the head store below.
+            let item = unsafe { (*s.buf[head.wrapping_add(i) & s.mask].get()).assume_init_read() };
+            out.push(item);
+        }
+        s.head.store(head.wrapping_add(n), Ordering::Release);
+        n
     }
 
     /// Number of items currently queued.
@@ -227,6 +276,94 @@ mod tests {
                 std::hint::spin_loop();
             }
         }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn burst_roundtrip_and_partial_on_near_full() {
+        let (tx, rx) = channel::<u32>(8);
+        assert_eq!(tx.push_burst(&[0, 1, 2, 3, 4]), 5);
+        // Only 3 slots left: the burst is cut short, nothing is lost.
+        assert_eq!(tx.push_burst(&[5, 6, 7, 8, 9]), 3);
+        assert_eq!(tx.push_burst(&[99]), 0, "full ring accepts nothing");
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_burst(&mut out, 64), 8);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(rx.pop_burst(&mut out, 64), 0);
+    }
+
+    #[test]
+    fn burst_wraparound_many_times() {
+        let (tx, rx) = channel::<usize>(8);
+        let mut next_in = 0usize;
+        let mut next_out = 0usize;
+        let mut buf = Vec::new();
+        for round in 0..500 {
+            let batch: Vec<usize> = (0..(round % 7 + 1)).map(|i| next_in + i).collect();
+            let pushed = tx.push_burst(&batch);
+            next_in += pushed;
+            buf.clear();
+            rx.pop_burst(&mut buf, round % 5 + 1);
+            for &v in &buf {
+                assert_eq!(v, next_out, "fifo across wrap");
+                next_out += 1;
+            }
+        }
+        // Drain the remainder.
+        buf.clear();
+        while rx.pop_burst(&mut buf, 64) > 0 {}
+        for &v in &buf {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_out, next_in, "no loss");
+    }
+
+    #[test]
+    fn burst_pop_interoperates_with_scalar_push() {
+        let (tx, rx) = channel::<u8>(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_burst(&mut out, 1), 1);
+        assert_eq!(out, vec![1]);
+        assert_eq!(rx.pop(), Some(2));
+    }
+
+    #[test]
+    fn cross_thread_burst_stream_no_loss_dup_or_reorder() {
+        let (tx, rx) = channel::<u64>(64);
+        const N: u64 = 200_000;
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < N {
+                let hi = (next + 17).min(N);
+                let batch: Vec<u64> = (next..hi).collect();
+                let mut off = 0;
+                while off < batch.len() {
+                    let pushed = tx.push_burst(&batch[off..]);
+                    off += pushed;
+                    if pushed == 0 {
+                        std::hint::spin_loop();
+                    }
+                }
+                next = hi;
+            }
+        });
+        let mut expected = 0u64;
+        let mut out = Vec::new();
+        while expected < N {
+            out.clear();
+            if rx.pop_burst(&mut out, 32) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for &v in &out {
+                assert_eq!(v, expected, "strict order, no dup/loss");
+                expected += 1;
+            }
+        }
+        assert_eq!(rx.pop(), None);
         producer.join().unwrap();
     }
 

@@ -10,8 +10,9 @@
 
 use crate::actions::{self, Deliver, Msg, VersionMap};
 use crate::merger::make_nil;
-use nfp_orchestrator::tables::{AccessMode, DropBehavior, FtAction, NfConfig, Target};
+use crate::stats::{DropCause, StageStats};
 use nfp_nf::{NetworkFunction, PacketView, Verdict};
+use nfp_orchestrator::tables::{AccessMode, DropBehavior, FtAction, NfConfig, Target};
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Metadata;
 
@@ -53,20 +54,25 @@ impl<N: NetworkFunction> NfRuntime<N> {
     /// The member version this runtime's forwarding actions operate on.
     fn own_version(&self) -> u8 {
         // Every per-NF action list references exactly one source version.
-        for a in &self.config.actions {
-            match a {
-                FtAction::Distribute { version, .. } | FtAction::Output { version } => {
-                    return *version
-                }
-                FtAction::Copy { from, .. } => return *from,
+        match self.config.actions.first() {
+            Some(FtAction::Distribute { version, .. }) | Some(FtAction::Output { version }) => {
+                *version
             }
+            Some(FtAction::Copy { from, .. }) => *from,
+            None => nfp_packet::meta::VERSION_ORIGINAL,
         }
-        nfp_packet::meta::VERSION_ORIGINAL
     }
 
     /// Handle one packet reference popped from a receive ring.
-    pub fn handle(&mut self, msg: Msg, pool: &PacketPool, sink: &mut impl Deliver) {
+    pub fn handle(
+        &mut self,
+        msg: Msg,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+    ) {
         let r = msg.r;
+        stats.note_in(1);
         let verdict = match self.config.access {
             AccessMode::Exclusive => pool.with_mut(r, |p| {
                 let mut view = PacketView::Exclusive(p);
@@ -81,48 +87,66 @@ impl<N: NetworkFunction> NfRuntime<N> {
         match verdict {
             Verdict::Pass => {
                 let mut versions = VersionMap::single(self.own_version(), r);
-                if actions::execute(&self.config.actions, pool, &mut versions, sink).is_err() {
+                if actions::execute(&self.config.actions, pool, &mut versions, sink, stats).is_err()
+                {
                     // Defensive: drop the packet rather than wedging the
                     // graph; in parallel positions the merger still needs
                     // an arrival, so fall through to the nil path.
                     self.errors += 1;
-                    self.emit_drop(r, pool, sink);
+                    self.emit_drop(r, pool, sink, stats, DropCause::NfError);
                 }
             }
             Verdict::Drop => {
                 self.dropped += 1;
-                self.emit_drop(r, pool, sink);
+                self.emit_drop(r, pool, sink, stats, DropCause::NfVerdict);
             }
         }
     }
 
     /// Implement the drop intention: discard in sequential positions, nil
     /// packet to the merger in parallel positions (§5.2 `ignore`).
-    fn emit_drop(&mut self, r: nfp_packet::pool::PacketRef, pool: &PacketPool, sink: &mut impl Deliver) {
+    fn emit_drop(
+        &mut self,
+        r: nfp_packet::pool::PacketRef,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+        cause: DropCause,
+    ) {
         let meta: Metadata = pool.with(r, |p| p.meta());
         pool.release(r);
         match self.config.on_drop {
-            DropBehavior::Discard => {}
+            DropBehavior::Discard => {
+                // The packet ends here: a stage-local drop with a cause.
+                stats.note_drop(cause);
+            }
             DropBehavior::NilToMerger { segment, priority } => {
                 // Nil packets come from the same pre-allocated pool; under
                 // transient exhaustion we wait for the mergers to drain —
                 // a nil *must* arrive or the merger's count never closes.
                 let mut nil = make_nil(meta, priority);
+                let mut stalled = false;
                 let nil_ref = loop {
                     match pool.insert(nil) {
                         Ok(nr) => break nr,
                         Err(back) => {
                             nil = back;
+                            if !stalled {
+                                stats.note_backpressure();
+                                stalled = true;
+                            }
+                            // Our own buffered sends may be what is holding
+                            // the pool slots; push them downstream.
+                            sink.flush_hint();
                             std::thread::yield_now();
                         }
                     }
                 };
+                stats.note_nil();
+                stats.note_out(1);
                 sink.deliver(
                     Target::Merger(segment),
-                    Msg {
-                        r: nil_ref,
-                        segment: segment as u32,
-                    },
+                    Msg::to_segment(nil_ref, segment as u32),
                 );
             }
         }
@@ -175,7 +199,7 @@ mod tests {
         let mut rt = NfRuntime::new(Monitor::new("mon"), seq_config(Target::Nf(3)));
         let mut sink = Capture::default();
         let r = pooled(&pool, 80);
-        rt.handle(Msg::plain(r), &pool, &mut sink);
+        rt.handle(Msg::plain(r), &pool, &mut sink, &StageStats::new());
         assert_eq!(rt.processed, 1);
         assert_eq!(sink.0, vec![(Target::Nf(3), Msg::plain(r))]);
         assert_eq!(rt.nf().total_packets, 1);
@@ -190,7 +214,7 @@ mod tests {
         );
         let mut sink = Capture::default();
         let r = pooled(&pool, 7003); // matches a deny rule
-        rt.handle(Msg::plain(r), &pool, &mut sink);
+        rt.handle(Msg::plain(r), &pool, &mut sink, &StageStats::new());
         assert_eq!(rt.dropped, 1);
         assert!(sink.0.is_empty());
         assert_eq!(pool.in_use(), 0);
@@ -213,7 +237,7 @@ mod tests {
         let mut rt = NfRuntime::new(Firewall::with_synthetic_acl("fw", 100), config);
         let mut sink = Capture::default();
         let r = pooled(&pool, 7003);
-        rt.handle(Msg::plain(r), &pool, &mut sink);
+        rt.handle(Msg::plain(r), &pool, &mut sink, &StageStats::new());
         assert_eq!(rt.dropped, 1);
         assert_eq!(sink.0.len(), 1);
         let (target, msg) = sink.0[0];
@@ -245,7 +269,7 @@ mod tests {
         let mut sink = Capture::default();
         let r = pooled(&pool, 80);
         pool.retain(r); // simulate a second concurrent sharer
-        rt.handle(Msg::plain(r), &pool, &mut sink);
+        rt.handle(Msg::plain(r), &pool, &mut sink, &StageStats::new());
         assert_eq!(rt.nf().total_packets, 1);
         assert_eq!(sink.0.len(), 1);
         pool.release(r);

@@ -1,0 +1,279 @@
+//! Per-stage engine observability.
+//!
+//! Every pipeline stage (classifier, each NF runtime, the merger agent,
+//! each merger instance, the collector) owns a [`StageStats`]: a set of
+//! relaxed atomic counters cheap enough to bump on the fast path. The
+//! engine aggregates them into an [`EngineStats`] snapshot on the
+//! [`crate::engine::EngineReport`], so a correctness failure can be
+//! localized by inspecting where the counters stop balancing
+//! (see README.md, "Debugging correctness failures with stage counters").
+//!
+//! Accounting discipline: for every stage, packets in = packets out +
+//! packets dropped at that stage, where each drop carries an explicit
+//! [`DropCause`]. Ring backpressure is *never* a drop — full rings are
+//! waited out (the mesh is deadlock-free) and surface as `backpressure`
+//! stall events instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a stage dropped a packet. Every drop in the engine is attributed to
+/// exactly one cause; there is no silent-loss path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// An NF verdict in a sequential position (`DropBehavior::Discard`).
+    NfVerdict,
+    /// A forwarding-action failure in the NF runtime (defensive discard).
+    NfError,
+    /// A merge resolved to the drop intention (nil from the decider won).
+    MergeResolved,
+    /// A merge failed (missing version / malformed copy); packet released.
+    MergeError,
+    /// The classifier rejected the packet (no match / unparseable).
+    AdmitRejected,
+}
+
+/// Atomic counters for one pipeline stage.
+#[derive(Debug, Default)]
+pub struct StageStats {
+    /// Messages (packet references) entering the stage.
+    pub packets_in: AtomicU64,
+    /// Messages the stage emitted downstream.
+    pub packets_out: AtomicU64,
+    /// Packet copies materialized by this stage (paper OP#2).
+    pub copies: AtomicU64,
+    /// Nil (drop-intention) packets emitted or received here.
+    pub nil_packets: AtomicU64,
+    /// Completed merge resolutions.
+    pub merges: AtomicU64,
+    /// Full-ring stall events while emitting (bounded-retry exhausted once).
+    pub backpressure: AtomicU64,
+    /// Highest receive-ring occupancy observed when draining.
+    pub ring_high_water: AtomicU64,
+    drop_nf_verdict: AtomicU64,
+    drop_nf_error: AtomicU64,
+    drop_merge_resolved: AtomicU64,
+    drop_merge_error: AtomicU64,
+    drop_admit_rejected: AtomicU64,
+}
+
+impl StageStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count `n` messages entering the stage.
+    pub fn note_in(&self, n: u64) {
+        self.packets_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` messages emitted downstream.
+    pub fn note_out(&self, n: u64) {
+        self.packets_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count one packet copy (OP#2).
+    pub fn note_copy(&self) {
+        self.copies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one nil packet.
+    pub fn note_nil(&self) {
+        self.nil_packets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one completed merge resolution.
+    pub fn note_merge(&self) {
+        self.merges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one full-ring stall event.
+    pub fn note_backpressure(&self) {
+        self.backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an observed receive-ring occupancy (keeps the maximum).
+    pub fn note_occupancy(&self, n: usize) {
+        self.ring_high_water.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// Count one drop with its cause.
+    pub fn note_drop(&self, cause: DropCause) {
+        let c = match cause {
+            DropCause::NfVerdict => &self.drop_nf_verdict,
+            DropCause::NfError => &self.drop_nf_error,
+            DropCause::MergeResolved => &self.drop_merge_resolved,
+            DropCause::MergeError => &self.drop_merge_error,
+            DropCause::AdmitRejected => &self.drop_admit_rejected,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> StageSnapshot {
+        StageSnapshot {
+            packets_in: self.packets_in.load(Ordering::Relaxed),
+            packets_out: self.packets_out.load(Ordering::Relaxed),
+            copies: self.copies.load(Ordering::Relaxed),
+            nil_packets: self.nil_packets.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
+            ring_high_water: self.ring_high_water.load(Ordering::Relaxed),
+            drop_nf_verdict: self.drop_nf_verdict.load(Ordering::Relaxed),
+            drop_nf_error: self.drop_nf_error.load(Ordering::Relaxed),
+            drop_merge_resolved: self.drop_merge_resolved.load(Ordering::Relaxed),
+            drop_merge_error: self.drop_merge_error.load(Ordering::Relaxed),
+            drop_admit_rejected: self.drop_admit_rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value counters for one stage (what reports carry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Messages entering the stage.
+    pub packets_in: u64,
+    /// Messages emitted downstream.
+    pub packets_out: u64,
+    /// Packet copies materialized (OP#2).
+    pub copies: u64,
+    /// Nil packets seen.
+    pub nil_packets: u64,
+    /// Completed merge resolutions.
+    pub merges: u64,
+    /// Full-ring stall events.
+    pub backpressure: u64,
+    /// Highest receive-ring occupancy observed.
+    pub ring_high_water: u64,
+    /// Drops: sequential NF verdict.
+    pub drop_nf_verdict: u64,
+    /// Drops: NF runtime action error.
+    pub drop_nf_error: u64,
+    /// Drops: merge resolved to the drop intention.
+    pub drop_merge_resolved: u64,
+    /// Drops: merge failure.
+    pub drop_merge_error: u64,
+    /// Drops: classifier rejection.
+    pub drop_admit_rejected: u64,
+}
+
+impl StageSnapshot {
+    /// Total packets this stage dropped, over all causes.
+    pub fn drops(&self) -> u64 {
+        self.drop_nf_verdict
+            + self.drop_nf_error
+            + self.drop_merge_resolved
+            + self.drop_merge_error
+            + self.drop_admit_rejected
+    }
+}
+
+/// Snapshot of every stage of one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// The classifier stage.
+    pub classifier: StageSnapshot,
+    /// One entry per NF runtime, in `NodeId` order.
+    pub nfs: Vec<StageSnapshot>,
+    /// The merger agent (router + sequencer).
+    pub agent: StageSnapshot,
+    /// One entry per merger instance.
+    pub mergers: Vec<StageSnapshot>,
+    /// The collector stage.
+    pub collector: StageSnapshot,
+}
+
+impl EngineStats {
+    /// Total drops across all stages and causes.
+    pub fn total_drops(&self) -> u64 {
+        self.stages().map(|(_, s)| s.drops()).sum()
+    }
+
+    /// Iterate `(label, snapshot)` over every stage.
+    pub fn stages(&self) -> impl Iterator<Item = (String, &StageSnapshot)> {
+        std::iter::once(("classifier".to_string(), &self.classifier))
+            .chain(
+                self.nfs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (format!("nf{i}"), s)),
+            )
+            .chain(std::iter::once(("agent".to_string(), &self.agent)))
+            .chain(
+                self.mergers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (format!("merger{i}"), s)),
+            )
+            .chain(std::iter::once(("collector".to_string(), &self.collector)))
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>9} {:>7} {:>6} {:>7} {:>6} {:>9} {:>6}",
+            "stage", "in", "out", "copies", "nils", "merges", "drops", "backpres", "hiwat"
+        )?;
+        for (label, s) in self.stages() {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>9} {:>7} {:>6} {:>7} {:>6} {:>9} {:>6}",
+                label,
+                s.packets_in,
+                s.packets_out,
+                s.copies,
+                s.nil_packets,
+                s.merges,
+                s.drops(),
+                s.backpressure,
+                s.ring_high_water
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = StageStats::new();
+        s.note_in(5);
+        s.note_out(3);
+        s.note_copy();
+        s.note_nil();
+        s.note_merge();
+        s.note_backpressure();
+        s.note_occupancy(7);
+        s.note_occupancy(3); // max keeps 7
+        s.note_drop(DropCause::NfVerdict);
+        s.note_drop(DropCause::MergeResolved);
+        let snap = s.snapshot();
+        assert_eq!(snap.packets_in, 5);
+        assert_eq!(snap.packets_out, 3);
+        assert_eq!(snap.copies, 1);
+        assert_eq!(snap.nil_packets, 1);
+        assert_eq!(snap.merges, 1);
+        assert_eq!(snap.backpressure, 1);
+        assert_eq!(snap.ring_high_water, 7);
+        assert_eq!(snap.drops(), 2);
+    }
+
+    #[test]
+    fn engine_stats_totals_and_display() {
+        let s = StageStats::new();
+        s.note_drop(DropCause::AdmitRejected);
+        let mut e = EngineStats::default();
+        e.classifier = s.snapshot();
+        e.nfs = vec![StageSnapshot::default(); 2];
+        assert_eq!(e.total_drops(), 1);
+        let text = e.to_string();
+        assert!(text.contains("classifier"));
+        assert!(text.contains("nf1"));
+        assert!(text.contains("collector"));
+    }
+}

@@ -10,8 +10,9 @@ use crate::actions::{Deliver, Msg};
 use crate::classifier::{AdmitError, Classifier};
 use crate::merger::{self, Accumulator, MergeOutcome};
 use crate::runtime::NfRuntime;
-use nfp_orchestrator::tables::{GraphTables, Target};
+use crate::stats::{StageSnapshot, StageStats};
 use nfp_nf::NetworkFunction;
+use nfp_orchestrator::tables::{GraphTables, Target};
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use std::collections::VecDeque;
@@ -43,6 +44,7 @@ pub struct SyncEngine {
     classifier: Classifier,
     runtimes: Vec<NfRuntime<Box<dyn NetworkFunction>>>,
     accumulator: Accumulator,
+    stats: StageStats,
     /// Packets delivered.
     pub delivered: u64,
     /// Packets dropped.
@@ -63,7 +65,11 @@ impl Deliver for QueueSink {
 impl SyncEngine {
     /// Build an engine over `tables` and NF instances ordered by `NodeId`
     /// (the same order as the compiled graph's nodes).
-    pub fn new(tables: Arc<GraphTables>, nfs: Vec<Box<dyn NetworkFunction>>, pool_size: usize) -> Self {
+    pub fn new(
+        tables: Arc<GraphTables>,
+        nfs: Vec<Box<dyn NetworkFunction>>,
+        pool_size: usize,
+    ) -> Self {
         assert_eq!(
             nfs.len(),
             tables.nf_configs.len(),
@@ -80,6 +86,7 @@ impl SyncEngine {
             tables,
             runtimes,
             accumulator: Accumulator::new(),
+            stats: StageStats::new(),
             delivered: 0,
             dropped: 0,
         }
@@ -90,16 +97,39 @@ impl SyncEngine {
         &self.runtimes[node]
     }
 
+    /// Snapshot of the engine-wide counters (the sync engine is one stage).
+    pub fn stats(&self) -> StageSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Process a batch of packets, collecting delivered outputs in order.
+    /// Admit rejects and drops both count toward `dropped`.
+    pub fn process_batch(&mut self, pkts: Vec<Packet>) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(pkts.len());
+        for pkt in pkts {
+            match self.process(pkt) {
+                Ok(outcome) => {
+                    if let Some(p) = outcome.delivered() {
+                        out.push(p);
+                    }
+                }
+                Err(_) => self.dropped += 1,
+            }
+        }
+        out
+    }
+
     /// Process one packet through the whole graph.
     pub fn process(&mut self, pkt: Packet) -> Result<ProcessOutcome, AdmitError> {
         let mut sink = QueueSink::default();
-        self.classifier.admit(pkt, &self.pool, &mut sink)?;
+        self.classifier
+            .admit(pkt, &self.pool, &mut sink, &self.stats)?;
         let mut output: Option<Packet> = None;
         let mut was_dropped = false;
         while let Some((target, msg)) = sink.events.pop_front() {
             match target {
                 Target::Nf(id) => {
-                    self.runtimes[id].handle(msg, &self.pool, &mut sink);
+                    self.runtimes[id].handle(msg, &self.pool, &mut sink, &self.stats);
                 }
                 Target::Merger(segment) => {
                     let spec = self
@@ -108,21 +138,24 @@ impl SyncEngine {
                         .expect("merger target implies a merge spec");
                     let (mid, pid) = self.pool.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
                     let arrival = merger::arrival_from(&self.pool, msg.r);
-                    if let Some(arrivals) = self.accumulator.offer(
-                        mid,
-                        segment as u32,
-                        pid,
-                        arrival,
-                        spec.total_count,
-                    ) {
+                    if let Some(arrivals) =
+                        self.accumulator
+                            .offer(mid, segment as u32, pid, arrival, spec.total_count)
+                    {
                         match merger::resolve_and_merge(spec, &arrivals, &self.pool) {
                             Ok(MergeOutcome::Forward(v1)) => {
                                 let mut versions = crate::actions::VersionMap::single(
                                     nfp_packet::meta::VERSION_ORIGINAL,
                                     v1,
                                 );
-                                crate::actions::execute(&spec.next, &self.pool, &mut versions, &mut sink)
-                                    .expect("merger next actions");
+                                crate::actions::execute(
+                                    &spec.next,
+                                    &self.pool,
+                                    &mut versions,
+                                    &mut sink,
+                                    &self.stats,
+                                )
+                                .expect("merger next actions");
                             }
                             Ok(MergeOutcome::Dropped) | Err(_) => {
                                 was_dropped = true;

@@ -120,10 +120,16 @@ mod tests {
     fn processes_like_a_firewall_and_marks_tos() {
         let mut nf = CycleFirewall::new("cfw", 10);
         let mut ok = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 80, b"");
-        assert_eq!(nf.process(&mut PacketView::Exclusive(&mut ok)), Verdict::Pass);
+        assert_eq!(
+            nf.process(&mut PacketView::Exclusive(&mut ok)),
+            Verdict::Pass
+        );
         assert_eq!(ok.field_bytes(FieldId::Tos).unwrap(), &[0x08]);
         let mut bad = tcp_packet(ip(1, 1, 1, 1), ip(172, 16, 9, 9), 1, 7009, b"");
-        assert_eq!(nf.process(&mut PacketView::Exclusive(&mut bad)), Verdict::Drop);
+        assert_eq!(
+            nf.process(&mut PacketView::Exclusive(&mut bad)),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -146,7 +152,10 @@ mod tests {
         let mut nf = CycleBurner::new("burn", 5);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"xyz");
         let before = p.data().to_vec();
-        assert_eq!(nf.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(
+            nf.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
         assert_eq!(p.data(), &before[..]);
         assert_eq!(nf.processed, 1);
         assert!(nf.profile().actions.is_empty());

@@ -129,10 +129,8 @@ impl NetworkFunction for Compression {
         match self.mode {
             CompressionMode::Compress => {
                 let compressed = lz::compress(&payload);
-                if compressed.len() < payload.len() {
-                    if packet.replace_payload(&compressed).is_ok() {
-                        self.rewritten += 1;
-                    }
+                if compressed.len() < payload.len() && packet.replace_payload(&compressed).is_ok() {
+                    self.rewritten += 1;
                 }
             }
             CompressionMode::Decompress => match lz::decompress(&payload) {
@@ -193,8 +191,8 @@ impl TrafficShaper {
         let now = Instant::now();
         let dt = now.duration_since(self.last_refill);
         self.last_refill = now;
-        self.tokens = (self.tokens + dt.as_secs_f64() * self.rate_bytes_per_sec)
-            .min(self.burst_bytes);
+        self.tokens =
+            (self.tokens + dt.as_secs_f64() * self.rate_bytes_per_sec).min(self.burst_bytes);
     }
 
     /// Manually add elapsed time (deterministic tests).
@@ -277,8 +275,7 @@ impl NetworkFunction for Gateway {
     }
 
     fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
-        let (Ok(s), Ok(d)) = (pkt.read_scalar(FieldId::Sip), pkt.read_scalar(FieldId::Dip))
-        else {
+        let (Ok(s), Ok(d)) = (pkt.read_scalar(FieldId::Sip), pkt.read_scalar(FieldId::Dip)) else {
             return Verdict::Pass;
         };
         *self.sessions.entry((s as u32, d as u32)).or_default() += 1;
@@ -400,7 +397,10 @@ mod tests {
         let mut proxy = Proxy::new("proxy", ip(10, 0, 0, 100), ip(10, 50, 0, 1));
         proxy.add_origin(ip(203, 0, 113, 10), ip(10, 50, 0, 2));
         let mut p = tcp_packet(ip(192, 168, 1, 5), ip(203, 0, 113, 10), 555, 80, b"GET /");
-        assert_eq!(proxy.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(
+            proxy.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
         assert_eq!(p.sip().unwrap(), ip(10, 0, 0, 100));
         assert_eq!(p.dip().unwrap(), ip(10, 50, 0, 2));
         // Unmapped destination → default origin.
@@ -417,7 +417,10 @@ mod tests {
         let payload = b"repetitive payload repetitive payload repetitive payload!".repeat(4);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, &payload);
         let before = p.len();
-        assert_eq!(comp.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(
+            comp.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
         assert!(p.len() < before, "payload should shrink");
         assert_eq!(comp.rewritten, 1);
         assert_eq!(
@@ -431,7 +434,9 @@ mod tests {
     #[test]
     fn compression_skips_incompressible() {
         let mut comp = Compression::new("comp", CompressionMode::Compress);
-        let payload: Vec<u8> = (0..64u32).map(|i| (i.wrapping_mul(2654435761) >> 9) as u8).collect();
+        let payload: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 9) as u8)
+            .collect();
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, &payload);
         comp.process(&mut PacketView::Exclusive(&mut p));
         assert_eq!(comp.rewritten, 0);
@@ -441,8 +446,17 @@ mod tests {
     #[test]
     fn decompression_of_garbage_drops() {
         let mut decomp = Compression::new("d", CompressionMode::Decompress);
-        let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, &[0x01, 0xff, 0xff, 0x00]);
-        assert_eq!(decomp.process(&mut PacketView::Exclusive(&mut p)), Verdict::Drop);
+        let mut p = tcp_packet(
+            ip(1, 1, 1, 1),
+            ip(2, 2, 2, 2),
+            1,
+            2,
+            &[0x01, 0xff, 0xff, 0x00],
+        );
+        assert_eq!(
+            decomp.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Drop
+        );
         assert_eq!(decomp.errors, 1);
     }
 
@@ -452,11 +466,23 @@ mod tests {
         // exceeds until time passes.
         let mut shaper = TrafficShaper::new("tc", 1_000.0, 200.0, true);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, &[0u8; 46]); // 100B frame
-        assert_eq!(shaper.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
-        assert_eq!(shaper.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
-        assert_eq!(shaper.process(&mut PacketView::Exclusive(&mut p)), Verdict::Drop);
+        assert_eq!(
+            shaper.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
+        assert_eq!(
+            shaper.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
+        assert_eq!(
+            shaper.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Drop
+        );
         shaper.advance(Duration::from_millis(150)); // +150 B of tokens
-        assert_eq!(shaper.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(
+            shaper.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
         assert_eq!((shaper.conformant, shaper.exceeded), (3, 1));
     }
 
@@ -465,7 +491,10 @@ mod tests {
         let mut shaper = TrafficShaper::new("tc", 1.0, 1.0, false);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"");
         for _ in 0..10 {
-            assert_eq!(shaper.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+            assert_eq!(
+                shaper.process(&mut PacketView::Exclusive(&mut p)),
+                Verdict::Pass
+            );
         }
         assert!(shaper.exceeded > 0);
         assert!(shaper.profile().actions.is_empty());

@@ -173,9 +173,15 @@ mod tests {
         ];
         let mut fw = Firewall::new("fw", rules, AclAction::Allow);
         let mut web = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 999, 80, b"");
-        assert_eq!(fw.process(&mut PacketView::Exclusive(&mut web)), Verdict::Pass);
+        assert_eq!(
+            fw.process(&mut PacketView::Exclusive(&mut web)),
+            Verdict::Pass
+        );
         let mut ssh = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 999, 22, b"");
-        assert_eq!(fw.process(&mut PacketView::Exclusive(&mut ssh)), Verdict::Drop);
+        assert_eq!(
+            fw.process(&mut PacketView::Exclusive(&mut ssh)),
+            Verdict::Drop
+        );
     }
 
     #[test]
@@ -198,7 +204,10 @@ mod tests {
     fn default_action_applies_when_no_rule_matches() {
         let mut fw = Firewall::new("fw", vec![], AclAction::Deny);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"");
-        assert_eq!(fw.process(&mut PacketView::Exclusive(&mut p)), Verdict::Drop);
+        assert_eq!(
+            fw.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Drop
+        );
     }
 
     #[test]

@@ -50,9 +50,13 @@ impl L3Forwarder {
             fwd.add_route(prefix, 24, NextHop { dmac: mac });
         }
         // Default route so every packet forwards.
-        fwd.add_route(Ipv4Addr::new(0, 0, 0, 0), 0, NextHop {
-            dmac: MacAddr([0x02, 0, 0, 0, 0, 0xaa]),
-        });
+        fwd.add_route(
+            Ipv4Addr::new(0, 0, 0, 0),
+            0,
+            NextHop {
+                dmac: MacAddr([0x02, 0, 0, 0, 0, 0xaa]),
+            },
+        );
         fwd
     }
 

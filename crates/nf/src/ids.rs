@@ -145,7 +145,10 @@ mod tests {
     fn empty_payload_is_clean() {
         let mut ids = Ids::with_synthetic_signatures("ids", 5, IdsMode::Inline);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"");
-        assert_eq!(ids.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(
+            ids.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
         assert_eq!(ids.alerts, 0);
     }
 }

@@ -20,18 +20,19 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut i = 0usize;
     let mut flag_pos: Option<usize> = None;
     let mut flag_count = 0u8;
-    let set_flag = |out: &mut Vec<u8>, flag_pos: &mut Option<usize>, flag_count: &mut u8, is_ref: bool| {
-        if flag_pos.is_none() || *flag_count == 8 {
-            *flag_pos = Some(out.len());
-            out.push(0);
-            *flag_count = 0;
-        }
-        if is_ref {
-            let p = flag_pos.unwrap();
-            out[p] |= 1 << *flag_count;
-        }
-        *flag_count += 1;
-    };
+    let set_flag =
+        |out: &mut Vec<u8>, flag_pos: &mut Option<usize>, flag_count: &mut u8, is_ref: bool| {
+            if flag_pos.is_none() || *flag_count == 8 {
+                *flag_pos = Some(out.len());
+                out.push(0);
+                *flag_count = 0;
+            }
+            if is_ref {
+                let p = flag_pos.unwrap();
+                out[p] |= 1 << *flag_count;
+            }
+            *flag_count += 1;
+        };
     while i < input.len() {
         let (off, len) = best_match(input, i);
         if len >= MIN_MATCH {
@@ -147,7 +148,9 @@ mod tests {
 
     #[test]
     fn random_data_does_not_explode() {
-        let input: Vec<u8> = (0..1400u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let input: Vec<u8> = (0..1400u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let c = compress(&input);
         assert!(c.len() <= input.len() + input.len() / 8 + 2);
         assert_eq!(decompress(&c).unwrap(), input);

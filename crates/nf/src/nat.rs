@@ -132,10 +132,7 @@ mod tests {
         assert_eq!(p2.sport().unwrap(), ext1);
         assert_eq!(nat.binding_count(), 1);
         // Reverse mapping installed.
-        assert_eq!(
-            nat.reverse_lookup(ext1),
-            Some((ip(192, 168, 0, 5), 40000))
-        );
+        assert_eq!(nat.reverse_lookup(ext1), Some((ip(192, 168, 0, 5), 40000)));
     }
 
     #[test]

@@ -134,8 +134,16 @@ impl<'a> PacketView<'a> {
     /// reads of the four tuple fields under inspection.
     pub fn five_tuple(
         &self,
-    ) -> Result<(nfp_packet::ipv4::Ipv4Addr, nfp_packet::ipv4::Ipv4Addr, u16, u16, u8), PacketError>
-    {
+    ) -> Result<
+        (
+            nfp_packet::ipv4::Ipv4Addr,
+            nfp_packet::ipv4::Ipv4Addr,
+            u16,
+            u16,
+            u8,
+        ),
+        PacketError,
+    > {
         match self {
             PacketView::Exclusive(p) => p.five_tuple(),
             PacketView::Shared { pool, r } => pool.with(*r, |p| p.five_tuple()),

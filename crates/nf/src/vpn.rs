@@ -179,14 +179,20 @@ mod tests {
         let mut p = tcp_packet(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 1234, 80, payload);
         let original = p.data().to_vec();
 
-        assert_eq!(enc.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(
+            enc.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
         // Packet grew by the AH, payload no longer plaintext, proto = AH.
         assert_eq!(p.len(), original.len() + ah::HEADER_LEN);
         let layers = p.parse().unwrap();
         assert!(layers.ah.is_some());
         assert_ne!(p.payload().unwrap(), payload);
 
-        assert_eq!(dec.process(&mut PacketView::Exclusive(&mut p)), Verdict::Pass);
+        assert_eq!(
+            dec.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Pass
+        );
         assert_eq!(p.payload().unwrap(), payload);
         assert_eq!(p.parse().unwrap().ah, None);
         assert_eq!(p.len(), original.len());
@@ -202,7 +208,10 @@ mod tests {
         // Flip one encrypted payload byte.
         let len = p.len();
         p.data_mut()[len - 1] ^= 0xff;
-        assert_eq!(dec.process(&mut PacketView::Exclusive(&mut p)), Verdict::Drop);
+        assert_eq!(
+            dec.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Drop
+        );
         assert_eq!(dec.errors, 1);
     }
 
@@ -212,14 +221,20 @@ mod tests {
         let mut dec = Vpn::new("vpn-d", [0x43; 16], 7, VpnMode::Decapsulate);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"data");
         enc.process(&mut PacketView::Exclusive(&mut p));
-        assert_eq!(dec.process(&mut PacketView::Exclusive(&mut p)), Verdict::Drop);
+        assert_eq!(
+            dec.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Drop
+        );
     }
 
     #[test]
     fn decapsulate_without_ah_drops() {
         let mut dec = Vpn::new("vpn-d", KEY, 7, VpnMode::Decapsulate);
         let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2, b"plain");
-        assert_eq!(dec.process(&mut PacketView::Exclusive(&mut p)), Verdict::Drop);
+        assert_eq!(
+            dec.process(&mut PacketView::Exclusive(&mut p)),
+            Verdict::Drop
+        );
     }
 
     #[test]

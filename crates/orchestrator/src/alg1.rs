@@ -237,10 +237,21 @@ mod tests {
         // with the conflict resolved by priority at merge time (paper §3).
         let r = Registry::paper_table2();
         let ips = crate::action::ActionProfile::new("IPS")
-            .reads([FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport, FieldId::Payload])
+            .reads([
+                FieldId::Sip,
+                FieldId::Dip,
+                FieldId::Sport,
+                FieldId::Dport,
+                FieldId::Payload,
+            ])
             .drops();
         let dt = DependencyTable::paper_table3();
-        let ordered = identify(r.get("Firewall").unwrap(), &ips, &dt, IdentifyOptions::default());
+        let ordered = identify(
+            r.get("Firewall").unwrap(),
+            &ips,
+            &dt,
+            IdentifyOptions::default(),
+        );
         assert!(!ordered.parallelizable);
         let forced = identify_in(
             r.get("Firewall").unwrap(),

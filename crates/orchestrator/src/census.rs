@@ -169,12 +169,21 @@ mod tests {
             Weighting::DeploymentShare,
             IdentifyOptions::default(),
         );
-        assert!((report.parallelizable * 100.0 - 53.8).abs() < 0.05,
-            "parallelizable = {:.2}%", report.parallelizable * 100.0);
-        assert!((report.no_copy * 100.0 - 41.5).abs() < 0.05,
-            "no_copy = {:.2}%", report.no_copy * 100.0);
-        assert!((report.with_copy * 100.0 - 12.3).abs() < 0.05,
-            "with_copy = {:.2}%", report.with_copy * 100.0);
+        assert!(
+            (report.parallelizable * 100.0 - 53.8).abs() < 0.05,
+            "parallelizable = {:.2}%",
+            report.parallelizable * 100.0
+        );
+        assert!(
+            (report.no_copy * 100.0 - 41.5).abs() < 0.05,
+            "no_copy = {:.2}%",
+            report.no_copy * 100.0
+        );
+        assert!(
+            (report.with_copy * 100.0 - 12.3).abs() < 0.05,
+            "with_copy = {:.2}%",
+            report.with_copy * 100.0
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::graph::{
 use crate::table2::Registry;
 use nfp_packet::meta::{VERSION_MAX, VERSION_ORIGINAL};
 use nfp_packet::FieldId;
-use nfp_policy::{check_conflicts, Conflict, NfName, PositionAnchor, Policy, Rule};
+use nfp_policy::{check_conflicts, Conflict, NfName, Policy, PositionAnchor, Rule};
 use std::collections::HashMap;
 
 /// Compiler options.
@@ -416,7 +416,7 @@ impl<'a> Compiler<'a> {
     fn components(&self, pinned: &[bool]) -> Vec<Vec<NodeId>> {
         let n = self.nodes.len();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while parent[root] != root {
                 root = parent[root];
@@ -436,8 +436,8 @@ impl<'a> Compiler<'a> {
             }
         }
         let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
-        for i in 0..n {
-            if pinned[i] {
+        for (i, &pin) in pinned.iter().enumerate().take(n) {
+            if pin {
                 continue;
             }
             groups.entry(find(&mut parent, i)).or_default().push(i);
@@ -480,9 +480,7 @@ impl<'a> Compiler<'a> {
             .relations
             .iter()
             .filter(|((lo, hi), rel)| {
-                matches!(rel, Relation::Par { .. })
-                    && in_comp.contains(lo)
-                    && in_comp.contains(hi)
+                matches!(rel, Relation::Par { .. }) && in_comp.contains(lo) && in_comp.contains(hi)
             })
             .map(|(&k, _)| k)
             .collect();
@@ -687,8 +685,8 @@ impl<'a> Compiler<'a> {
             // moves headers — structurally unsafe to share, so it always
             // gets its own copy when anyone else holds v1. (Add/Rm NFs are
             // caught by the conflicting-action check already.)
-            let structural_writer = profile.write_mask().contains(FieldId::Payload)
-                || profile.has_add_rm();
+            let structural_writer =
+                profile.write_mask().contains(FieldId::Payload) || profile.has_add_rm();
             let needs_copy = sharers.iter().any(|&s| self.pair_needs_copy(s, m))
                 || (structural_writer && !sharers.is_empty());
             let mut member = Member::solo(m);
@@ -769,14 +767,10 @@ impl<'a> Compiler<'a> {
                     .enumerate()
                     .map(|(rank, &i)| {
                         let path = micrographs[i].chain_nodes();
-                        let drop_capable = path
-                            .iter()
-                            .any(|&n| self.nodes[n].profile.has_drop());
-                        let writes = path
-                            .iter()
-                            .fold(nfp_packet::FieldMask::EMPTY, |m, &n| {
-                                m.union(self.nodes[n].profile.write_mask())
-                            });
+                        let drop_capable = path.iter().any(|&n| self.nodes[n].profile.has_drop());
+                        let writes = path.iter().fold(nfp_packet::FieldMask::EMPTY, |m, &n| {
+                            m.union(self.nodes[n].profile.write_mask())
+                        });
                         Member {
                             path,
                             version: VERSION_ORIGINAL,
@@ -925,10 +919,13 @@ mod tests {
             .find(|m| g.nodes[m.path[0]].name.as_str() == "LB")
             .unwrap();
         assert_eq!(lb.copy, CopyKind::HeaderOnly);
-        assert!(lb
-            .merge_ops
-            .iter()
-            .any(|op| matches!(op, MergeOp::Modify { field: FieldId::Sip, .. })));
+        assert!(lb.merge_ops.iter().any(|op| matches!(
+            op,
+            MergeOp::Modify {
+                field: FieldId::Sip,
+                ..
+            }
+        )));
         let monitor = grp
             .members
             .iter()
@@ -949,7 +946,9 @@ mod tests {
         let g = &c.graph;
         g.validate().unwrap();
         assert_eq!(g.segments.len(), 3);
-        assert!(matches!(g.segments[0], Segment::Sequential(id) if g.nodes[id].name.as_str() == "VPN"));
+        assert!(
+            matches!(g.segments[0], Segment::Sequential(id) if g.nodes[id].name.as_str() == "VPN")
+        );
     }
 
     #[test]
@@ -986,7 +985,13 @@ mod tests {
         let mut reg = registry();
         reg.register(
             ActionProfile::new("IPS")
-                .reads([FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport, FieldId::Payload])
+                .reads([
+                    FieldId::Sip,
+                    FieldId::Dip,
+                    FieldId::Sport,
+                    FieldId::Dport,
+                    FieldId::Payload,
+                ])
                 .drops(),
         );
         let policy = Policy::new().priority("IPS", "Firewall");
@@ -1066,13 +1071,8 @@ mod tests {
 
     #[test]
     fn empty_policy_is_an_error() {
-        let err = compile(
-            &Policy::new(),
-            &registry(),
-            &[],
-            &CompileOptions::default(),
-        )
-        .unwrap_err();
+        let err =
+            compile(&Policy::new(), &registry(), &[], &CompileOptions::default()).unwrap_err();
         assert_eq!(err, CompileError::EmptyPolicy);
     }
 
@@ -1093,7 +1093,9 @@ mod tests {
     fn tree_micrograph_from_shared_root() {
         // Order(VPN,Monitor) + Order(VPN,Firewall): VPN is the root (add/rm
         // forces sequencing), leaves parallelize.
-        let policy = Policy::new().order("VPN", "Monitor").order("VPN", "Firewall");
+        let policy = Policy::new()
+            .order("VPN", "Monitor")
+            .order("VPN", "Firewall");
         let c = compile_ok(&policy);
         assert_eq!(c.graph.describe(), "VPN -> [Monitor | Firewall]");
     }
@@ -1105,10 +1107,13 @@ mod tests {
             .order("VPN", "Monitor")
             .order("Monitor", "Firewall");
         let c = compile_ok(&policy);
-        assert!(c
-            .warnings
-            .iter()
-            .any(|w| matches!(w, CompileWarning::OrderWithPinnedNf { consistent: true, .. })));
+        assert!(c.warnings.iter().any(|w| matches!(
+            w,
+            CompileWarning::OrderWithPinnedNf {
+                consistent: true,
+                ..
+            }
+        )));
         assert_eq!(c.graph.describe(), "VPN -> [Monitor | Firewall]");
     }
 

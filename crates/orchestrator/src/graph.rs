@@ -261,11 +261,11 @@ impl ServiceGraph {
                         if (m.version == VERSION_ORIGINAL) != (m.copy == CopyKind::None) {
                             return Err("copy kind inconsistent with version".into());
                         }
-                        if m.version != VERSION_ORIGINAL && m.merge_ops.is_empty() && !m.writes.is_empty()
+                        if m.version != VERSION_ORIGINAL
+                            && m.merge_ops.is_empty()
+                            && !m.writes.is_empty()
                         {
-                            return Err(
-                                "copied member writes fields but has no merge ops".into()
-                            );
+                            return Err("copied member writes fields but has no merge ops".into());
                         }
                         for &n in &m.path {
                             mark(n)?;

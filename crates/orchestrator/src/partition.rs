@@ -79,7 +79,11 @@ pub fn partition(
         count += n;
     }
     if start < graph.segments.len() || plans.is_empty() {
-        plans.push(make_plan(graph, start..graph.segments.len(), plans.is_empty()));
+        plans.push(make_plan(
+            graph,
+            start..graph.segments.len(),
+            plans.is_empty(),
+        ));
     }
     Ok(plans)
 }
@@ -157,6 +161,9 @@ mod tests {
 
     #[test]
     fn zero_budget_rejected() {
-        assert_eq!(partition(&graph(), 0).unwrap_err(), PartitionError::ZeroBudget);
+        assert_eq!(
+            partition(&graph(), 0).unwrap_err(),
+            PartitionError::ZeroBudget
+        );
     }
 }

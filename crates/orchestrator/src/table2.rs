@@ -86,14 +86,12 @@ impl Registry {
             Some(0.07),
         );
         // NAT (iptables): R/W on the full 4-tuple.
-        r.register(
-            ActionProfile::new("NAT").reads_writes([
-                FieldId::Sip,
-                FieldId::Dip,
-                FieldId::Sport,
-                FieldId::Dport,
-            ]),
-        );
+        r.register(ActionProfile::new("NAT").reads_writes([
+            FieldId::Sip,
+            FieldId::Dip,
+            FieldId::Sport,
+            FieldId::Dport,
+        ]));
         // Proxy (Squid): R/W on SIP and DIP.
         r.register(ActionProfile::new("Proxy").reads_writes([FieldId::Sip, FieldId::Dip]));
         // Compression (Cisco IOS): R/W on the payload.
@@ -206,12 +204,7 @@ mod tests {
         let payload_writers: Vec<_> = r
             .nf_types()
             .into_iter()
-            .filter(|nf| {
-                r.get(nf)
-                    .unwrap()
-                    .write_mask()
-                    .contains(FieldId::Payload)
-            })
+            .filter(|nf| r.get(nf).unwrap().write_mask().contains(FieldId::Payload))
             .collect();
         assert_eq!(payload_writers, vec!["Compression", "VPN"]);
     }

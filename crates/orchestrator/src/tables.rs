@@ -333,7 +333,10 @@ mod tests {
                 targets: vec![Target::Nf(lb)]
             }]
         );
-        assert_eq!(t.nf_configs[lb].actions, vec![FtAction::Output { version: 1 }]);
+        assert_eq!(
+            t.nf_configs[lb].actions,
+            vec![FtAction::Output { version: 1 }]
+        );
     }
 
     #[test]
@@ -401,7 +404,10 @@ mod tests {
                 targets: vec![Target::Nf(lb)]
             }]
         );
-        assert_eq!(t.nf_configs[lb].actions, vec![FtAction::Output { version: 1 }]);
+        assert_eq!(
+            t.nf_configs[lb].actions,
+            vec![FtAction::Output { version: 1 }]
+        );
         // Drop metadata: FW is drop-capable with higher priority.
         let fw_spec = spec
             .members
@@ -420,7 +426,10 @@ mod tests {
             .entry_actions
             .iter()
             .find_map(|a| match a {
-                FtAction::Distribute { version: 1, targets } => Some(targets.len()),
+                FtAction::Distribute {
+                    version: 1,
+                    targets,
+                } => Some(targets.len()),
                 _ => None,
             })
             .unwrap();

@@ -67,7 +67,13 @@ impl<'a> AhView<'a> {
 }
 
 /// Write an AH into the first [`HEADER_LEN`] bytes of `buf`.
-pub fn emit(buf: &mut [u8], next_header: u8, spi: u32, seq: u32, icv: &[u8; ICV_LEN]) -> Result<()> {
+pub fn emit(
+    buf: &mut [u8],
+    next_header: u8,
+    spi: u32,
+    seq: u32,
+    icv: &[u8; ICV_LEN],
+) -> Result<()> {
     if buf.len() < HEADER_LEN {
         return Err(PacketError::NoCapacity {
             requested: HEADER_LEN,

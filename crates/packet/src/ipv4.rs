@@ -136,7 +136,10 @@ impl<'a> Ipv4View<'a> {
 
     /// Total datagram length from the header.
     pub fn total_len(&self) -> u16 {
-        u16::from_be_bytes([self.bytes[offsets::TOTAL_LEN], self.bytes[offsets::TOTAL_LEN + 1]])
+        u16::from_be_bytes([
+            self.bytes[offsets::TOTAL_LEN],
+            self.bytes[offsets::TOTAL_LEN + 1],
+        ])
     }
 
     /// Time to live.
@@ -151,17 +154,28 @@ impl<'a> Ipv4View<'a> {
 
     /// Header checksum field.
     pub fn header_checksum(&self) -> u16 {
-        u16::from_be_bytes([self.bytes[offsets::CHECKSUM], self.bytes[offsets::CHECKSUM + 1]])
+        u16::from_be_bytes([
+            self.bytes[offsets::CHECKSUM],
+            self.bytes[offsets::CHECKSUM + 1],
+        ])
     }
 
     /// Source address.
     pub fn src(&self) -> Ipv4Addr {
-        Ipv4Addr(self.bytes[offsets::SRC..offsets::SRC + 4].try_into().unwrap())
+        Ipv4Addr(
+            self.bytes[offsets::SRC..offsets::SRC + 4]
+                .try_into()
+                .unwrap(),
+        )
     }
 
     /// Destination address.
     pub fn dst(&self) -> Ipv4Addr {
-        Ipv4Addr(self.bytes[offsets::DST..offsets::DST + 4].try_into().unwrap())
+        Ipv4Addr(
+            self.bytes[offsets::DST..offsets::DST + 4]
+                .try_into()
+                .unwrap(),
+        )
     }
 
     /// True if the checksum over the header (including the checksum field)

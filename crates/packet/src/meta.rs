@@ -82,7 +82,13 @@ pub const VERSION_ORIGINAL: u8 = 1;
 
 impl core::fmt::Display for Metadata {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "mid={} pid={} v{}", self.mid(), self.pid(), self.version())
+        write!(
+            f,
+            "mid={} pid={} v{}",
+            self.mid(),
+            self.pid(),
+            self.version()
+        )
     }
 }
 

@@ -279,12 +279,16 @@ impl Packet {
 
     /// Source IPv4 address.
     pub fn sip(&self) -> Result<Ipv4Addr> {
-        Ok(Ipv4Addr(self.field_bytes(FieldId::Sip)?.try_into().unwrap()))
+        Ok(Ipv4Addr(
+            self.field_bytes(FieldId::Sip)?.try_into().unwrap(),
+        ))
     }
 
     /// Destination IPv4 address.
     pub fn dip(&self) -> Result<Ipv4Addr> {
-        Ok(Ipv4Addr(self.field_bytes(FieldId::Dip)?.try_into().unwrap()))
+        Ok(Ipv4Addr(
+            self.field_bytes(FieldId::Dip)?.try_into().unwrap(),
+        ))
     }
 
     /// L4 source port.
@@ -333,18 +337,28 @@ impl Packet {
 
     /// Source MAC address.
     pub fn smac(&self) -> Result<MacAddr> {
-        Ok(MacAddr(self.field_bytes(FieldId::Smac)?.try_into().unwrap()))
+        Ok(MacAddr(
+            self.field_bytes(FieldId::Smac)?.try_into().unwrap(),
+        ))
     }
 
     /// Destination MAC address.
     pub fn dmac(&self) -> Result<MacAddr> {
-        Ok(MacAddr(self.field_bytes(FieldId::Dmac)?.try_into().unwrap()))
+        Ok(MacAddr(
+            self.field_bytes(FieldId::Dmac)?.try_into().unwrap(),
+        ))
     }
 
     /// The 5-tuple (sip, dip, sport, dport, proto) used for flow hashing.
     pub fn five_tuple(&self) -> Result<(Ipv4Addr, Ipv4Addr, u16, u16, u8)> {
         let l = self.parsed()?;
-        Ok((self.sip()?, self.dip()?, self.sport()?, self.dport()?, l.l4_proto))
+        Ok((
+            self.sip()?,
+            self.dip()?,
+            self.sport()?,
+            self.dport()?,
+            l.l4_proto,
+        ))
     }
 
     /// Application payload bytes.
@@ -579,7 +593,11 @@ pub(crate) mod tests {
         let l = p.parse().unwrap();
         let d = p.data();
         assert!(ipv4::Ipv4View::new(&d[l.l3..]).unwrap().verify_checksum());
-        assert!(tcp::verify_checksum(&d[l.l4..], p.sip().unwrap(), p.dip().unwrap()));
+        assert!(tcp::verify_checksum(
+            &d[l.l4..],
+            p.sip().unwrap(),
+            p.dip().unwrap()
+        ));
     }
 
     #[test]

@@ -143,7 +143,9 @@ impl PacketPool {
         let mut head = self.free_head.load(Ordering::Acquire);
         loop {
             let (old_idx, tag) = unpack(head);
-            self.slots[idx as usize].next.store(old_idx, Ordering::Relaxed);
+            self.slots[idx as usize]
+                .next
+                .store(old_idx, Ordering::Relaxed);
             match self.free_head.compare_exchange_weak(
                 head,
                 pack(idx, tag.wrapping_add(1)),
@@ -177,7 +179,9 @@ impl PacketPool {
     /// Add one logical owner (used by `distribute` to several parallel NFs
     /// without copying).
     pub fn retain(&self, r: PacketRef) {
-        let prev = self.slots[r.0 as usize].refcount.fetch_add(1, Ordering::AcqRel);
+        let prev = self.slots[r.0 as usize]
+            .refcount
+            .fetch_add(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "retain of a free slot");
     }
 
@@ -214,7 +218,10 @@ impl PacketPool {
     /// input collection).
     pub fn with<R>(&self, r: PacketRef, f: impl FnOnce(&Packet) -> R) -> R {
         let slot = &self.slots[r.0 as usize];
-        debug_assert!(slot.refcount.load(Ordering::Acquire) > 0, "with on free slot");
+        debug_assert!(
+            slot.refcount.load(Ordering::Acquire) > 0,
+            "with on free slot"
+        );
         // SAFETY: per the module contract, no `&mut Packet` exists while
         // shared readers run; field-level writers touch only byte ranges the
         // orchestrator proved disjoint from anything read here.
@@ -382,7 +389,8 @@ mod tests {
     fn field_read_write_through_pool() {
         let pool = PacketPool::new(2);
         let r = pool.insert(tcp_packet()).unwrap();
-        pool.write_field(r, FieldId::Dport, &443u16.to_be_bytes()).unwrap();
+        pool.write_field(r, FieldId::Dport, &443u16.to_be_bytes())
+            .unwrap();
         let mut buf = [0u8; 2];
         assert_eq!(pool.read_field(r, FieldId::Dport, &mut buf).unwrap(), 2);
         assert_eq!(u16::from_be_bytes(buf), 443);
@@ -449,7 +457,8 @@ mod tests {
         });
         let t2 = std::thread::spawn(move || {
             for i in 0..1000u16 {
-                p2.write_field(r, FieldId::Dport, &(!i).to_be_bytes()).unwrap();
+                p2.write_field(r, FieldId::Dport, &(!i).to_be_bytes())
+                    .unwrap();
             }
             p2.release(r);
         });

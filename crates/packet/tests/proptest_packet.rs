@@ -50,7 +50,11 @@ fn frame_strategy() -> impl Strategy<Value = Vec<u8>> {
             )
             .unwrap();
             f[54..].copy_from_slice(&payload);
-            tcp::fill_checksum(&mut f[34..], Ipv4Addr::from_u32(sip), Ipv4Addr::from_u32(dip));
+            tcp::fill_checksum(
+                &mut f[34..],
+                Ipv4Addr::from_u32(sip),
+                Ipv4Addr::from_u32(dip),
+            );
             f
         })
 }

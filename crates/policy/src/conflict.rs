@@ -161,7 +161,10 @@ fn position_conflicts(policy: &Policy) -> Vec<Conflict> {
             out.push(Conflict::ContradictoryPosition { nf: nf.clone() });
         }
     }
-    for (anchor, list) in [(PositionAnchor::First, firsts), (PositionAnchor::Last, lasts)] {
+    for (anchor, list) in [
+        (PositionAnchor::First, firsts),
+        (PositionAnchor::Last, lasts),
+    ] {
         if list.len() > 1 {
             out.push(Conflict::AmbiguousAnchor { anchor, nfs: list });
         }
@@ -206,7 +209,10 @@ mod tests {
 
     #[test]
     fn longer_cycles_detected() {
-        let p = Policy::new().order("A", "B").order("B", "C").order("C", "A");
+        let p = Policy::new()
+            .order("A", "B")
+            .order("B", "C")
+            .order("C", "A");
         let c = check_conflicts(&p);
         assert_eq!(c.len(), 1);
         if let Conflict::OrderCycle { cycle } = &c[0] {

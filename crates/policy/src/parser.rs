@@ -28,7 +28,11 @@ pub struct ParseError {
 
 impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "policy parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "policy parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -142,10 +146,9 @@ mod tests {
 
     #[test]
     fn parses_paper_table1_policy() {
-        let p = parse_policy(
-            "Position(VPN, first)\nOrder(FW, before, LB)\nOrder(Monitor, before, LB)",
-        )
-        .unwrap();
+        let p =
+            parse_policy("Position(VPN, first)\nOrder(FW, before, LB)\nOrder(Monitor, before, LB)")
+                .unwrap();
         assert_eq!(p.rules().len(), 3);
         assert_eq!(p.rules()[0], Rule::position("VPN", PositionAnchor::First));
         assert_eq!(p.rules()[1], Rule::order("FW", "LB"));

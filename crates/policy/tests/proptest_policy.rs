@@ -17,7 +17,11 @@ fn rule_strategy() -> impl Strategy<Value = Rule> {
         (name_strategy(), name_strategy()).prop_map(|(a, b)| Rule::priority(a, b)),
         (name_strategy(), any::<bool>()).prop_map(|(a, first)| Rule::position(
             a,
-            if first { PositionAnchor::First } else { PositionAnchor::Last }
+            if first {
+                PositionAnchor::First
+            } else {
+                PositionAnchor::Last
+            }
         )),
     ]
 }
@@ -34,7 +38,12 @@ fn has_order_cycle(policy: &Policy) -> bool {
             adj.entry(before.as_str()).or_default().push(after.as_str());
         }
     }
-    fn reaches(adj: &HashMap<&str, Vec<&str>>, from: &str, to: &str, seen: &mut HashSet<String>) -> bool {
+    fn reaches(
+        adj: &HashMap<&str, Vec<&str>>,
+        from: &str,
+        to: &str,
+        seen: &mut HashSet<String>,
+    ) -> bool {
         if from == to {
             return true;
         }

@@ -84,7 +84,11 @@ impl LatencyBreakdown {
 
 /// NFP latency for one packet through `graph` with payload size
 /// `payload_bytes` (affects full-copy cost only).
-pub fn nfp_latency(graph: &ServiceGraph, model: &CostModel, payload_bytes: usize) -> LatencyBreakdown {
+pub fn nfp_latency(
+    graph: &ServiceGraph,
+    model: &CostModel,
+    payload_bytes: usize,
+) -> LatencyBreakdown {
     let mut b = LatencyBreakdown {
         steering_ns: model.classify_ns + model.hop_ns, // classify + first hop
         ..Default::default()

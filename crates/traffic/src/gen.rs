@@ -195,7 +195,11 @@ mod tests {
             ..spec()
         };
         let sizes = |s: TrafficSpec| -> Vec<usize> {
-            TrafficGenerator::new(s).batch(50).iter().map(|p| p.len()).collect()
+            TrafficGenerator::new(s)
+                .batch(50)
+                .iter()
+                .map(|p| p.len())
+                .collect()
         };
         assert_eq!(sizes(randomized(7)), sizes(randomized(7)));
         assert_ne!(sizes(randomized(7)), sizes(randomized(8)));
@@ -204,8 +208,12 @@ mod tests {
     #[test]
     fn flows_cycle_round_robin() {
         let mut g = TrafficGenerator::new(spec());
-        let first: Vec<_> = (0..8).map(|_| g.next_packet().five_tuple().unwrap()).collect();
-        let second: Vec<_> = (0..8).map(|_| g.next_packet().five_tuple().unwrap()).collect();
+        let first: Vec<_> = (0..8)
+            .map(|_| g.next_packet().five_tuple().unwrap())
+            .collect();
+        let second: Vec<_> = (0..8)
+            .map(|_| g.next_packet().five_tuple().unwrap())
+            .collect();
         assert_eq!(first, second);
         let distinct: std::collections::HashSet<_> = first.iter().collect();
         assert_eq!(distinct.len(), 8);

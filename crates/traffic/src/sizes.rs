@@ -27,12 +27,7 @@ impl SizeDistribution {
     /// transfer), calibrated so the mean is ≈ 724 B — the figure the
     /// paper's resource-overhead equation plugs in.
     pub fn datacenter() -> Self {
-        SizeDistribution::Empirical(vec![
-            (64, 0.40),
-            (200, 0.05),
-            (576, 0.10),
-            (1400, 0.45),
-        ])
+        SizeDistribution::Empirical(vec![(64, 0.40), (200, 0.05), (576, 0.10), (1400, 0.45)])
     }
 
     /// Mean frame size in bytes.

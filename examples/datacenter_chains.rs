@@ -18,7 +18,11 @@ fn make(name: &str) -> Box<dyn NetworkFunction> {
         "Monitor" => Box::new(monitor::Monitor::new(name)),
         "Firewall" => Box::new(firewall::Firewall::with_synthetic_acl(name, 100)),
         "LB" | "LoadBalancer" => Box::new(lb::LoadBalancer::with_uniform_backends(name, 8)),
-        "IDS" => Box::new(ids::Ids::with_synthetic_signatures(name, 100, ids::IdsMode::Inline)),
+        "IDS" => Box::new(ids::Ids::with_synthetic_signatures(
+            name,
+            100,
+            ids::IdsMode::Inline,
+        )),
         other => unreachable!("{other}"),
     }
 }
@@ -50,7 +54,12 @@ fn main() {
 
         // Threaded run.
         let tables = Arc::new(nfp_core::orchestrator::tables::generate(&compiled.graph, 1));
-        let nfs: Vec<_> = compiled.graph.nodes.iter().map(|n| make(n.name.as_str())).collect();
+        let nfs: Vec<_> = compiled
+            .graph
+            .nodes
+            .iter()
+            .map(|n| make(n.name.as_str()))
+            .collect();
         // In-flight window of 1 keeps packet order identical to the
         // sequential oracle — the VPN's AH sequence numbers (and thus its
         // CTR nonces) depend on processing order.

@@ -68,9 +68,15 @@ fn main() {
         }
     };
     println!("\ncompiled graph: {}", compiled.graph.describe());
-    println!("equivalent chain length: {}", compiled.graph.equivalent_chain_length());
+    println!(
+        "equivalent chain length: {}",
+        compiled.graph.equivalent_chain_length()
+    );
     println!("max parallelism degree:  {}", compiled.graph.max_degree());
-    println!("copies per packet:       {}", compiled.graph.copies_per_packet());
+    println!(
+        "copies per packet:       {}",
+        compiled.graph.copies_per_packet()
+    );
     for w in &compiled.warnings {
         println!("warning: {w:?}");
     }

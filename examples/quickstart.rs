@@ -17,11 +17,14 @@ fn main() {
     // 2. The orchestrator identifies NF dependencies (Algorithm 1 over the
     //    built-in Table 2 action profiles) and compiles a service graph.
     let registry = Registry::paper_table2();
-    let compiled = compile(&policy, &registry, &[], &CompileOptions::default())
-        .expect("policy compiles");
+    let compiled =
+        compile(&policy, &registry, &[], &CompileOptions::default()).expect("policy compiles");
     let graph = &compiled.graph;
     println!("compiled graph:   {}", graph.describe());
-    println!("equivalent length: {} (sequential would be 3)", graph.equivalent_chain_length());
+    println!(
+        "equivalent length: {} (sequential would be 3)",
+        graph.equivalent_chain_length()
+    );
     println!("copies per packet: {}\n", graph.copies_per_packet());
 
     // 3. Generate the runtime tables (classification / forwarding /
@@ -33,12 +36,12 @@ fn main() {
         .map(|n| -> Box<dyn NetworkFunction> {
             match n.name.as_str() {
                 "Monitor" => Box::new(nfp_core::nf::monitor::Monitor::new("Monitor")),
-                "Firewall" => {
-                    Box::new(nfp_core::nf::firewall::Firewall::with_synthetic_acl("Firewall", 100))
-                }
-                "LoadBalancer" => {
-                    Box::new(nfp_core::nf::lb::LoadBalancer::with_uniform_backends("LB", 4))
-                }
+                "Firewall" => Box::new(nfp_core::nf::firewall::Firewall::with_synthetic_acl(
+                    "Firewall", 100,
+                )),
+                "LoadBalancer" => Box::new(nfp_core::nf::lb::LoadBalancer::with_uniform_backends(
+                    "LB", 4,
+                )),
                 other => unreachable!("{other}"),
             }
         })
@@ -65,5 +68,8 @@ fn main() {
             None => println!("pkt {i}: dropped"),
         }
     }
-    println!("\ndelivered={} dropped={}", engine.delivered, engine.dropped);
+    println!(
+        "\ndelivered={} dropped={}",
+        engine.delivered, engine.dropped
+    );
 }

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate (see `shims/rand` for the
+//! rationale). Only `crossbeam::thread::scope` is provided — the one
+//! entry point this workspace uses — implemented on top of
+//! `std::thread::scope`, which has equivalent soundness guarantees since
+//! Rust 1.63.
+
+#![warn(missing_docs)]
+
+/// Scoped threads with the `crossbeam::thread` API.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; spawned closures receive a reference so they can
+    /// spawn further scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. As in crossbeam, the closure receives
+        /// the scope so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope: all threads spawned within are joined before this
+    /// returns. `Err` carries the panic payload if the closure or any
+    /// unjoined child panicked (crossbeam's contract).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_and_returns_value() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                handles.push(scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    21
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(out, 21 * 8);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 5).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 5);
+    }
+
+    #[test]
+    fn panic_in_child_becomes_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn::<_, ()>(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

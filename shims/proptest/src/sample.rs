@@ -1,0 +1,95 @@
+//! Sampling strategies: `select` one element, or an order-preserving
+//! `subsequence`.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Pick one element of `options`, uniformly.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over empty options");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len())].clone()
+    }
+}
+
+/// Pick an order-preserving subsequence of `source` whose length falls in
+/// `size` (clamped to the source length).
+pub fn subsequence<T: Clone>(source: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        source,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T: Clone> {
+    source: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let max = self.size.max.min(self.source.len());
+        let min = self.size.min.min(max);
+        let k = if min == max {
+            min
+        } else {
+            min + rng.below(max - min + 1)
+        };
+        // Draw k distinct indices, then emit them in source order.
+        let mut indices: Vec<usize> = (0..self.source.len()).collect();
+        rng.shuffle(&mut indices);
+        indices.truncate(k);
+        indices.sort_unstable();
+        indices
+            .into_iter()
+            .map(|i| self.source[i].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_only_returns_options() {
+        let mut rng = TestRng::from_seed(3);
+        let s = select(vec!["a", "b", "c"]);
+        for _ in 0..100 {
+            assert!(["a", "b", "c"].contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_size() {
+        let mut rng = TestRng::from_seed(4);
+        let src: Vec<u32> = (0..10).collect();
+        let s = subsequence(src.clone(), 2..=5);
+        for _ in 0..500 {
+            let sub = s.generate(&mut rng);
+            assert!((2..=5).contains(&sub.len()));
+            let mut sorted = sub.clone();
+            sorted.sort_unstable();
+            assert_eq!(sub, sorted, "order preserved");
+            assert!(sub.iter().all(|x| src.contains(x)));
+            let mut dedup = sub.clone();
+            dedup.dedup();
+            assert_eq!(dedup, sub, "distinct elements");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The [`Strategy`] trait and the core combinators.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe: only [`Strategy::generate`] is required; the combinators
+/// are `Sized`-gated defaults, so `Box<dyn Strategy<Value = V>>` works.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Randomly permute a generated `Vec`.
+    fn prop_shuffle<T>(self) -> Shuffle<Self>
+    where
+        Self: Sized + Strategy<Value = Vec<T>>,
+    {
+        Shuffle { inner: self }
+    }
+
+    /// Discard generated values failing the predicate by re-drawing
+    /// (bounded; panics if the filter rejects persistently).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erase.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform values of a primitive type — `any::<T>()`.
+pub fn any<T: ArbitraryValue>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Primitive types `any` can produce.
+pub trait ArbitraryValue {
+    /// Draw one uniformly distributed value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {
+        $(impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+impl<T: ArbitraryValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    if span == 0 {
+                        // Full-width inclusive range.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        )*
+    };
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.unit_f64() as $t * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + rng.unit_f64() as $t * (hi - lo)
+                }
+            }
+        )*
+    };
+}
+float_range_strategy!(f32, f64);
+
+/// [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// [`Strategy::prop_shuffle`] adapter.
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.inner.generate(rng);
+        rng.shuffle(&mut v);
+        v
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 draws in a row", self.whence);
+    }
+}
+
+/// `prop_oneof!`'s backing type: uniform choice between same-typed
+/// strategies.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the macro's boxed arms.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3usize..7).generate(&mut r);
+            assert!((3..7).contains(&v));
+            let w = (2usize..=5).generate(&mut r);
+            assert!((2..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut r = rng();
+        let s = (0u32..10, any::<bool>()).prop_map(|(n, b)| if b { n + 100 } else { n });
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v < 10 || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = rng();
+        let s = Just((0..50).collect::<Vec<i32>>()).prop_shuffle();
+        let mut v = s.generate(&mut r);
+        v.sort_unstable();
+        assert_eq!(v, (0..50).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut r = rng();
+        let s = Union::new(vec![Just(1).boxed(), Just(2).boxed(), Just(3).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut r) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,146 @@
+//! The case runner: deterministic per-test RNG, configuration, and the
+//! failure type the `prop_assert*` macros produce.
+
+use rand::{Rng, SeedableRng, StdRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration (the subset of upstream's fields we honor).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// The inputs were rejected (e.g. `prop_assume`); not a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsification with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// An input rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies. Deterministic per (test name, case
+/// index, base seed), so failures print everything needed to re-run them.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One uniformly random 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// FNV-1a, used to give every property its own seed stream.
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: `cases` generated inputs, each caught
+/// individually so the failing case index and seed are reported.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let cases = env_u64("PROPTEST_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(config.cases)
+        .max(1);
+    let base = env_u64("PROPTEST_SEED").unwrap_or(DEFAULT_SEED);
+    let stream = base ^ hash_name(name);
+    for i in 0..cases {
+        let seed = stream.wrapping_add(u64::from(i));
+        let mut rng = TestRng::from_seed(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "property `{name}` falsified at case {i}/{cases} \
+                     (PROPTEST_SEED={base}): {msg}"
+                );
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                panic!(
+                    "property `{name}` panicked at case {i}/{cases} \
+                     (PROPTEST_SEED={base}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Base seed when `PROPTEST_SEED` is unset.
+const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_d00d;

@@ -26,7 +26,11 @@ fn make(name: &str) -> Box<dyn NetworkFunction> {
         "Monitor" => Box::new(monitor::Monitor::new(name)),
         "Firewall" => Box::new(firewall::Firewall::with_synthetic_acl(name, 100)),
         "LB" => Box::new(lb::LoadBalancer::with_uniform_backends(name, 8)),
-        "IDS" => Box::new(ids::Ids::with_synthetic_signatures(name, 100, ids::IdsMode::Inline)),
+        "IDS" => Box::new(ids::Ids::with_synthetic_signatures(
+            name,
+            100,
+            ids::IdsMode::Inline,
+        )),
         "Gateway" => Box::new(monitor::Monitor::new(name)), // read-only stand-in
         other => unreachable!("{other}"),
     }
@@ -45,7 +49,8 @@ fn adversarial_traffic(n: usize) -> Vec<Packet> {
         if i % 7 == 0 {
             // Hit firewall deny rule #(i%100): dst 172.16.x.0/24, dport 7000+x.
             let x = (i % 100) as u16;
-            p.set_dip(Ipv4Addr::new(172, 16, (x % 256) as u8, 9)).unwrap();
+            p.set_dip(Ipv4Addr::new(172, 16, (x % 256) as u8, 9))
+                .unwrap();
             p.set_dport(7000 + x).unwrap();
             p.finalize_checksums().unwrap();
         }

@@ -72,7 +72,10 @@ fn partitioned_graph_equals_whole_graph() {
     )
     .unwrap();
     let graph = &compiled.graph;
-    assert_eq!(graph.describe(), "VPN -> [Monitor | Firewall] -> LoadBalancer");
+    assert_eq!(
+        graph.describe(),
+        "VPN -> [Monitor | Firewall] -> LoadBalancer"
+    );
 
     // Two NFs per server → at least two servers, one copy per boundary.
     let plans = partition(graph, 2).unwrap();

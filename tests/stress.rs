@@ -44,7 +44,8 @@ fn traffic(n: usize, drop_share: usize) -> Vec<Packet> {
     for (i, p) in pkts.iter_mut().enumerate() {
         if drop_share > 0 && i % drop_share == 0 {
             let x = (i % 100) as u16;
-            p.set_dip(Ipv4Addr::new(172, 16, (x % 256) as u8, 1)).unwrap();
+            p.set_dip(Ipv4Addr::new(172, 16, (x % 256) as u8, 1))
+                .unwrap();
             p.set_dport(7000 + x).unwrap();
             p.finalize_checksums().unwrap();
         }

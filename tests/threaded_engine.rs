@@ -18,7 +18,12 @@ fn make(name: &str) -> Box<dyn NetworkFunction> {
     }
 }
 
-fn build(chain: &[&str]) -> (nfp_orchestrator::Compiled, Arc<nfp_orchestrator::tables::GraphTables>) {
+fn build(
+    chain: &[&str],
+) -> (
+    nfp_orchestrator::Compiled,
+    Arc<nfp_orchestrator::tables::GraphTables>,
+) {
     let compiled = compile(
         &Policy::from_chain(chain.iter().copied()),
         &Registry::paper_table2(),
@@ -40,7 +45,8 @@ fn traffic(n: usize) -> Vec<Packet> {
     for (i, p) in pkts.iter_mut().enumerate() {
         if i % 5 == 0 {
             let x = (i % 100) as u16;
-            p.set_dip(Ipv4Addr::new(172, 16, (x % 256) as u8, 1)).unwrap();
+            p.set_dip(Ipv4Addr::new(172, 16, (x % 256) as u8, 1))
+                .unwrap();
             p.set_dport(7000 + x).unwrap();
             p.finalize_checksums().unwrap();
         }
@@ -148,9 +154,7 @@ fn graph_with_two_parallel_segments_merges_twice() {
                 use nfp_core::nf::*;
                 match n.name.as_str() {
                     "Monitor" => Box::new(monitor::Monitor::new("Monitor")),
-                    "LoadBalancer" => {
-                        Box::new(lb::LoadBalancer::with_uniform_backends("LB", 4))
-                    }
+                    "LoadBalancer" => Box::new(lb::LoadBalancer::with_uniform_backends("LB", 4)),
                     "Caching" => Box::new(extra::Caching::new("Caching", 32)),
                     "Gateway" => Box::new(extra::Gateway::new("Gateway")),
                     other => unreachable!("{other}"),
@@ -200,8 +204,5 @@ fn engine_rerun_accumulates() {
     let r1 = engine.run(traffic(50));
     let r2 = engine.run(traffic(50));
     assert_eq!(r1.injected + r2.injected, 100);
-    assert_eq!(
-        r1.delivered + r1.dropped + r2.delivered + r2.dropped,
-        100
-    );
+    assert_eq!(r1.delivered + r1.dropped + r2.delivered + r2.dropped, 100);
 }

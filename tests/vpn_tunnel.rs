@@ -54,7 +54,12 @@ fn tunnel_roundtrip_through_graph() {
     // Monitor∥Firewall in between parallelizes if placed adjacently... but
     // between two AddRm NFs everything is fenced. Verify structure + data.
     let (mut e, compiled) = engine(&["VPN-encap", "Monitor", "Firewall", "VPN-decap"]);
-    assert_eq!(compiled.graph.equivalent_chain_length(), 3, "{}", compiled.graph.describe());
+    assert_eq!(
+        compiled.graph.equivalent_chain_length(),
+        3,
+        "{}",
+        compiled.graph.describe()
+    );
 
     let mut gen = TrafficGenerator::new(TrafficSpec {
         flows: 8,
@@ -65,7 +70,11 @@ fn tunnel_roundtrip_through_graph() {
         let pkt = gen.next_packet();
         let original_payload = pkt.payload().unwrap().to_vec();
         let original_tuple = pkt.five_tuple().unwrap();
-        let out = e.process(pkt).unwrap().delivered().expect("tunnel delivers");
+        let out = e
+            .process(pkt)
+            .unwrap()
+            .delivered()
+            .expect("tunnel delivers");
         // Decapsulated: no AH, plaintext restored, addressing intact.
         assert_eq!(out.parsed().unwrap().ah, None);
         assert_eq!(out.payload().unwrap(), &original_payload[..]);
