@@ -105,14 +105,8 @@ impl OnvmPipeline {
 
             // The centralized switch: serializes ALL hops.
             scope.spawn(|_| {
-                let push = |mut msg: OnvmMsg, tx: &ring::Producer<OnvmMsg>| loop {
-                    match tx.push(msg) {
-                        Ok(()) => return,
-                        Err(back) => {
-                            msg = back;
-                            std::thread::yield_now();
-                        }
-                    }
+                let push = |msg: OnvmMsg, tx: &ring::Producer<OnvmMsg>| {
+                    ring::push_blocking(tx, msg);
                 };
                 loop {
                     let mut progress = false;
@@ -158,15 +152,7 @@ impl OnvmPipeline {
                                     nf.process(&mut view)
                                 };
                                 match verdict {
-                                    Verdict::Pass => loop {
-                                        match tx.push(msg) {
-                                            Ok(()) => break,
-                                            Err(back) => {
-                                                msg = back;
-                                                std::thread::yield_now();
-                                            }
-                                        }
-                                    },
+                                    Verdict::Pass => ring::push_blocking(&tx, msg),
                                     Verdict::Drop => {
                                         dropped_ref.fetch_add(1, Ordering::Release);
                                     }
@@ -217,19 +203,11 @@ impl OnvmPipeline {
                 }
                 pkt.set_meta(Metadata::new(0, i as u64, 1));
                 inject_times.push(Instant::now());
-                let mut msg = OnvmMsg {
+                let msg = OnvmMsg {
                     pkt: Box::new(pkt),
                     stage: 0,
                 };
-                loop {
-                    match inj_tx.push(msg) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            msg = back;
-                            std::thread::yield_now();
-                        }
-                    }
-                }
+                ring::push_blocking(&inj_tx, msg);
             }
             while delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire)
                 < injected_total

@@ -11,7 +11,6 @@ use nfp_nf::PacketView;
 use nfp_orchestrator::tables::{FtAction, MemberSpec, MergeSpec};
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Metadata;
-use std::sync::Arc;
 
 fn bench_nf_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("nf_service");
@@ -79,14 +78,14 @@ fn bench_real_world_graphs(c: &mut Criterion) {
         ("east_west", &["IDS", "Monitor", "LB"][..]),
     ] {
         let compiled = compile_chain(chain);
-        let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+        let program = compiled.program(1).unwrap();
         let nfs: Vec<_> = compiled
             .graph
             .nodes
             .iter()
             .map(|n| make_nf(n.name.as_str()))
             .collect();
-        let mut engine = SyncEngine::new(tables, nfs, 64);
+        let mut engine = SyncEngine::new(program, nfs, 64);
         let pkts = fixed_traffic(64, 724);
         let mut i = 0usize;
         group.bench_function(BenchmarkId::from_parameter(label), |b| {

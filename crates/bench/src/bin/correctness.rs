@@ -9,7 +9,6 @@
 use nfp_baseline::RunToCompletion;
 use nfp_bench::setups::{compile_chain, datacenter_traffic, make_nf};
 use nfp_dataplane::sync_engine::{ProcessOutcome, SyncEngine};
-use std::sync::Arc;
 
 fn main() {
     println!("== §6.4: sequential chain vs NFP graph replay ==\n");
@@ -19,14 +18,14 @@ fn main() {
         &["Monitor", "Firewall"][..],
     ] {
         let compiled = compile_chain(chain);
-        let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+        let program = compiled.program(1).unwrap();
         let nfs_par: Vec<_> = compiled
             .graph
             .nodes
             .iter()
             .map(|n| make_nf(n.name.as_str()))
             .collect();
-        let mut parallel = SyncEngine::new(tables, nfs_par, 128);
+        let mut parallel = SyncEngine::new(program, nfs_par, 128);
         let mut sequential = RunToCompletion::new(chain.iter().map(|n| make_nf(n)).collect());
 
         let packets = datacenter_traffic(2_000);

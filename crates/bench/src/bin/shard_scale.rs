@@ -1,0 +1,115 @@
+//! RSS flow-sharding scale-out sweep: run the firewall chain on the
+//! sharded threaded engine with 1→4 shards and report delivered
+//! throughput per shard count, dumping machine-readable results to
+//! `results/BENCH_shard_scale.json`.
+//!
+//! On a multi-core host, shards map onto distinct cores and delivered pps
+//! should scale close to linearly until the core budget (or the
+//! dispatcher) is exhausted — the paper's Figure 12 regime. On a
+//! single-core host the shard replicas time-slice one CPU, so the sweep
+//! degenerates into a scheduling-overhead measurement; the JSON records
+//! the detected parallelism so readers can interpret the numbers.
+//!
+//! Usage: `cargo run --release --bin shard_scale [packets]`
+
+use nfp_bench::setups::{compile_chain, fixed_traffic, make_nf};
+use nfp_dataplane::engine::EngineConfig;
+use nfp_dataplane::shard::ShardedEngine;
+use nfp_nf::NetworkFunction;
+use std::fmt::Write as _;
+
+struct Row {
+    shards: usize,
+    delivered: u64,
+    dropped: u64,
+    elapsed_s: f64,
+    pps: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let compiled = compile_chain(&["Monitor", "Firewall"]);
+    let program = compiled.program(1).expect("program seals");
+    let make_nfs = || -> Vec<Box<dyn NetworkFunction>> {
+        compiled
+            .graph
+            .nodes
+            .iter()
+            .map(|node| make_nf(node.name.as_str()))
+            .collect()
+    };
+    let pkts = fixed_traffic(n, 200);
+
+    println!("== RSS shard scale-out: {:?} ==", compiled.graph.describe());
+    println!("host parallelism: {parallelism} core(s)");
+    if parallelism < 4 {
+        println!(
+            "note: fewer cores than the largest shard count — replicas \
+             time-slice, so expect flat (not linear) scaling here."
+        );
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for shards in 1..=4usize {
+        let mut engine = ShardedEngine::new(
+            &program,
+            make_nfs,
+            &EngineConfig {
+                max_in_flight: 64,
+                pool_size: shards * 512,
+                mergers: 2,
+                ..EngineConfig::default()
+            },
+            shards,
+        )
+        .expect("shard config");
+        let report = engine.run(pkts.clone());
+        let pps = report.pps();
+        let speedup = rows.first().map_or(1.0, |base| pps / base.pps);
+        println!(
+            "shards {shards}: delivered {} dropped {} in {:?}  ({:.2} Mpps, {speedup:.2}x vs 1 shard)",
+            report.delivered,
+            report.dropped,
+            report.elapsed,
+            pps / 1e6,
+        );
+        rows.push(Row {
+            shards,
+            delivered: report.delivered,
+            dropped: report.dropped,
+            elapsed_s: report.elapsed.as_secs_f64(),
+            pps,
+            speedup,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"shard_scale\",");
+    let _ = writeln!(json, "  \"chain\": \"Monitor->Firewall\",");
+    let _ = writeln!(json, "  \"packets\": {n},");
+    let _ = writeln!(json, "  \"host_parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"delivered\": {}, \"dropped\": {}, \
+             \"elapsed_s\": {:.6}, \"pps\": {:.1}, \"speedup_vs_1\": {:.3}}}{comma}",
+            r.shards, r.delivered, r.dropped, r.elapsed_s, r.pps, r.speedup
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_shard_scale.json", &json).expect("write results");
+    println!("\nwrote results/BENCH_shard_scale.json");
+}

@@ -13,7 +13,6 @@ use nfp_nf::NetworkFunction;
 use nfp_orchestrator::{compile, CompileOptions, Registry};
 use nfp_packet::ipv4::Ipv4Addr;
 use nfp_policy::Policy;
-use std::sync::Arc;
 
 fn registry() -> Registry {
     let mut r = Registry::paper_table2();
@@ -47,7 +46,7 @@ fn run_chain(chain: &[&str], n: usize, mergers: usize) {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<_> = compiled
         .graph
         .nodes
@@ -55,7 +54,7 @@ fn run_chain(chain: &[&str], n: usize, mergers: usize) {
         .map(|node| make(node.name.as_str()))
         .collect();
     let mut engine = Engine::new(
-        tables,
+        program,
         nfs,
         EngineConfig {
             mergers,
@@ -63,7 +62,8 @@ fn run_chain(chain: &[&str], n: usize, mergers: usize) {
             pool_size: 1024,
             ..EngineConfig::default()
         },
-    );
+    )
+    .expect("engine config");
     // A tenth of the traffic hits firewall deny rules so the drop-cause
     // columns are exercised.
     let mut pkts = fixed_traffic(n, 200);

@@ -13,7 +13,6 @@
 //! NF names resolve against the built-in Table 2 registry.
 
 use nfp_core::orchestrator::census::{census, Weighting};
-use nfp_core::orchestrator::tables;
 use nfp_core::prelude::*;
 use nfp_core::sim::overhead;
 use std::process::ExitCode;
@@ -142,8 +141,16 @@ fn cmd_compile(path: &str, sequential: bool, no_dirty_reuse: bool, show_tables: 
         println!("warning: {w:?}");
     }
     if show_tables {
-        let t = tables::generate(g, 1);
-        println!("\nclassifier actions: {:?}", t.entry_actions);
+        let program = match compiled.program(1) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("program seal error: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let t = program.tables();
+        println!("\nslots/packet:      {}", program.slots_per_packet());
+        println!("classifier actions: {:?}", t.entry_actions);
         for (i, cfg) in t.nf_configs.iter().enumerate() {
             println!("{}: {:?}", g.nodes[i].name, cfg.actions);
         }

@@ -20,7 +20,6 @@
 //!
 //! ```
 //! use nfp_core::prelude::*;
-//! use std::sync::Arc;
 //!
 //! // 1. Describe the chain (a classic north-south service chain).
 //! let policy = Policy::from_chain(["VPN", "Monitor", "Firewall", "LoadBalancer"]);
@@ -31,15 +30,16 @@
 //! assert_eq!(compiled.graph.describe(), "VPN -> [Monitor | Firewall] -> LoadBalancer");
 //! assert_eq!(compiled.graph.equivalent_chain_length(), 3); // was 4 sequential
 //!
-//! // 3. Generate runtime tables and execute packets deterministically.
-//! let tables = Arc::new(nfp_core::orchestrator::tables::generate(&compiled.graph, 1));
+//! // 3. Seal the compilation into a validated Program and execute packets
+//! //    deterministically.
+//! let program = compiled.program(1).unwrap();
 //! let nfs: Vec<Box<dyn NetworkFunction>> = vec![
 //!     Box::new(nfp_core::nf::vpn::Vpn::new("VPN", [7; 16], 1, nfp_core::nf::vpn::VpnMode::Encapsulate)),
 //!     Box::new(nfp_core::nf::monitor::Monitor::new("Monitor")),
 //!     Box::new(nfp_core::nf::firewall::Firewall::with_synthetic_acl("Firewall", 100)),
 //!     Box::new(nfp_core::nf::lb::LoadBalancer::with_uniform_backends("LB", 4)),
 //! ];
-//! let mut engine = SyncEngine::new(tables, nfs, 64);
+//! let mut engine = SyncEngine::new(program, nfs, 64);
 //! let pkt = nfp_core::traffic::gen::build_tcp_frame(
 //!     "10.0.0.1".parse().unwrap(), "10.1.2.3".parse().unwrap(), 1234, 443, b"hello");
 //! let out = engine.process(pkt).unwrap().delivered().unwrap();
@@ -60,10 +60,10 @@ pub use nfp_traffic as traffic;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use nfp_baseline::{OnvmPipeline, RunToCompletion};
-    pub use nfp_dataplane::{Engine, EngineConfig, SyncEngine};
+    pub use nfp_dataplane::{Engine, EngineConfig, EngineError, ShardedEngine, SyncEngine};
     pub use nfp_nf::{NetworkFunction, PacketView, Verdict};
     pub use nfp_orchestrator::{
-        compile, identify, ActionProfile, CompileOptions, Compiled, Registry, ServiceGraph,
+        compile, identify, ActionProfile, CompileOptions, Compiled, Program, Registry, ServiceGraph,
     };
     pub use nfp_packet::{FieldId, FieldMask, Metadata, Packet, PacketPool, PacketRef};
     pub use nfp_policy::{parse_policy, Policy, PositionAnchor, Rule};

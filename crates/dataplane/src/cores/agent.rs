@@ -1,0 +1,144 @@
+//! The merger **agent/sequencer core** — router plus result-correctness
+//! sequencer (paper §4.3, §5.3).
+//!
+//! With several merger instances, merges finish in racy order. If each
+//! instance forwarded its merged packets downstream directly, packets
+//! would cross the merge boundary in a different order than the
+//! sequential reference — and any stateful downstream NF (a VPN's
+//! per-packet sequence counter, say) would then produce byte-different
+//! output, violating the paper's result-correctness principle.
+//!
+//! The agent therefore acts as router *and* sequencer. [`AgentCore::route`]
+//! assigns a dense per-(MID, segment) sequence number at the **first**
+//! copy of each PID — first-copy order across FIFO member rings is
+//! provably ascending-PID order — stamps every copy of that PID with the
+//! same sequence, and picks a merger instance by PID hash. Merger
+//! instances merge in parallel but hand their [`Outcome`]s back;
+//! [`AgentCore::release`] releases them strictly in sequence order,
+//! executing the merge spec's `next` actions. Every seq gets exactly one
+//! outcome (dropped packets included — dropping members emit nils, so
+//! every merge completes), so the release cursor never stalls.
+
+use crate::actions::{self, Deliver, Msg, VersionMap};
+use crate::merger;
+use crate::stats::StageStats;
+use nfp_orchestrator::tables::GraphTables;
+use nfp_packet::meta::VERSION_ORIGINAL;
+use nfp_packet::pool::{PacketPool, PacketRef};
+use std::collections::HashMap;
+
+/// A merge outcome returned from a merger instance to the agent.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    /// Match ID of the merged packet.
+    pub mid: u32,
+    /// Parallel segment the merge belongs to.
+    pub segment: u32,
+    /// The agent-assigned merge-order sequence number.
+    pub seq: u64,
+    /// Merged v1 to forward; `None` when the merge resolved to a drop or
+    /// failed (the merger already released all references).
+    pub forward: Option<PacketRef>,
+    /// True when the merge errored rather than resolving to a drop.
+    pub error: bool,
+}
+
+/// Per-(MID, segment) sequence assignment.
+#[derive(Default)]
+struct AssignState {
+    next_seq: u64,
+    /// PID → (assigned seq, copies routed so far). Entries are removed
+    /// once all `total_count` copies have passed through, so the map holds
+    /// at most the in-flight window.
+    by_pid: HashMap<u64, (u64, usize)>,
+}
+
+/// Per-(MID, segment) in-order release of merge outcomes.
+#[derive(Default)]
+struct ReleaseState {
+    next_seq: u64,
+    ready: HashMap<u64, (Option<PacketRef>, bool)>,
+}
+
+/// The agent/sequencer core. One per execution domain (engine or shard);
+/// its state is what must stay shard-local for sharded replication to
+/// preserve result correctness.
+pub struct AgentCore {
+    instances: usize,
+    assign: HashMap<(u32, u32), AssignState>,
+    release: HashMap<(u32, u32), ReleaseState>,
+}
+
+impl AgentCore {
+    /// An agent routing onto `instances` merger instances.
+    pub fn new(instances: usize) -> Self {
+        assert!(instances >= 1, "at least one merger instance");
+        Self {
+            instances,
+            assign: HashMap::new(),
+            release: HashMap::new(),
+        }
+    }
+
+    /// Route one merger-bound copy/nil: stamp its merge-order sequence
+    /// into `msg.seq` and return the merger instance index to send it to.
+    pub fn route(
+        &mut self,
+        msg: &mut Msg,
+        pool: &PacketPool,
+        tables: &GraphTables,
+        stats: &StageStats,
+    ) -> usize {
+        stats.note_in(1);
+        let (mid, pid) = pool.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
+        let total = tables
+            .merge_spec_for(msg.segment as usize)
+            .expect("merger msg implies spec")
+            .total_count;
+        let st = self.assign.entry((mid, msg.segment)).or_default();
+        let entry = st.by_pid.entry(pid).or_insert_with(|| {
+            let s = st.next_seq;
+            st.next_seq += 1;
+            (s, 0)
+        });
+        entry.1 += 1;
+        msg.seq = entry.0;
+        if entry.1 >= total {
+            st.by_pid.remove(&pid);
+        }
+        stats.note_out(1);
+        merger::agent_pick(pid, self.instances)
+    }
+
+    /// Accept one merge outcome and release every outcome that is now in
+    /// sequence order, executing the merge spec's `next` actions into
+    /// `sink`. Returns the number of merge-resolved drops surfaced (the
+    /// closed loop must account for them).
+    pub fn release(
+        &mut self,
+        o: Outcome,
+        pool: &PacketPool,
+        tables: &GraphTables,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+    ) -> u64 {
+        let rs = self.release.entry((o.mid, o.segment)).or_default();
+        rs.ready.insert(o.seq, (o.forward, o.error));
+        let mut drops = 0;
+        while let Some((fwd, _err)) = rs.ready.remove(&rs.next_seq) {
+            rs.next_seq += 1;
+            match fwd {
+                Some(v1) => {
+                    let spec = tables
+                        .merge_spec_for(o.segment as usize)
+                        .expect("outcome implies spec");
+                    let mut versions = VersionMap::single(VERSION_ORIGINAL, v1);
+                    actions::execute(&spec.next, pool, &mut versions, sink, stats)
+                        .expect("merger next actions");
+                }
+                None => drops += 1,
+            }
+        }
+        drops
+    }
+}

@@ -1,0 +1,81 @@
+//! The **merger core** — accumulating table plus merge execution (paper
+//! §5.3).
+//!
+//! One [`MergerCore`] backs one merger instance (threaded engine) or the
+//! whole merge stage (sync engine). It owns an accumulating table keyed by
+//! (MID, segment, PID); when the last expected copy or nil of a packet
+//! arrives, it resolves drop conflicts by member priority and folds the
+//! copies' modifications into v1, releasing every reference it consumed.
+
+use crate::actions::Msg;
+use crate::cores::agent::Outcome;
+use crate::merger::{self, Accumulator, MergeOutcome};
+use crate::stats::{DropCause, StageStats};
+use nfp_orchestrator::tables::GraphTables;
+use nfp_packet::pool::PacketPool;
+
+/// The merger core: accumulate arrivals, merge when complete.
+#[derive(Default)]
+pub struct MergerCore {
+    at: Accumulator,
+}
+
+impl MergerCore {
+    /// A fresh merger with an empty accumulating table.
+    pub fn new() -> Self {
+        Self {
+            at: Accumulator::new(),
+        }
+    }
+
+    /// Offer one arrival (copy or nil). Returns the merge [`Outcome`] when
+    /// this arrival completed the packet's expected count, `None` while
+    /// the accumulating table is still waiting for siblings.
+    pub fn offer(
+        &mut self,
+        msg: Msg,
+        pool: &PacketPool,
+        tables: &GraphTables,
+        stats: &StageStats,
+    ) -> Option<Outcome> {
+        stats.note_in(1);
+        let spec = tables
+            .merge_spec_for(msg.segment as usize)
+            .expect("merger msg implies spec");
+        let (mid, pid) = pool.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
+        let arrival = merger::arrival_from(pool, msg.r);
+        if arrival.nil {
+            stats.note_nil();
+        }
+        let arrivals = self
+            .at
+            .offer(mid, msg.segment, pid, arrival, spec.total_count)?;
+        stats.note_merge();
+        let (forward, error) = match merger::resolve_and_merge(spec, &arrivals, pool) {
+            Ok(MergeOutcome::Forward(v1)) => (Some(v1), false),
+            Ok(MergeOutcome::Dropped) => {
+                stats.note_drop(DropCause::MergeResolved);
+                (None, false)
+            }
+            Err(_) => {
+                stats.note_drop(DropCause::MergeError);
+                (None, true)
+            }
+        };
+        if forward.is_some() {
+            stats.note_out(1);
+        }
+        Some(Outcome {
+            mid,
+            segment: msg.segment,
+            seq: msg.seq,
+            forward,
+            error,
+        })
+    }
+
+    /// Packets waiting in the accumulating table (leak detection).
+    pub fn pending_len(&self) -> usize {
+        self.at.pending_len()
+    }
+}

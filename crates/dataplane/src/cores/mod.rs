@@ -1,0 +1,34 @@
+//! Shared per-stage cores — the single home of each pipeline stage's
+//! semantics.
+//!
+//! Historically the threaded engine, the sync engine and (partially) the
+//! onvm baseline each re-implemented the classifier/NF/agent/merger/
+//! collector behaviour, and the copies drifted. Each stage's semantics now
+//! lives in exactly one place, and both execution substrates — the
+//! deterministic FIFO scheduler of [`crate::sync_engine`] and the
+//! one-thread-per-stage ring mesh of [`crate::engine`] — drive the same
+//! cores off the same sealed [`nfp_orchestrator::program::Program`]:
+//!
+//! * **Classifier core** — [`crate::classifier::Classifier`] (CT lookup,
+//!   metadata stamping, entry actions).
+//! * **NF core** — [`crate::runtime::NfRuntime`] (access-mode dispatch,
+//!   forwarding-table slice execution, drop→nil conversion).
+//! * **Agent/sequencer core** — [`agent::AgentCore`] (PID-hash instance
+//!   pick, dense merge-order sequence assignment, in-order outcome
+//!   release — the §4.3 result-correctness mechanism).
+//! * **Merger core** — [`merge::MergerCore`] (accumulating table, nil
+//!   accounting, priority-based conflict resolution and the merge
+//!   itself).
+//! * **Collector core** — [`collector::collect`] (pool take + checksum
+//!   finalization).
+//!
+//! The cores are deliberately synchronous and allocation-light: an
+//! executor owns the loop (threads, rings, bursts, stop conditions) and
+//! calls into the cores per message.
+
+pub mod agent;
+pub mod collector;
+pub mod merge;
+
+pub use agent::{AgentCore, Outcome};
+pub use merge::MergerCore;

@@ -6,48 +6,36 @@
 //! **merger agent** thread that load-balances by PID hash onto N merger
 //! instance threads, and merged/finished packets reach a collector.
 //!
-//! All inter-thread edges are the from-scratch SPSC rings of
-//! [`crate::ring`]; every (producer context → consumer context) pair gets
-//! its own ring, so rings stay single-producer/single-consumer. Threads
-//! drain and emit in **bursts** (`pop_burst`/`push_burst`): one atomic
-//! publish per burst instead of one per packet.
+//! The engine executes a sealed [`Program`]: the ring mesh is instantiated
+//! straight from the program's [`nfp_orchestrator::WiringPlan`], and each
+//! thread drives the corresponding stage core from [`crate::cores`] — the
+//! same cores the deterministic [`crate::sync_engine`] dispatches inline,
+//! so the two engines cannot drift semantically. This module owns only the
+//! *executor*: threads, SPSC rings ([`crate::ring`]), burst batching,
+//! backpressure and stop conditions.
 //!
-//! # Merge-order sequencing (result correctness)
-//!
-//! With several merger instances, merges finish in racy order. If each
-//! instance forwarded its merged packets downstream directly, packets
-//! would cross the merge boundary in a different order than the
-//! sequential reference — and any stateful downstream NF (a VPN's
-//! per-packet sequence counter, say) would then produce byte-different
-//! output, violating the paper's result-correctness principle (§4.3).
-//!
-//! The agent therefore acts as router *and* sequencer. It assigns a dense
-//! per-(MID, segment) sequence number at the **first** copy of each PID —
-//! first-copy order across FIFO member rings is provably ascending-PID
-//! order — and stamps every copy of that PID with the same sequence.
-//! Merger instances still merge in parallel, but return their outcomes to
-//! the agent on dedicated outcome rings; the agent releases outcomes
-//! strictly in sequence order, executing the merge spec's `next` actions
-//! itself. Every seq gets exactly one outcome (dropped packets included —
-//! dropping members emit nils, so every merge completes), so the release
-//! cursor never stalls. The agent never blocks on a full ring (sends spill
-//! to an overflow stash, bounded by the in-flight window), which keeps the
-//! ring mesh deadlock-free.
+//! All inter-thread edges are SPSC rings; every (producer stage → consumer
+//! stage) pair gets its own ring. Threads drain and emit in **bursts**
+//! (`pop_burst`/`push_burst`): one atomic publish per burst instead of one
+//! per packet. Merge-order sequencing (§4.3 result correctness) lives in
+//! [`crate::cores::AgentCore`]; the agent thread merely keeps it fed and
+//! never blocks on a full ring (sends spill to an overflow stash, bounded
+//! by the in-flight window), which keeps the ring mesh deadlock-free.
 //!
 //! Threads busy-poll with `yield_now` when idle, so the engine is
 //! functional (if not representative of multi-core latency) even on a
 //! single-core host — see DESIGN.md on virtual-time experiments.
 
-use crate::actions::{self, Deliver, Msg, VersionMap};
+use crate::actions::{Deliver, Msg};
 use crate::classifier::{AdmitError, Classifier};
-use crate::merger::{self, Accumulator, MergeOutcome};
+use crate::cores::{collector, AgentCore, MergerCore, Outcome};
 use crate::ring::{self, Consumer, Producer};
 use crate::runtime::NfRuntime;
-use crate::stats::{DropCause, EngineStats, StageStats};
+use crate::stats::{EngineStats, StageStats};
 use nfp_nf::NetworkFunction;
-use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
-use nfp_packet::meta::VERSION_ORIGINAL;
-use nfp_packet::pool::{PacketPool, PacketRef};
+use nfp_orchestrator::tables::{DropBehavior, Target};
+use nfp_orchestrator::{Program, Stage};
+use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use nfp_traffic::{LatencyRecorder, LatencySummary};
 use std::collections::{HashMap, VecDeque};
@@ -90,6 +78,63 @@ impl Default for EngineConfig {
     }
 }
 
+/// Why an [`Engine`] (or [`crate::shard::ShardedEngine`]) refused to
+/// build. Caught at construction so a misconfiguration surfaces as a typed
+/// error instead of a wedged or panicking run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The NF instance list does not match the program's NF positions.
+    NfCountMismatch {
+        /// NF positions the program drives.
+        expected: usize,
+        /// NF instances supplied.
+        got: usize,
+    },
+    /// `mergers` was zero — the agent would have nowhere to route.
+    NoMergers,
+    /// The packet pool cannot cover the closed-loop window: every
+    /// in-flight packet can occupy up to `slots_per_packet` pool slots
+    /// (original + copies + transient nils), so a pool smaller than
+    /// `max_in_flight × slots_per_packet` can wedge the run on pool
+    /// exhaustion.
+    PoolTooSmall {
+        /// Configured pool slots.
+        pool_size: usize,
+        /// Minimum slots the window requires.
+        required: usize,
+        /// The configured in-flight window.
+        max_in_flight: usize,
+        /// Worst-case slots per admitted packet (from the program).
+        slots_per_packet: usize,
+    },
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::NfCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "program drives {expected} NF positions, got {got} instances"
+                )
+            }
+            EngineError::NoMergers => write!(f, "at least one merger instance is required"),
+            EngineError::PoolTooSmall {
+                pool_size,
+                required,
+                max_in_flight,
+                slots_per_packet,
+            } => write!(
+                f,
+                "pool of {pool_size} slots cannot cover max_in_flight {max_in_flight} × \
+                 {slots_per_packet} slots/packet = {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Result of one engine run.
 #[derive(Debug)]
 pub struct EngineReport {
@@ -101,7 +146,8 @@ pub struct EngineReport {
     pub dropped: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
-    /// Per-packet latency summary (inject → collect).
+    /// Per-packet latency summary (inject → collect). `None` when no
+    /// packet was delivered (there are no samples to summarize).
     pub latency: Option<LatencySummary>,
     /// Delivered packets, in completion order (when `keep_packets`).
     pub packets: Vec<Packet>,
@@ -110,30 +156,16 @@ pub struct EngineReport {
 }
 
 impl EngineReport {
-    /// Throughput in packets/second.
+    /// Throughput in packets/second, counting every packet the engine
+    /// *finished* — delivered **and** dropped — because a dropped packet
+    /// consumed the same pipeline work as a delivered one. Divide
+    /// `delivered` by `elapsed` instead for goodput. Returns `0.0` when
+    /// the run had no measurable duration.
     pub fn pps(&self) -> f64 {
         if self.elapsed.as_secs_f64() <= 0.0 {
             return 0.0;
         }
         (self.delivered + self.dropped) as f64 / self.elapsed.as_secs_f64()
-    }
-}
-
-/// Keys identifying ring consumers in the wiring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Ctx {
-    Classifier,
-    Nf(usize),
-    Agent,
-    Merger(usize),
-    Collector,
-}
-
-fn ctx_of(target: Target) -> Ctx {
-    match target {
-        Target::Nf(i) => Ctx::Nf(i),
-        Target::Merger(_) => Ctx::Agent,
-        Target::Output => Ctx::Collector,
     }
 }
 
@@ -160,19 +192,19 @@ fn flush_burst(p: &Producer<Msg>, buf: &mut Vec<Msg>, stats: &StageStats) {
     buf.clear();
 }
 
-/// A sink mapping abstract targets onto this context's ring producers,
-/// buffering messages per target and flushing them as bursts.
+/// A sink mapping abstract targets onto this stage's ring producers,
+/// buffering messages per target stage and flushing them as bursts.
 struct BurstSink<'a> {
-    out: HashMap<Ctx, (Producer<Msg>, Vec<Msg>)>,
+    out: HashMap<Stage, (Producer<Msg>, Vec<Msg>)>,
     stats: &'a StageStats,
 }
 
 impl BurstSink<'_> {
-    fn send(&mut self, ctx: Ctx, msg: Msg) {
+    fn send(&mut self, stage: Stage, msg: Msg) {
         let (p, buf) = self
             .out
-            .get_mut(&ctx)
-            .unwrap_or_else(|| panic!("no ring from this context to {ctx:?}"));
+            .get_mut(&stage)
+            .unwrap_or_else(|| panic!("no ring from this stage to {stage:?}"));
         buf.push(msg);
         if buf.len() >= BURST {
             flush_burst(p, buf, self.stats);
@@ -191,7 +223,7 @@ impl BurstSink<'_> {
 
 impl Deliver for BurstSink<'_> {
     fn deliver(&mut self, target: Target, msg: Msg) {
-        self.send(ctx_of(target), msg);
+        self.send(Stage::of(target), msg);
     }
 
     fn flush_hint(&mut self) {
@@ -205,16 +237,16 @@ impl Deliver for BurstSink<'_> {
 /// retries every loop iteration. The agent must never block because every
 /// other stage may be blocked on *it* draining its inbound rings.
 struct AgentSink<'a> {
-    out: HashMap<Ctx, (Producer<Msg>, VecDeque<Msg>)>,
+    out: HashMap<Stage, (Producer<Msg>, VecDeque<Msg>)>,
     stats: &'a StageStats,
 }
 
 impl AgentSink<'_> {
-    fn send(&mut self, ctx: Ctx, msg: Msg) {
+    fn send(&mut self, stage: Stage, msg: Msg) {
         let (p, stash) = self
             .out
-            .get_mut(&ctx)
-            .unwrap_or_else(|| panic!("no ring from the agent to {ctx:?}"));
+            .get_mut(&stage)
+            .unwrap_or_else(|| panic!("no ring from the agent to {stage:?}"));
         if stash.is_empty() {
             if let Err(back) = p.push(msg) {
                 self.stats.note_backpressure();
@@ -247,123 +279,70 @@ impl Deliver for AgentSink<'_> {
         // `Target::Merger` routes back through the agent itself (the
         // Agent→Agent self-ring): a next-segment copy needs its own
         // sequence assignment and instance pick.
-        self.send(ctx_of(target), msg);
+        self.send(Stage::of(target), msg);
     }
 }
 
-/// A merge outcome returned from a merger instance to the agent.
-#[derive(Debug, Clone, Copy)]
-struct OutcomeMsg {
-    mid: u32,
-    segment: u32,
-    seq: u64,
-    /// Merged v1 to forward; `None` when the merge resolved to a drop or
-    /// failed (the instance already released all references).
-    forward: Option<PacketRef>,
-    /// True when the merge errored rather than resolving to a drop.
-    error: bool,
-}
-
-/// Per-(MID, segment) sequence assignment at the agent.
-#[derive(Default)]
-struct AssignState {
-    next_seq: u64,
-    /// PID → (assigned seq, copies routed so far). Entries are removed
-    /// once all `total_count` copies have passed through, so the map holds
-    /// at most the in-flight window.
-    by_pid: HashMap<u64, (u64, usize)>,
-}
-
-/// Per-(MID, segment) in-order release of merge outcomes at the agent.
-#[derive(Default)]
-struct ReleaseState {
-    next_seq: u64,
-    ready: HashMap<u64, (Option<PacketRef>, bool)>,
-}
-
-/// The threaded engine. Build once, run many times.
+/// The threaded engine: one executor for a sealed [`Program`]. Build once,
+/// run many times.
 pub struct Engine {
-    tables: Arc<GraphTables>,
+    program: Program,
     nfs: Vec<Box<dyn NetworkFunction>>,
     config: EngineConfig,
 }
 
 impl Engine {
-    /// Create an engine over compiled `tables` and NF instances ordered by
-    /// `NodeId`.
+    /// Create an engine executing `program` with NF instances ordered by
+    /// `NodeId`. Validates the configuration against the program's pool
+    /// footprint — a pool that cannot cover the in-flight window is
+    /// rejected here rather than wedging a run later.
     pub fn new(
-        tables: Arc<GraphTables>,
+        program: Program,
         nfs: Vec<Box<dyn NetworkFunction>>,
         config: EngineConfig,
-    ) -> Self {
-        assert_eq!(nfs.len(), tables.nf_configs.len());
-        assert!(config.mergers >= 1);
-        Self {
-            tables,
+    ) -> Result<Engine, EngineError> {
+        if nfs.len() != program.nf_count() {
+            return Err(EngineError::NfCountMismatch {
+                expected: program.nf_count(),
+                got: nfs.len(),
+            });
+        }
+        if config.mergers == 0 {
+            return Err(EngineError::NoMergers);
+        }
+        let slots = program.slots_per_packet();
+        let required = config.max_in_flight.max(1) * slots;
+        if config.pool_size < required {
+            return Err(EngineError::PoolTooSmall {
+                pool_size: config.pool_size,
+                required,
+                max_in_flight: config.max_in_flight,
+                slots_per_packet: slots,
+            });
+        }
+        Ok(Self {
+            program,
             nfs,
             config,
-        }
+        })
     }
 
-    /// Which contexts does `from` deliver `Msg`s to? (Merger→agent outcome
-    /// rings are typed separately and not part of this mesh.)
-    fn targets_of(&self, from: Ctx) -> Vec<Ctx> {
-        let mut out = Vec::new();
-        let add = |c: Ctx, out: &mut Vec<Ctx>| {
-            if !out.contains(&c) {
-                out.push(c);
-            }
-        };
-        let action_targets = |actions: &[FtAction], out: &mut Vec<Ctx>| {
-            for a in actions {
-                match a {
-                    FtAction::Distribute { targets, .. } => {
-                        for t in targets {
-                            let c = ctx_of(*t);
-                            if !out.contains(&c) {
-                                out.push(c);
-                            }
-                        }
-                    }
-                    FtAction::Output { .. } => {
-                        if !out.contains(&Ctx::Collector) {
-                            out.push(Ctx::Collector);
-                        }
-                    }
-                    FtAction::Copy { .. } => {}
-                }
-            }
-        };
-        match from {
-            Ctx::Classifier => action_targets(&self.tables.entry_actions, &mut out),
-            Ctx::Nf(i) => {
-                let cfg = &self.tables.nf_configs[i];
-                action_targets(&cfg.actions, &mut out);
-                if matches!(cfg.on_drop, DropBehavior::NilToMerger { .. }) {
-                    add(Ctx::Agent, &mut out);
-                }
-            }
-            Ctx::Agent => {
-                // Routing to the merger instances, plus the ordered release
-                // of every merge spec's `next` actions (which may route back
-                // to the agent itself for chained parallel segments).
-                for m in 0..self.config.mergers {
-                    add(Ctx::Merger(m), &mut out);
-                }
-                for spec in &self.tables.merge_specs {
-                    action_targets(&spec.next, &mut out);
-                }
-            }
-            // Merger instances return outcomes on typed rings; they emit no
-            // `Msg`s of their own.
-            Ctx::Merger(_) => {}
-            Ctx::Collector => {}
-        }
-        out
+    /// The program this engine executes.
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// Run the engine over `packets` (closed loop) and report.
     pub fn run(&mut self, packets: Vec<Packet>) -> EngineReport {
+        self.run_with_recorder(packets).0
+    }
+
+    /// Like [`Engine::run`], also returning the raw latency recorder so a
+    /// sharded front-end can merge per-shard samples into one summary.
+    pub(crate) fn run_with_recorder(
+        &mut self,
+        packets: Vec<Packet>,
+    ) -> (EngineReport, LatencyRecorder) {
         let pool = Arc::new(PacketPool::new(self.config.pool_size));
         let n_nfs = self.nfs.len();
         let n_mergers = self.config.mergers;
@@ -376,33 +355,35 @@ impl Engine {
         let merger_stats: Vec<StageStats> = (0..n_mergers).map(|_| StageStats::new()).collect();
         let collector_stats = StageStats::new();
 
-        // Build the ring mesh: one SPSC ring per (producer, consumer) edge.
-        let mut producers: HashMap<(Ctx, Ctx), Producer<Msg>> = HashMap::new();
-        let mut consumers: HashMap<Ctx, Vec<Consumer<Msg>>> = HashMap::new();
-        let mut contexts = vec![Ctx::Classifier, Ctx::Agent, Ctx::Collector];
-        contexts.extend((0..n_nfs).map(Ctx::Nf));
-        contexts.extend((0..n_mergers).map(Ctx::Merger));
-        for &from in &contexts {
-            for to in self.targets_of(from) {
+        // Instantiate the program's wiring plan: one SPSC ring per
+        // (producer stage, consumer stage) edge.
+        let mut producers: HashMap<(Stage, Stage), Producer<Msg>> = HashMap::new();
+        let mut consumers: HashMap<Stage, Vec<Consumer<Msg>>> = HashMap::new();
+        let mut stages = vec![Stage::Classifier, Stage::Agent, Stage::Collector];
+        stages.extend((0..n_nfs).map(Stage::Nf));
+        stages.extend((0..n_mergers).map(Stage::Merger));
+        for &from in &stages {
+            for to in self.program.wiring().targets_of(from, n_mergers) {
                 let (tx, rx) = ring::channel(self.config.ring_capacity);
                 producers.insert((from, to), tx);
                 consumers.entry(to).or_default().push(rx);
             }
         }
-        let producers_from = |from: Ctx, producers: &mut HashMap<(Ctx, Ctx), Producer<Msg>>| {
-            let keys: Vec<(Ctx, Ctx)> = producers
-                .keys()
-                .filter(|(f, _)| *f == from)
-                .copied()
-                .collect();
-            keys.into_iter()
-                .map(|key| (key.1, producers.remove(&key).unwrap()))
-                .collect::<Vec<_>>()
-        };
+        let producers_from =
+            |from: Stage, producers: &mut HashMap<(Stage, Stage), Producer<Msg>>| {
+                let keys: Vec<(Stage, Stage)> = producers
+                    .keys()
+                    .filter(|(f, _)| *f == from)
+                    .copied()
+                    .collect();
+                keys.into_iter()
+                    .map(|key| (key.1, producers.remove(&key).unwrap()))
+                    .collect::<Vec<_>>()
+            };
 
         // Typed outcome rings: merger instance → agent.
-        let mut outcome_txs: Vec<Producer<OutcomeMsg>> = Vec::with_capacity(n_mergers);
-        let mut outcome_rxs: Vec<Consumer<OutcomeMsg>> = Vec::with_capacity(n_mergers);
+        let mut outcome_txs: Vec<Producer<Outcome>> = Vec::with_capacity(n_mergers);
+        let mut outcome_rxs: Vec<Consumer<Outcome>> = Vec::with_capacity(n_mergers);
         for _ in 0..n_mergers {
             let (tx, rx) = ring::channel(self.config.ring_capacity);
             outcome_txs.push(tx);
@@ -418,7 +399,7 @@ impl Engine {
         let injected_total = packets.len() as u64;
 
         let mut classifier_sink = BurstSink {
-            out: producers_from(Ctx::Classifier, &mut producers)
+            out: producers_from(Stage::Classifier, &mut producers)
                 .into_iter()
                 .map(|(to, p)| (to, (p, Vec::new())))
                 .collect(),
@@ -426,7 +407,7 @@ impl Engine {
         };
         let mut nf_sinks: Vec<BurstSink> = (0..n_nfs)
             .map(|i| BurstSink {
-                out: producers_from(Ctx::Nf(i), &mut producers)
+                out: producers_from(Stage::Nf(i), &mut producers)
                     .into_iter()
                     .map(|(to, p)| (to, (p, Vec::new())))
                     .collect(),
@@ -434,22 +415,22 @@ impl Engine {
             })
             .collect();
         let mut agent_sink = AgentSink {
-            out: producers_from(Ctx::Agent, &mut producers)
+            out: producers_from(Stage::Agent, &mut producers)
                 .into_iter()
                 .map(|(to, p)| (to, (p, VecDeque::new())))
                 .collect(),
             stats: &agent_stats,
         };
         let mut nf_rx: Vec<Vec<Consumer<Msg>>> = (0..n_nfs)
-            .map(|i| consumers.remove(&Ctx::Nf(i)).unwrap_or_default())
+            .map(|i| consumers.remove(&Stage::Nf(i)).unwrap_or_default())
             .collect();
-        let agent_rx = consumers.remove(&Ctx::Agent).unwrap_or_default();
+        let agent_rx = consumers.remove(&Stage::Agent).unwrap_or_default();
         let mut merger_rx: Vec<Vec<Consumer<Msg>>> = (0..n_mergers)
-            .map(|m| consumers.remove(&Ctx::Merger(m)).unwrap_or_default())
+            .map(|m| consumers.remove(&Stage::Merger(m)).unwrap_or_default())
             .collect();
-        let collector_rx = consumers.remove(&Ctx::Collector).unwrap_or_default();
+        let collector_rx = consumers.remove(&Stage::Collector).unwrap_or_default();
 
-        let tables = Arc::clone(&self.tables);
+        let tables = Arc::clone(self.program.tables());
         let keep_packets = self.config.keep_packets;
         let max_in_flight = self.config.max_in_flight.max(1);
 
@@ -466,7 +447,8 @@ impl Engine {
         let started = Instant::now();
 
         crossbeam::thread::scope(|scope| {
-            // Classifier thread: drains the injection ring in bursts.
+            // Classifier thread: drains the injection ring in bursts and
+            // drives the classifier core.
             let pool_c = Arc::clone(&pool);
             let tables_c = Arc::clone(&tables);
             let stop_ref = &stop;
@@ -515,8 +497,8 @@ impl Engine {
                 }
             });
 
-            // NF threads (each returns its runtime so the engine can be
-            // rerun and NF stats inspected).
+            // NF threads: each drives its NF runtime core (and returns it
+            // so the engine can be rerun and NF stats inspected).
             let mut nf_handles = Vec::new();
             for (i, mut rt) in runtimes.drain(..).enumerate() {
                 let rxs = std::mem::take(&mut nf_rx[i]);
@@ -565,16 +547,16 @@ impl Engine {
                 }));
             }
 
-            // Merger agent thread: PID-hash routing (§5.3) plus dense
-            // sequence assignment and in-order outcome release.
+            // Merger agent thread: drives the agent/sequencer core —
+            // PID-hash routing (§5.3), dense sequence assignment and
+            // in-order outcome release.
             let pool_a = Arc::clone(&pool);
             let tables_a = Arc::clone(&tables);
             let astats = &agent_stats;
             scope.spawn(move |_| {
-                let mut assign: HashMap<(u32, u32), AssignState> = HashMap::new();
-                let mut release: HashMap<(u32, u32), ReleaseState> = HashMap::new();
+                let mut core = AgentCore::new(n_mergers);
                 let mut batch: Vec<Msg> = Vec::new();
-                let mut obatch: Vec<OutcomeMsg> = Vec::new();
+                let mut obatch: Vec<Outcome> = Vec::new();
                 loop {
                     let mut progress = false;
                     // 1. Route inbound copies/nils, stamping sequence numbers.
@@ -587,27 +569,8 @@ impl Engine {
                             }
                             progress = true;
                             for mut msg in batch.drain(..) {
-                                astats.note_in(1);
-                                let (mid, pid) =
-                                    pool_a.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
-                                let total = tables_a
-                                    .merge_spec_for(msg.segment as usize)
-                                    .expect("merger msg implies spec")
-                                    .total_count;
-                                let st = assign.entry((mid, msg.segment)).or_default();
-                                let entry = st.by_pid.entry(pid).or_insert_with(|| {
-                                    let s = st.next_seq;
-                                    st.next_seq += 1;
-                                    (s, 0)
-                                });
-                                entry.1 += 1;
-                                msg.seq = entry.0;
-                                if entry.1 >= total {
-                                    st.by_pid.remove(&pid);
-                                }
-                                let instance = merger::agent_pick(pid, n_mergers);
-                                astats.note_out(1);
-                                agent_sink.send(Ctx::Merger(instance), msg);
+                                let instance = core.route(&mut msg, &pool_a, &tables_a, astats);
+                                agent_sink.send(Stage::Merger(instance), msg);
                             }
                         }
                     }
@@ -620,31 +583,10 @@ impl Engine {
                             }
                             progress = true;
                             for o in obatch.drain(..) {
-                                let rs = release.entry((o.mid, o.segment)).or_default();
-                                rs.ready.insert(o.seq, (o.forward, o.error));
-                                while let Some((fwd, err)) = rs.ready.remove(&rs.next_seq) {
-                                    rs.next_seq += 1;
-                                    match fwd {
-                                        Some(v1) => {
-                                            let spec = tables_a
-                                                .merge_spec_for(o.segment as usize)
-                                                .expect("outcome implies spec");
-                                            let mut versions =
-                                                VersionMap::single(VERSION_ORIGINAL, v1);
-                                            actions::execute(
-                                                &spec.next,
-                                                &pool_a,
-                                                &mut versions,
-                                                &mut agent_sink,
-                                                astats,
-                                            )
-                                            .expect("merger next actions");
-                                        }
-                                        None => {
-                                            let _ = err;
-                                            dropped_ref.fetch_add(1, Ordering::Release);
-                                        }
-                                    }
+                                let drops =
+                                    core.release(o, &pool_a, &tables_a, &mut agent_sink, astats);
+                                if drops > 0 {
+                                    dropped_ref.fetch_add(drops, Ordering::Release);
                                 }
                             }
                         }
@@ -664,17 +606,18 @@ impl Engine {
                 }
             });
 
-            // Merger instance threads: accumulate, merge in parallel, and
-            // return outcomes to the agent for ordered release.
+            // Merger instance threads: each drives a merger core in
+            // parallel, returning outcomes to the agent for ordered
+            // release.
             for (m, outcome_tx) in outcome_txs.drain(..).enumerate() {
                 let rxs = std::mem::take(&mut merger_rx[m]);
                 let pool_m = Arc::clone(&pool);
                 let tables_m = Arc::clone(&tables);
                 let mstats = &merger_stats[m];
                 scope.spawn(move |_| {
-                    let mut at = Accumulator::new();
+                    let mut core = MergerCore::new();
                     let mut batch: Vec<Msg> = Vec::new();
-                    let mut outcomes: Vec<OutcomeMsg> = Vec::new();
+                    let mut outcomes: Vec<Outcome> = Vec::new();
                     loop {
                         let mut progress = false;
                         for rx in &rxs {
@@ -686,44 +629,9 @@ impl Engine {
                                 }
                                 progress = true;
                                 for msg in batch.drain(..) {
-                                    mstats.note_in(1);
-                                    let spec = tables_m
-                                        .merge_spec_for(msg.segment as usize)
-                                        .expect("merger msg implies spec");
-                                    let (mid, pid) =
-                                        pool_m.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
-                                    let arrival = merger::arrival_from(&pool_m, msg.r);
-                                    if arrival.nil {
-                                        mstats.note_nil();
+                                    if let Some(o) = core.offer(msg, &pool_m, &tables_m, mstats) {
+                                        outcomes.push(o);
                                     }
-                                    let Some(arrivals) =
-                                        at.offer(mid, msg.segment, pid, arrival, spec.total_count)
-                                    else {
-                                        continue;
-                                    };
-                                    mstats.note_merge();
-                                    let (forward, error) =
-                                        match merger::resolve_and_merge(spec, &arrivals, &pool_m) {
-                                            Ok(MergeOutcome::Forward(v1)) => (Some(v1), false),
-                                            Ok(MergeOutcome::Dropped) => {
-                                                mstats.note_drop(DropCause::MergeResolved);
-                                                (None, false)
-                                            }
-                                            Err(_) => {
-                                                mstats.note_drop(DropCause::MergeError);
-                                                (None, true)
-                                            }
-                                        };
-                                    if forward.is_some() {
-                                        mstats.note_out(1);
-                                    }
-                                    outcomes.push(OutcomeMsg {
-                                        mid,
-                                        segment: msg.segment,
-                                        seq: msg.seq,
-                                        forward,
-                                        error,
-                                    });
                                 }
                                 // Return outcomes as a burst; the agent
                                 // always drains, so the wait is bounded.
@@ -754,11 +662,12 @@ impl Engine {
                 });
             }
 
-            // Collector thread: pulls outputs in bursts, timestamps, counts.
+            // Collector thread: drives the collector core in bursts,
+            // timestamps, counts.
             let pool_o = Arc::clone(&pool);
             let delivered_ref = &delivered;
             let ostats = &collector_stats;
-            let collector = scope.spawn(move |_| {
+            let collector_handle = scope.spawn(move |_| {
                 let mut outputs: Vec<(u64, Instant, Option<Packet>)> = Vec::new();
                 let mut batch: Vec<Msg> = Vec::new();
                 loop {
@@ -772,12 +681,9 @@ impl Engine {
                             }
                             progress = true;
                             for msg in batch.drain(..) {
-                                ostats.note_in(1);
-                                let mut pkt = pool_o.take(msg.r);
-                                pkt.finalize_checksums().ok();
+                                let pkt = collector::collect(msg, &pool_o, ostats);
                                 let pid = pkt.meta().pid();
                                 outputs.push((pid, Instant::now(), keep_packets.then_some(pkt)));
-                                ostats.note_out(1);
                                 delivered_ref.fetch_add(1, Ordering::Release);
                             }
                         }
@@ -804,16 +710,7 @@ impl Engine {
                     std::thread::yield_now();
                 }
                 inject_times.push(Instant::now());
-                let mut item = pkt;
-                loop {
-                    match inject_tx.push(item) {
-                        Ok(()) => break,
-                        Err(back) => {
-                            item = back;
-                            std::thread::yield_now();
-                        }
-                    }
-                }
+                ring::push_blocking(&inject_tx, pkt);
             }
             // Wait for completion, then stop everything.
             while delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire)
@@ -824,7 +721,7 @@ impl Engine {
             stop.store(true, Ordering::Release);
             drop(inject_tx);
 
-            let outputs = collector.join().expect("collector thread");
+            let outputs = collector_handle.join().expect("collector thread");
             for (pid, t_out, pkt) in outputs {
                 if let Some(t_in) = inject_times.get(pid as usize) {
                     report_latency.record(t_out.duration_since(*t_in));
@@ -841,7 +738,7 @@ impl Engine {
         })
         .expect("engine scope");
 
-        EngineReport {
+        let report = EngineReport {
             injected: injected_total,
             delivered: delivered.load(Ordering::Acquire),
             dropped: dropped.load(Ordering::Acquire),
@@ -855,7 +752,8 @@ impl Engine {
                 mergers: merger_stats.iter().map(StageStats::snapshot).collect(),
                 collector: collector_stats.snapshot(),
             },
-        }
+        };
+        (report, report_latency)
     }
 }
 
@@ -879,7 +777,7 @@ mod tests {
             &CompileOptions::default(),
         )
         .unwrap();
-        let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+        let program = compiled.program(1).unwrap();
         let nfs: Vec<Box<dyn NetworkFunction>> = compiled
             .graph
             .nodes
@@ -893,7 +791,7 @@ mod tests {
                 }
             })
             .collect();
-        Engine::new(tables, nfs, config)
+        Engine::new(program, nfs, config).unwrap()
     }
 
     fn traffic(n: usize) -> Vec<Packet> {
@@ -964,6 +862,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_delivered_run_has_no_latency_summary() {
+        let mut e = build(&["Monitor", "Firewall"], EngineConfig::default());
+        let mut gen = TrafficGenerator::new(TrafficSpec {
+            flows: 2,
+            sizes: SizeDistribution::Fixed(80),
+            ..TrafficSpec::default()
+        });
+        let mut pkts = gen.batch(10);
+        for p in pkts.iter_mut() {
+            p.set_dip(Ipv4Addr::new(172, 16, 4, 4)).unwrap();
+            p.set_dport(7004).unwrap();
+            p.finalize_checksums().unwrap();
+        }
+        let report = e.run(pkts);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.dropped, 10);
+        assert!(report.latency.is_none(), "no samples, no summary");
+        // pps counts finished (dropped) packets and stays finite.
+        assert!(report.pps().is_finite());
+    }
+
+    #[test]
     fn stage_counters_balance_exactly() {
         let mut e = build(
             &["Monitor", "Firewall"],
@@ -1005,5 +925,68 @@ mod tests {
         let nf_nils: u64 = s.nfs.iter().map(|n| n.nil_packets).sum();
         let merger_nils: u64 = s.mergers.iter().map(|m| m.nil_packets).sum();
         assert_eq!(nf_nils, merger_nils);
+    }
+
+    #[test]
+    fn misconfigurations_rejected_up_front() {
+        let reg = Registry::paper_table2();
+        let compiled = compile(
+            &Policy::from_chain(["Monitor", "Firewall"]),
+            &reg,
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let program = compiled.program(1).unwrap();
+        // slots_per_packet = 2 for this graph: pool 16 cannot cover 16
+        // in-flight packets.
+        let err = Engine::new(program.clone(), Vec::new(), EngineConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::NfCountMismatch {
+                expected: 2,
+                got: 0
+            }
+        ));
+        let nfs = || -> Vec<Box<dyn NetworkFunction>> {
+            vec![
+                Box::new(Monitor::new("Monitor")),
+                Box::new(Firewall::with_synthetic_acl("Firewall", 100)),
+            ]
+        };
+        let err = Engine::new(
+            program.clone(),
+            nfs(),
+            EngineConfig {
+                mergers: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err, EngineError::NoMergers);
+        let err = Engine::new(
+            program.clone(),
+            nfs(),
+            EngineConfig {
+                pool_size: 16,
+                max_in_flight: 16,
+                ..EngineConfig::default()
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::PoolTooSmall {
+                pool_size: 16,
+                required: 32,
+                max_in_flight: 16,
+                slots_per_packet: 2
+            }
+        );
+        assert!(err.to_string().contains("16"));
     }
 }

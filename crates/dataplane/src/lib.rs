@@ -18,26 +18,37 @@
 //!   merger agent's PID-hash load balancing.
 //! * [`stats`] — per-stage observability counters ([`stats::StageStats`]):
 //!   packets in/out, copies, nils, merges, drops by cause, backpressure
-//!   stalls and ring high-water marks, aggregated per engine run.
-//! * [`sync_engine`] — a deterministic single-threaded executor with the
-//!   exact same table semantics; the reference for correctness tests
+//!   stalls and ring high-water marks, aggregated per engine run (and
+//!   across shards).
+//! * [`cores`] — the shared per-stage cores (agent/sequencer, merger,
+//!   collector): each stage's semantics lives here exactly once, and every
+//!   executor drives the same cores off the same sealed
+//!   [`nfp_orchestrator::Program`].
+//! * [`sync_engine`] — a deterministic single-threaded executor driving
+//!   the cores from one FIFO queue; the reference for correctness tests
 //!   (paper §6.4's replay experiment) and property tests.
 //! * [`engine`] — the multi-threaded engine: one thread per NF (the
 //!   paper's one-container-per-core), a classifier thread, a merger agent
 //!   and N merger instances, wired with SPSC rings.
+//! * [`shard`] — RSS-style flow sharding: a 5-tuple hash front-end over N
+//!   full engine replicas for multi-core scale-out, per-flow FIFO
+//!   preserved.
 
 #![warn(missing_docs)]
 
 pub mod actions;
 pub mod classifier;
+pub mod cores;
 pub mod engine;
 pub mod merger;
 pub mod ring;
 pub mod runtime;
+pub mod shard;
 pub mod stats;
 pub mod sync_engine;
 
 pub use classifier::Classifier;
-pub use engine::{Engine, EngineConfig, EngineReport};
+pub use engine::{Engine, EngineConfig, EngineError, EngineReport};
+pub use shard::ShardedEngine;
 pub use stats::{EngineStats, StageStats};
 pub use sync_engine::SyncEngine;

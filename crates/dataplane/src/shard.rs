@@ -1,0 +1,290 @@
+//! RSS-style flow sharding: N engine replicas, one per shard.
+//!
+//! The paper's deployment scales out the way hardware RSS does: a
+//! front-end hashes each packet's **immutable 5-tuple** to one of N
+//! shards, and each shard runs a full engine replica — its own classifier,
+//! NF instances, merger agent and merger instances over its own pool
+//! partition. Because every packet of a flow hashes to the same shard and
+//! traverses that shard FIFO, the §4.3 result-correctness argument is
+//! preserved per flow: a shard's output is byte-identical to a sequential
+//! reference fed the same sub-stream, and flows never interleave across
+//! shards. Only *cross-flow* output order is unspecified — exactly the
+//! freedom hardware RSS takes.
+//!
+//! All shard replicas execute the same sealed [`Program`] (cheap to
+//! clone: the tables are behind an `Arc`), while agent sequencing and
+//! merger accumulation state
+//! stay shard-local by construction — each replica owns its cores.
+
+use crate::engine::{Engine, EngineConfig, EngineError, EngineReport};
+use crate::stats::EngineStats;
+use nfp_nf::NetworkFunction;
+use nfp_orchestrator::Program;
+use nfp_packet::Packet;
+use nfp_traffic::LatencyRecorder;
+use std::time::Instant;
+
+/// The shard a packet's flow belongs to: FNV-1a over the immutable
+/// 5-tuple, modulo `shards`. Packets whose 5-tuple cannot be parsed all
+/// land on shard 0 (they will be rejected by that shard's classifier and
+/// counted as drops there).
+pub fn shard_of(pkt: &Packet, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let Ok((sip, dip, sport, dport, proto)) = pkt.five_tuple() else {
+        return 0;
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in sip.0.into_iter().chain(dip.0) {
+        eat(b);
+    }
+    for b in sport.to_be_bytes().into_iter().chain(dport.to_be_bytes()) {
+        eat(b);
+    }
+    eat(proto);
+    (h % shards as u64) as usize
+}
+
+/// Split `packets` into per-shard sub-streams, preserving arrival order
+/// within each shard (per-flow FIFO).
+pub fn partition_by_flow(packets: Vec<Packet>, shards: usize) -> Vec<Vec<Packet>> {
+    let mut parts: Vec<Vec<Packet>> = (0..shards.max(1)).map(|_| Vec::new()).collect();
+    for pkt in packets {
+        let s = shard_of(&pkt, shards.max(1));
+        parts[s].push(pkt);
+    }
+    parts
+}
+
+/// N sharded engine replicas behind an RSS-style 5-tuple dispatcher.
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+}
+
+impl ShardedEngine {
+    /// Build `shards` engine replicas of `program`. `make_nfs` is called
+    /// once per shard so each replica gets fresh (shard-local) NF state;
+    /// `config.pool_size` is the *total* pool budget, partitioned evenly
+    /// across shards — a partition too small for the in-flight window
+    /// fails with [`EngineError::PoolTooSmall`], exactly as a lone engine
+    /// would.
+    pub fn new(
+        program: &Program,
+        make_nfs: impl Fn() -> Vec<Box<dyn NetworkFunction>>,
+        config: &EngineConfig,
+        shards: usize,
+    ) -> Result<ShardedEngine, EngineError> {
+        assert!(shards >= 1, "at least one shard");
+        let shard_config = EngineConfig {
+            pool_size: config.pool_size / shards,
+            ..config.clone()
+        };
+        let engines = (0..shards)
+            .map(|_| Engine::new(program.clone(), make_nfs(), shard_config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedEngine { shards: engines })
+    }
+
+    /// Number of shard replicas.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Dispatch `packets` to their shards and run every replica
+    /// concurrently, aggregating the per-shard results into one report:
+    /// counters sum, per-stage counters fold stage-by-stage
+    /// ([`EngineStats::merge`]), latency samples merge into one summary,
+    /// and `elapsed` is the wall-clock of the whole sharded run (so
+    /// [`EngineReport::pps`] reflects actual scale-out, not a sum of
+    /// per-shard rates).
+    pub fn run(&mut self, packets: Vec<Packet>) -> EngineReport {
+        let parts = partition_by_flow(packets, self.shards.len());
+        let started = Instant::now();
+        let mut results: Vec<(EngineReport, LatencyRecorder)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(parts)
+                .map(|(engine, part)| scope.spawn(move |_| engine.run_with_recorder(part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread"))
+                .collect()
+        })
+        .expect("shard scope");
+        let elapsed = started.elapsed();
+
+        let mut injected = 0;
+        let mut delivered = 0;
+        let mut dropped = 0;
+        let mut stats = EngineStats::default();
+        let mut latency = LatencyRecorder::new();
+        let mut packets_out = Vec::new();
+        for (report, recorder) in &mut results {
+            injected += report.injected;
+            delivered += report.delivered;
+            dropped += report.dropped;
+            stats.merge(&report.stats);
+            latency.merge(recorder);
+            packets_out.append(&mut report.packets);
+        }
+        EngineReport {
+            injected,
+            delivered,
+            dropped,
+            elapsed,
+            latency: latency.summary(),
+            packets: packets_out,
+            stats,
+        }
+    }
+
+    /// Like [`ShardedEngine::run`] but keeping the per-shard reports
+    /// separate, in shard order. Equivalence tests compare each shard's
+    /// delivered packets against a sequential reference fed the same
+    /// sub-stream.
+    pub fn run_per_shard(&mut self, packets: Vec<Packet>) -> Vec<EngineReport> {
+        let parts = partition_by_flow(packets, self.shards.len());
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(parts)
+                .map(|(engine, part)| scope.spawn(move |_| engine.run(part)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread"))
+                .collect()
+        })
+        .expect("shard scope")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_nf::firewall::Firewall;
+    use nfp_nf::monitor::Monitor;
+    use nfp_orchestrator::{compile, CompileOptions, Registry};
+    use nfp_policy::Policy;
+    use nfp_traffic::{SizeDistribution, TrafficGenerator, TrafficSpec};
+
+    fn firewall_program() -> Program {
+        let compiled = compile(
+            &Policy::from_chain(["Monitor", "Firewall"]),
+            &Registry::paper_table2(),
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        compiled.program(1).unwrap()
+    }
+
+    fn nfs() -> Vec<Box<dyn NetworkFunction>> {
+        vec![
+            Box::new(Monitor::new("Monitor")),
+            Box::new(Firewall::with_synthetic_acl("Firewall", 100)),
+        ]
+    }
+
+    fn traffic(n: usize, flows: usize) -> Vec<Packet> {
+        TrafficGenerator::new(TrafficSpec {
+            flows,
+            sizes: SizeDistribution::Fixed(128),
+            ..TrafficSpec::default()
+        })
+        .batch(n)
+    }
+
+    #[test]
+    fn sharding_is_per_flow_and_deterministic() {
+        let pkts = traffic(64, 16);
+        for pkt in &pkts {
+            let s = shard_of(pkt, 4);
+            assert!(s < 4);
+            assert_eq!(s, shard_of(pkt, 4), "stable for a given packet");
+        }
+        // Every packet of one flow lands on one shard.
+        let mut by_tuple: std::collections::HashMap<_, usize> = std::collections::HashMap::new();
+        for pkt in &pkts {
+            let t = pkt.five_tuple().unwrap();
+            let s = shard_of(pkt, 4);
+            assert_eq!(
+                *by_tuple.entry(t).or_insert(s),
+                s,
+                "flow split across shards"
+            );
+        }
+        // 16 flows over 4 shards actually spread.
+        let used: std::collections::HashSet<_> = pkts.iter().map(|p| shard_of(p, 4)).collect();
+        assert!(used.len() > 1, "all flows hashed to one shard");
+    }
+
+    #[test]
+    fn partition_preserves_per_shard_order() {
+        let pkts = traffic(50, 8);
+        let tagged: Vec<usize> = pkts.iter().map(|p| shard_of(p, 3)).collect();
+        let parts = partition_by_flow(pkts, 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 50);
+        // Shard s receives exactly the packets tagged s, in arrival order
+        // (lengths + per-shard tuple sequence check).
+        for (s, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), tagged.iter().filter(|&&t| t == s).count());
+        }
+    }
+
+    #[test]
+    fn sharded_run_aggregates_shards() {
+        let program = firewall_program();
+        let mut sharded = ShardedEngine::new(
+            &program,
+            nfs,
+            &EngineConfig {
+                keep_packets: true,
+                max_in_flight: 8,
+                ..EngineConfig::default()
+            },
+            2,
+        )
+        .unwrap();
+        let report = sharded.run(traffic(120, 12));
+        assert_eq!(report.injected, 120);
+        assert_eq!(report.delivered, 120);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.packets.len(), 120);
+        assert_eq!(report.latency.unwrap().count, 120);
+        // Merged stage counters still balance across the fleet.
+        assert_eq!(report.stats.classifier.packets_in, 120);
+        assert_eq!(report.stats.collector.packets_out, 120);
+    }
+
+    #[test]
+    fn undersized_pool_partition_rejected() {
+        let program = firewall_program();
+        // Total pool 64 over 4 shards = 16 slots/shard; the firewall graph
+        // needs 2 slots/packet × 16 in flight = 32.
+        let err = ShardedEngine::new(
+            &program,
+            nfs,
+            &EngineConfig {
+                pool_size: 64,
+                max_in_flight: 16,
+                ..EngineConfig::default()
+            },
+            4,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::PoolTooSmall { pool_size: 16, .. }
+        ));
+    }
+}

@@ -166,6 +166,25 @@ impl StageSnapshot {
             + self.drop_merge_error
             + self.drop_admit_rejected
     }
+
+    /// Fold another snapshot of the *same logical stage* into this one.
+    /// Counters sum; `ring_high_water` keeps the maximum (it is a peak
+    /// observation, not a flow count). Used to aggregate per-shard stats
+    /// into one fleet-wide view.
+    pub fn absorb(&mut self, other: &StageSnapshot) {
+        self.packets_in += other.packets_in;
+        self.packets_out += other.packets_out;
+        self.copies += other.copies;
+        self.nil_packets += other.nil_packets;
+        self.merges += other.merges;
+        self.backpressure += other.backpressure;
+        self.ring_high_water = self.ring_high_water.max(other.ring_high_water);
+        self.drop_nf_verdict += other.drop_nf_verdict;
+        self.drop_nf_error += other.drop_nf_error;
+        self.drop_merge_resolved += other.drop_merge_resolved;
+        self.drop_merge_error += other.drop_merge_error;
+        self.drop_admit_rejected += other.drop_admit_rejected;
+    }
 }
 
 /// Snapshot of every stage of one engine run.
@@ -187,6 +206,29 @@ impl EngineStats {
     /// Total drops across all stages and causes.
     pub fn total_drops(&self) -> u64 {
         self.stages().map(|(_, s)| s.drops()).sum()
+    }
+
+    /// Fold another engine's stats into this one, stage by stage. Shards
+    /// run identical pipelines, so stage `i` of one shard corresponds to
+    /// stage `i` of every other; vectors extend when `other` has more
+    /// entries (it never does between equal shards, but the merge stays
+    /// total rather than panicking).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.classifier.absorb(&other.classifier);
+        self.agent.absorb(&other.agent);
+        self.collector.absorb(&other.collector);
+        for (i, s) in other.nfs.iter().enumerate() {
+            match self.nfs.get_mut(i) {
+                Some(mine) => mine.absorb(s),
+                None => self.nfs.push(*s),
+            }
+        }
+        for (i, s) in other.mergers.iter().enumerate() {
+            match self.mergers.get_mut(i) {
+                Some(mine) => mine.absorb(s),
+                None => self.mergers.push(*s),
+            }
+        }
     }
 
     /// Iterate `(label, snapshot)` over every stage.
@@ -264,12 +306,46 @@ mod tests {
     }
 
     #[test]
+    fn snapshots_absorb_and_engine_stats_merge() {
+        let a = StageStats::new();
+        a.note_in(4);
+        a.note_occupancy(9);
+        a.note_drop(DropCause::NfVerdict);
+        let b = StageStats::new();
+        b.note_in(6);
+        b.note_occupancy(2);
+        b.note_drop(DropCause::MergeError);
+        let mut snap = a.snapshot();
+        snap.absorb(&b.snapshot());
+        assert_eq!(snap.packets_in, 10);
+        assert_eq!(snap.ring_high_water, 9); // max, not sum
+        assert_eq!(snap.drops(), 2);
+
+        let mut left = EngineStats {
+            nfs: vec![a.snapshot()],
+            ..EngineStats::default()
+        };
+        let right = EngineStats {
+            nfs: vec![b.snapshot(), a.snapshot()],
+            mergers: vec![b.snapshot()],
+            ..EngineStats::default()
+        };
+        left.merge(&right);
+        assert_eq!(left.nfs.len(), 2); // extended by the longer side
+        assert_eq!(left.nfs[0].packets_in, 10);
+        assert_eq!(left.mergers.len(), 1);
+        assert_eq!(left.total_drops(), 4);
+    }
+
+    #[test]
     fn engine_stats_totals_and_display() {
         let s = StageStats::new();
         s.note_drop(DropCause::AdmitRejected);
-        let mut e = EngineStats::default();
-        e.classifier = s.snapshot();
-        e.nfs = vec![StageSnapshot::default(); 2];
+        let e = EngineStats {
+            classifier: s.snapshot(),
+            nfs: vec![StageSnapshot::default(); 2],
+            ..Default::default()
+        };
         assert_eq!(e.total_drops(), 1);
         let text = e.to_string();
         assert!(text.contains("classifier"));

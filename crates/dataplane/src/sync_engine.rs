@@ -1,18 +1,21 @@
-//! Deterministic single-threaded execution of a compiled service graph.
+//! Deterministic single-threaded execution of a sealed [`Program`].
 //!
-//! The sync engine interprets exactly the same tables as the threaded
-//! engine — the same classifier, forwarding actions, runtime drop handling
-//! and merger semantics — but drives them from one FIFO event queue, so a
-//! packet's journey is fully deterministic. It is the reference executor
-//! for the paper's §6.4 result-correctness replay and for property tests.
+//! The sync engine drives exactly the same stage cores ([`crate::cores`])
+//! as the threaded engine — the same classifier, forwarding actions,
+//! runtime drop handling, agent sequencing and merger semantics — but from
+//! one FIFO event queue, so a packet's journey is fully deterministic. It
+//! is the reference executor for the paper's §6.4 result-correctness
+//! replay and for property tests; the threaded (and sharded) engines are
+//! correct precisely when their output matches this one byte-for-byte.
 
 use crate::actions::{Deliver, Msg};
 use crate::classifier::{AdmitError, Classifier};
-use crate::merger::{self, Accumulator, MergeOutcome};
+use crate::cores::{collector, AgentCore, MergerCore};
 use crate::runtime::NfRuntime;
 use crate::stats::{StageSnapshot, StageStats};
 use nfp_nf::NetworkFunction;
-use nfp_orchestrator::tables::{GraphTables, Target};
+use nfp_orchestrator::tables::Target;
+use nfp_orchestrator::Program;
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use std::collections::VecDeque;
@@ -37,13 +40,16 @@ impl ProcessOutcome {
     }
 }
 
-/// Single-threaded reference executor.
+/// Single-threaded reference executor for a sealed [`Program`].
 pub struct SyncEngine {
     pool: Arc<PacketPool>,
-    tables: Arc<GraphTables>,
     classifier: Classifier,
     runtimes: Vec<NfRuntime<Box<dyn NetworkFunction>>>,
-    accumulator: Accumulator,
+    /// One agent instance: sequencing is trivially in-order here, but
+    /// running the same core keeps the reference path identical.
+    agent: AgentCore,
+    merger: MergerCore,
+    program: Program,
     stats: StageStats,
     /// Packets delivered.
     pub delivered: u64,
@@ -63,29 +69,26 @@ impl Deliver for QueueSink {
 }
 
 impl SyncEngine {
-    /// Build an engine over `tables` and NF instances ordered by `NodeId`
-    /// (the same order as the compiled graph's nodes).
-    pub fn new(
-        tables: Arc<GraphTables>,
-        nfs: Vec<Box<dyn NetworkFunction>>,
-        pool_size: usize,
-    ) -> Self {
+    /// Build an engine over a sealed `program` and NF instances ordered by
+    /// `NodeId` (the same order as the compiled graph's nodes).
+    pub fn new(program: Program, nfs: Vec<Box<dyn NetworkFunction>>, pool_size: usize) -> Self {
         assert_eq!(
             nfs.len(),
-            tables.nf_configs.len(),
+            program.nf_count(),
             "one NF instance per graph node"
         );
         let runtimes = nfs
             .into_iter()
-            .zip(tables.nf_configs.iter().cloned())
+            .zip(program.tables().nf_configs.iter().cloned())
             .map(|(nf, config)| NfRuntime::new(nf, config))
             .collect();
         Self {
             pool: Arc::new(PacketPool::new(pool_size)),
-            classifier: Classifier::single(Arc::clone(&tables)),
-            tables,
+            classifier: Classifier::single(Arc::clone(program.tables())),
             runtimes,
-            accumulator: Accumulator::new(),
+            agent: AgentCore::new(1),
+            merger: MergerCore::new(),
+            program,
             stats: StageStats::new(),
             delivered: 0,
             dropped: 0,
@@ -121,6 +124,7 @@ impl SyncEngine {
 
     /// Process one packet through the whole graph.
     pub fn process(&mut self, pkt: Packet) -> Result<ProcessOutcome, AdmitError> {
+        let tables = Arc::clone(self.program.tables());
         let mut sink = QueueSink::default();
         self.classifier
             .admit(pkt, &self.pool, &mut sink, &self.stats)?;
@@ -131,48 +135,36 @@ impl SyncEngine {
                 Target::Nf(id) => {
                     self.runtimes[id].handle(msg, &self.pool, &mut sink, &self.stats);
                 }
-                Target::Merger(segment) => {
-                    let spec = self
-                        .tables
-                        .merge_spec_for(segment)
-                        .expect("merger target implies a merge spec");
-                    let (mid, pid) = self.pool.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
-                    let arrival = merger::arrival_from(&self.pool, msg.r);
-                    if let Some(arrivals) =
-                        self.accumulator
-                            .offer(mid, segment as u32, pid, arrival, spec.total_count)
+                Target::Merger(_) => {
+                    // The same route → offer → ordered-release path as the
+                    // threaded engine, just inline: with one merger
+                    // instance and FIFO dispatch, release order is always
+                    // immediate.
+                    let mut msg = msg;
+                    let _instance = self.agent.route(&mut msg, &self.pool, &tables, &self.stats);
+                    if let Some(outcome) = self.merger.offer(msg, &self.pool, &tables, &self.stats)
                     {
-                        match merger::resolve_and_merge(spec, &arrivals, &self.pool) {
-                            Ok(MergeOutcome::Forward(v1)) => {
-                                let mut versions = crate::actions::VersionMap::single(
-                                    nfp_packet::meta::VERSION_ORIGINAL,
-                                    v1,
-                                );
-                                crate::actions::execute(
-                                    &spec.next,
-                                    &self.pool,
-                                    &mut versions,
-                                    &mut sink,
-                                    &self.stats,
-                                )
-                                .expect("merger next actions");
-                            }
-                            Ok(MergeOutcome::Dropped) | Err(_) => {
-                                was_dropped = true;
-                            }
+                        let drops = self.agent.release(
+                            outcome,
+                            &self.pool,
+                            &tables,
+                            &mut sink,
+                            &self.stats,
+                        );
+                        if drops > 0 {
+                            was_dropped = true;
                         }
                     }
                 }
                 Target::Output => {
-                    let mut pkt = self.pool.take(msg.r);
-                    pkt.finalize_checksums().ok();
+                    let pkt = collector::collect(msg, &self.pool, &self.stats);
                     debug_assert!(output.is_none(), "one output per packet");
                     output = Some(pkt);
                 }
             }
         }
         debug_assert_eq!(
-            self.accumulator.pending_len(),
+            self.merger.pending_len(),
             0,
             "a packet's copies must all merge before process() returns"
         );
@@ -218,14 +210,14 @@ mod tests {
             &CompileOptions::default(),
         )
         .unwrap();
-        let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+        let program = compiled.program(1).unwrap();
         let nfs: Vec<Box<dyn NetworkFunction>> = compiled
             .graph
             .nodes
             .iter()
             .map(|n| instantiate(n.name.as_str()))
             .collect();
-        SyncEngine::new(tables, nfs, 64)
+        SyncEngine::new(program, nfs, 64)
     }
 
     fn instantiate(name: &str) -> Box<dyn NetworkFunction> {

@@ -1,0 +1,183 @@
+//! Pass 4 — emission & micrograph merge (paper Figure 2, "merge").
+//!
+//! Waves become segments with copy versions, merge ops and priorities
+//! assigned. Within every parallel wave the paper's resource optimizations
+//! run: members whose conflicting-action set against the current v1
+//! sharers is empty *share the original packet* (OP#1 Dirty Memory
+//! Reusing makes this common), and members that do need a copy get a
+//! header-only copy unless they touch the payload (OP#2). Finally,
+//! mutually independent micrographs are placed in parallel; any residual
+//! inter-micrograph dependency is reported as a warning and resolved by
+//! sequential placement in policy-mention order.
+
+use super::micrographs::Micrograph;
+use super::{CompileError, CompileWarning, Compiler};
+use crate::action::ActionProfile;
+use crate::alg1::identify;
+use crate::graph::{CopyKind, GraphNode, Member, MergeOp, NodeId, ParallelGroup, Segment};
+use nfp_packet::meta::{VERSION_MAX, VERSION_ORIGINAL};
+use nfp_packet::FieldId;
+
+impl<'a> Compiler<'a> {
+    /// Emit a segment for one wave, assigning copy versions, merge ops and
+    /// priorities (position in the wave = conflict priority; the paper's
+    /// "back order gets higher priority").
+    pub(super) fn emit_wave(&mut self, wave: &[NodeId]) -> Result<Segment, CompileError> {
+        if wave.len() == 1 {
+            return Ok(Segment::Sequential(wave[0]));
+        }
+        let mut members: Vec<Member> = Vec::new();
+        // Node ids currently sharing the original packet (v1).
+        let mut v1_sharers: Vec<NodeId> = Vec::new();
+        let mut next_version = VERSION_ORIGINAL + 1;
+        for (rank, &m) in wave.iter().enumerate() {
+            let profile = self.nodes[m].profile.clone();
+            // Direction follows wave position: all current v1 sharers rank
+            // earlier than m because we scan in order.
+            let sharers = v1_sharers.clone();
+            // Dirty Memory Reusing applies to fixed-width header fields; a
+            // payload writer may *resize* the frame (compression), which
+            // moves headers — structurally unsafe to share, so it always
+            // gets its own copy when anyone else holds v1. (Add/Rm NFs are
+            // caught by the conflicting-action check already.)
+            let structural_writer =
+                profile.write_mask().contains(FieldId::Payload) || profile.has_add_rm();
+            let needs_copy = sharers.iter().any(|&s| self.pair_needs_copy(s, m))
+                || (structural_writer && !sharers.is_empty());
+            let mut member = Member::solo(m);
+            member.priority = rank as u32;
+            member.drop_capable = profile.has_drop();
+            member.writes = profile.write_mask();
+            if needs_copy {
+                if next_version > VERSION_MAX {
+                    return Err(CompileError::TooManyVersions {
+                        needed: next_version as usize,
+                    });
+                }
+                member.version = next_version;
+                next_version += 1;
+                let touches_payload = profile.read_mask().contains(FieldId::Payload)
+                    || profile.write_mask().contains(FieldId::Payload);
+                member.copy = if touches_payload {
+                    CopyKind::Full
+                } else {
+                    CopyKind::HeaderOnly
+                };
+                member.merge_ops = merge_ops_for(&profile, member.version);
+            } else {
+                v1_sharers.push(m);
+            }
+            members.push(member);
+        }
+        Ok(Segment::Parallel(ParallelGroup { members }))
+    }
+
+    /// Step 3: merge micrographs — independent ones in parallel, dependent
+    /// ones sequential with a warning.
+    pub(super) fn merge_micrographs(
+        &mut self,
+        micrographs: Vec<Micrograph>,
+    ) -> Result<Vec<Segment>, CompileError> {
+        if micrographs.len() <= 1 {
+            return Ok(micrographs.into_iter().flat_map(|m| m.segments).collect());
+        }
+        // Union profile per micrograph for the pairwise dependency check.
+        let unions: Vec<ActionProfile> = micrographs
+            .iter()
+            .map(|mg| union_profile(&self.nodes, &mg.nodes))
+            .collect();
+        // A micrograph can join the parallel composition only when it is a
+        // simple chain and independent (no-copy both directions) of every
+        // other parallel-composed micrograph.
+        let mut parallel_idx: Vec<usize> = Vec::new();
+        let mut sequential_idx: Vec<usize> = Vec::new();
+        'outer: for i in 0..micrographs.len() {
+            if !micrographs[i].is_chain() {
+                sequential_idx.push(i);
+                continue;
+            }
+            for &j in &parallel_idx {
+                let fwd = identify(&unions[j], &unions[i], &self.dt, self.opts.identify);
+                let back = identify(&unions[i], &unions[j], &self.dt, self.opts.identify);
+                let independent = fwd.verdict() == crate::deps::Parallelism::ParallelizableNoCopy
+                    && back.verdict() == crate::deps::Parallelism::ParallelizableNoCopy;
+                if !independent {
+                    self.warnings.push(CompileWarning::MicrographDependency {
+                        a: self.nodes[micrographs[j].nodes[0]].name.clone(),
+                        b: self.nodes[micrographs[i].nodes[0]].name.clone(),
+                    });
+                    sequential_idx.push(i);
+                    continue 'outer;
+                }
+            }
+            parallel_idx.push(i);
+        }
+        let mut segments = Vec::new();
+        match parallel_idx.len() {
+            0 => {}
+            1 => segments.extend(micrographs[parallel_idx[0]].segments.clone()),
+            _ => {
+                let members: Vec<Member> = parallel_idx
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, &i)| {
+                        let path = micrographs[i].chain_nodes();
+                        let drop_capable = path.iter().any(|&n| self.nodes[n].profile.has_drop());
+                        let writes = path.iter().fold(nfp_packet::FieldMask::EMPTY, |m, &n| {
+                            m.union(self.nodes[n].profile.write_mask())
+                        });
+                        Member {
+                            path,
+                            version: VERSION_ORIGINAL,
+                            copy: CopyKind::None,
+                            merge_ops: Vec::new(),
+                            priority: rank as u32,
+                            drop_capable,
+                            writes,
+                        }
+                    })
+                    .collect();
+                segments.push(Segment::Parallel(ParallelGroup { members }));
+            }
+        }
+        for i in sequential_idx {
+            segments.extend(micrographs[i].segments.clone());
+        }
+        Ok(segments)
+    }
+}
+
+/// Merge operations folding `version`'s modifications into v1: one
+/// `modify` per written field, plus header grafts for Add/Rm NFs.
+fn merge_ops_for(profile: &ActionProfile, version: u8) -> Vec<MergeOp> {
+    let mut ops: Vec<MergeOp> = profile
+        .write_mask()
+        .iter()
+        .map(|field| MergeOp::Modify {
+            field,
+            from_version: version,
+        })
+        .collect();
+    if profile.has_add_rm() {
+        if let Some(header) = profile.add_rm_header {
+            ops.push(MergeOp::AddHeader {
+                header,
+                from_version: version,
+            });
+        }
+    }
+    ops
+}
+
+fn union_profile(nodes: &[GraphNode], members: &[NodeId]) -> ActionProfile {
+    let mut p = ActionProfile::new("micrograph");
+    for &n in members {
+        for &a in &nodes[n].profile.actions {
+            p.push(a);
+        }
+        if p.add_rm_header.is_none() {
+            p.add_rm_header = nodes[n].profile.add_rm_header;
+        }
+    }
+    p
+}

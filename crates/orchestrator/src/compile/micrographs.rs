@@ -1,0 +1,296 @@
+//! Pass 3 — micrograph construction (paper Figure 2, "compile").
+//!
+//! Connected components of the relation graph become micrographs. Nodes
+//! are assigned *levels*: sequential edges force `level(hi) > level(lo)`,
+//! and parallel pairs pull both NFs to the same level. Each level then
+//! becomes one or more parallel waves after pairwise Algorithm-1 vetting,
+//! generalizing the paper's Single-NF / Tree / Plain-Parallelism
+//! micrograph taxonomy — a Tree is a one-node wave followed by a parallel
+//! wave.
+
+use super::{CompileError, Compiler, Relation};
+use crate::graph::{NodeId, Segment};
+use std::collections::{HashMap, HashSet};
+
+impl<'a> Compiler<'a> {
+    /// Connected components (union-find) over the relation graph.
+    pub(super) fn components(&self, pinned: &[bool]) -> Vec<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for &(a, b) in self.relations.keys() {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for (i, &pin) in pinned.iter().enumerate().take(n) {
+            if pin {
+                continue;
+            }
+            groups.entry(find(&mut parent, i)).or_default().push(i);
+        }
+        // Mention order keeps compilation deterministic.
+        let mut comps: Vec<Vec<NodeId>> = groups.into_values().collect();
+        for c in &mut comps {
+            c.sort_unstable();
+        }
+        comps.sort_by_key(|c| c[0]);
+        comps
+    }
+
+    /// Build one micrograph.
+    ///
+    /// Nodes are assigned *levels*: sequential edges force `level(hi) >
+    /// level(lo)`, and parallel pairs pull both NFs to the same level (that
+    /// is what keeps `Order(Monitor, before, FW)` together as one group in
+    /// the north-south chain instead of scattering across waves). Each
+    /// level then becomes one or more parallel waves after pairwise
+    /// Algorithm-1 vetting.
+    pub(super) fn build_micrograph(
+        &mut self,
+        comp: Vec<NodeId>,
+    ) -> Result<Micrograph, CompileError> {
+        if comp.len() == 1 {
+            return Ok(Micrograph {
+                segments: vec![Segment::Sequential(comp[0])],
+                nodes: comp,
+            });
+        }
+        let in_comp: HashSet<NodeId> = comp.iter().copied().collect();
+        let seq_edges: Vec<(NodeId, NodeId)> = self
+            .relations
+            .iter()
+            .filter(|((lo, hi), rel)| {
+                matches!(rel, Relation::Seq) && in_comp.contains(lo) && in_comp.contains(hi)
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        let par_edges: Vec<(NodeId, NodeId)> = self
+            .relations
+            .iter()
+            .filter(|((lo, hi), rel)| {
+                matches!(rel, Relation::Par { .. }) && in_comp.contains(lo) && in_comp.contains(hi)
+            })
+            .map(|(&k, _)| k)
+            .collect();
+
+        // Sequential reachability (small components; BFS per node).
+        let mut succs: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(lo, hi) in &seq_edges {
+            succs.entry(lo).or_default().push(hi);
+        }
+        let reach = |from: NodeId, to: NodeId| -> bool {
+            let mut stack = vec![from];
+            let mut seen = HashSet::new();
+            while let Some(n) = stack.pop() {
+                if n == to {
+                    return true;
+                }
+                if let Some(ss) = succs.get(&n) {
+                    for &s in ss {
+                        if seen.insert(s) {
+                            stack.push(s);
+                        }
+                    }
+                }
+            }
+            false
+        };
+        // Parallel pairs can only co-level when no sequential path orders
+        // them transitively.
+        let colevel_pairs: Vec<(NodeId, NodeId)> = par_edges
+            .iter()
+            .copied()
+            .filter(|&(a, b)| !reach(a, b) && !reach(b, a))
+            .collect();
+
+        // Fixpoint leveling, with an iteration guard doubling as cycle
+        // detection for cycles introduced by priority fallbacks.
+        let mut level: HashMap<NodeId, usize> = comp.iter().map(|&n| (n, 0)).collect();
+        let bound = comp.len() * comp.len() + 2;
+        let mut iterations = 0usize;
+        loop {
+            let mut changed = false;
+            for &(lo, hi) in &seq_edges {
+                if level[&hi] < level[&lo] + 1 {
+                    level.insert(hi, level[&lo] + 1);
+                    changed = true;
+                }
+            }
+            for &(a, b) in &colevel_pairs {
+                let l = level[&a].max(level[&b]);
+                if level[&a] != l {
+                    level.insert(a, l);
+                    changed = true;
+                }
+                if level[&b] != l {
+                    level.insert(b, l);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            iterations += 1;
+            if iterations > bound || level.values().any(|&l| l > comp.len()) {
+                return Err(CompileError::DependencyCycle);
+            }
+        }
+
+        // Group by level, ascending; tiebreak mention order inside levels.
+        let mut levels: Vec<(usize, Vec<NodeId>)> = {
+            let mut by_level: HashMap<usize, Vec<NodeId>> = HashMap::new();
+            for &n in &comp {
+                by_level.entry(level[&n]).or_default().push(n);
+            }
+            let mut v: Vec<_> = by_level.into_iter().collect();
+            v.sort_by_key(|(l, _)| *l);
+            v
+        };
+        let mut segments = Vec::new();
+        for (_, nodes) in &mut levels {
+            nodes.sort_unstable();
+            let ordered = self.par_topo_order(nodes);
+            for wave in self.arrange_wave(&ordered) {
+                segments.push(self.emit_wave(&wave)?);
+            }
+        }
+        Ok(Micrograph {
+            segments,
+            nodes: comp,
+        })
+    }
+
+    /// Order a level's nodes topologically by explicit parallel-pair
+    /// directions (lo before hi), tiebreaking by mention order, so
+    /// `arrange_wave` never places a high-priority NF ahead of its partner.
+    pub(super) fn par_topo_order(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        let set: HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut indeg: HashMap<NodeId, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        let mut succs: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (&(lo, hi), rel) in &self.relations {
+            if matches!(rel, Relation::Par { .. }) && set.contains(&lo) && set.contains(&hi) {
+                succs.entry(lo).or_default().push(hi);
+                *indeg.get_mut(&hi).unwrap() += 1;
+            }
+        }
+        let mut ready: Vec<NodeId> = nodes.iter().copied().filter(|n| indeg[n] == 0).collect();
+        ready.sort_unstable();
+        let mut out = Vec::with_capacity(nodes.len());
+        while let Some(n) = ready.first().copied() {
+            ready.remove(0);
+            out.push(n);
+            if let Some(ss) = succs.get(&n) {
+                for &s in ss {
+                    let d = indeg.get_mut(&s).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+            ready.sort_unstable();
+        }
+        if out.len() != nodes.len() {
+            // Priority cycle among co-leveled nodes (already warned as a
+            // policy conflict elsewhere); fall back to mention order.
+            return nodes.to_vec();
+        }
+        out
+    }
+
+    /// Split an ordered node list into sub-waves such that, within each
+    /// sub-wave, every ordered pair (by position) is parallelizable.
+    /// Parallel-pair relation directions (`lo` before `hi`) are honoured;
+    /// unrelated pairs take mention order, trying reversed insertion
+    /// positions before splitting.
+    pub(super) fn arrange_wave(&mut self, ordered: &[NodeId]) -> Vec<Vec<NodeId>> {
+        let mut waves: Vec<Vec<NodeId>> = Vec::new();
+        'member: for &m in ordered {
+            for wave in &mut waves {
+                // Try every insertion position, preferring the end (append
+                // keeps mention order for unrelated NFs).
+                let mut positions: Vec<usize> = (0..=wave.len()).rev().collect();
+                // Respect explicit Par directions: m must come after any lo
+                // with (lo, m) and before any hi with (m, hi).
+                positions.retain(|&pos| self.position_ok(wave, m, pos));
+                for pos in positions {
+                    if self.wave_accepts(wave, m, pos) {
+                        wave.insert(pos, m);
+                        continue 'member;
+                    }
+                }
+            }
+            waves.push(vec![m]);
+        }
+        waves
+    }
+
+    /// Explicit parallel-pair directions constrain m's position in `wave`.
+    pub(super) fn position_ok(&self, wave: &[NodeId], m: NodeId, pos: usize) -> bool {
+        for (i, &x) in wave.iter().enumerate() {
+            let x_before_m = i < pos;
+            if self.relations.contains_key(&(x, m)) && !x_before_m {
+                return false;
+            }
+            if self.relations.contains_key(&(m, x)) && x_before_m {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Pairwise Algorithm-1 check for inserting `m` at `pos` (explicit
+    /// relations override — a Priority-forced pair counts as parallelizable
+    /// even though an Order-context probe would refuse it).
+    pub(super) fn wave_accepts(&mut self, wave: &[NodeId], m: NodeId, pos: usize) -> bool {
+        for (i, &x) in wave.iter().enumerate() {
+            let (lo, hi) = if i < pos { (x, m) } else { (m, x) };
+            if !self.pair_parallelizable(lo, hi) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A compiled micrograph: its segments plus its node set.
+#[derive(Debug, Clone)]
+pub(super) struct Micrograph {
+    pub(super) segments: Vec<Segment>,
+    pub(super) nodes: Vec<NodeId>,
+}
+
+impl Micrograph {
+    /// True when every segment is sequential (a chain or single NF).
+    pub(super) fn is_chain(&self) -> bool {
+        self.segments
+            .iter()
+            .all(|s| matches!(s, Segment::Sequential(_)))
+    }
+
+    /// The chain's node ids in traversal order (requires `is_chain`).
+    pub(super) fn chain_nodes(&self) -> Vec<NodeId> {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Sequential(n) => *n,
+                Segment::Parallel(_) => unreachable!("chain_nodes on non-chain"),
+            })
+            .collect()
+    }
+}

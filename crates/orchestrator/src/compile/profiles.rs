@@ -1,0 +1,71 @@
+//! Pass 1 — profile collection.
+//!
+//! Interns every NF the policy (or free list) mentions, resolving its
+//! action profile from the registry, and memoizes Algorithm 1 pair
+//! analyses so later passes can ask "parallelizable?" / "needs copy?"
+//! cheaply and consistently. Explicit relations recorded by the transform
+//! pass override fresh analyses — a Priority-forced pair stays
+//! parallelizable even where an Order-context probe would refuse it.
+
+use super::{CompileError, Compiler, Relation};
+use crate::alg1::{identify_in, PairAnalysis, PairContext};
+use crate::graph::{GraphNode, NodeId};
+use nfp_policy::NfName;
+
+impl<'a> Compiler<'a> {
+    pub(super) fn intern(&mut self, nf: &NfName) -> Result<NodeId, CompileError> {
+        if let Some(&id) = self.ids.get(nf) {
+            return Ok(id);
+        }
+        let profile = self
+            .registry
+            .get(nf.as_str())
+            .cloned()
+            .ok_or_else(|| CompileError::UnknownNf(nf.clone()))?;
+        let id = self.nodes.len();
+        self.nodes.push(GraphNode {
+            name: nf.clone(),
+            profile,
+        });
+        self.ids.insert(nf.clone(), id);
+        Ok(id)
+    }
+
+    pub(super) fn analyze(&mut self, lo: NodeId, hi: NodeId) -> PairAnalysis {
+        self.analyze_in(lo, hi, PairContext::Order)
+    }
+
+    pub(super) fn analyze_in(&mut self, lo: NodeId, hi: NodeId, ctx: PairContext) -> PairAnalysis {
+        if let Some(a) = self.analysis_cache.get(&(lo, hi, ctx)) {
+            return a.clone();
+        }
+        let a = identify_in(
+            &self.nodes[lo].profile,
+            &self.nodes[hi].profile,
+            &self.dt,
+            self.opts.identify,
+            ctx,
+        );
+        self.analysis_cache.insert((lo, hi, ctx), a.clone());
+        a
+    }
+
+    /// Can `lo` run in parallel with `hi` (lo ordered first), honouring any
+    /// explicit relation between them?
+    pub(super) fn pair_parallelizable(&mut self, lo: NodeId, hi: NodeId) -> bool {
+        match self.relations.get(&(lo, hi)) {
+            Some(Relation::Par { .. }) => true,
+            Some(Relation::Seq) => false,
+            None => self.analyze(lo, hi).parallelizable,
+        }
+    }
+
+    /// Does the `lo`/`hi` pair require a packet copy when parallelized?
+    pub(super) fn pair_needs_copy(&mut self, lo: NodeId, hi: NodeId) -> bool {
+        match self.relations.get(&(lo, hi)) {
+            Some(Relation::Par { analysis }) => analysis.needs_copy(),
+            Some(Relation::Seq) => false,
+            None => self.analyze(lo, hi).needs_copy(),
+        }
+    }
+}

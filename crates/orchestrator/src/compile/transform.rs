@@ -1,0 +1,111 @@
+//! Pass 2 — policy transform (paper Figure 2, "transform").
+//!
+//! Turns rules into intermediate representations: `Position` rules pin
+//! NFs to the head/tail lists, `Order`/`Priority` rules run Algorithm 1
+//! and become directed pair [`Relation`]s. A parallelizable `Order` rule
+//! is converted into a Priority ("the NF with the back order is assigned
+//! a higher priority"); an unparallelizable `Priority` degrades to a
+//! sequential edge with the low-priority NF first, so the high-priority
+//! result still wins by coming last.
+
+use super::{CompileError, CompileWarning, Compiler, Relation};
+use crate::alg1::{PairAnalysis, PairContext};
+use crate::graph::NodeId;
+use nfp_policy::{Policy, PositionAnchor, Rule};
+
+impl<'a> Compiler<'a> {
+    /// Step 1: rules → intermediate representations.
+    pub(super) fn transform(&mut self, policy: &Policy) -> Result<(), CompileError> {
+        for rule in policy.rules() {
+            match rule {
+                Rule::Position { nf, anchor } => {
+                    let id = self.ids[nf];
+                    let list = match anchor {
+                        PositionAnchor::First => &mut self.pinned_first,
+                        PositionAnchor::Last => &mut self.pinned_last,
+                    };
+                    if !list.contains(&id) {
+                        list.push(id);
+                    }
+                }
+                Rule::Order { before, after } => {
+                    let (lo, hi) = (self.ids[before], self.ids[after]);
+                    if self.handle_pinned_edge(lo, hi) {
+                        continue;
+                    }
+                    let analysis = if self.opts.force_sequential {
+                        PairAnalysis {
+                            parallelizable: false,
+                            conflicting_actions: Vec::new(),
+                            drop_conflict: false,
+                        }
+                    } else {
+                        self.analyze(lo, hi)
+                    };
+                    let rel = if analysis.parallelizable {
+                        // Order → Priority conversion: back NF wins.
+                        Relation::Par { analysis }
+                    } else {
+                        Relation::Seq
+                    };
+                    self.relations.entry((lo, hi)).or_insert(rel);
+                }
+                Rule::Priority { high, low } => {
+                    let (lo, hi) = (self.ids[low], self.ids[high]);
+                    if self.handle_pinned_edge(lo, hi) {
+                        continue;
+                    }
+                    let analysis = if self.opts.force_sequential {
+                        PairAnalysis {
+                            parallelizable: false,
+                            conflicting_actions: Vec::new(),
+                            drop_conflict: false,
+                        }
+                    } else {
+                        self.analyze_in(lo, hi, PairContext::Priority)
+                    };
+                    if analysis.parallelizable {
+                        self.relations
+                            .entry((lo, hi))
+                            .or_insert(Relation::Par { analysis });
+                    } else {
+                        if !self.opts.force_sequential {
+                            self.warnings.push(CompileWarning::PriorityPairSequential {
+                                high: self.nodes[hi].name.clone(),
+                                low: self.nodes[lo].name.clone(),
+                            });
+                        }
+                        // Low first, so the high-priority result still wins.
+                        self.relations.entry((lo, hi)).or_insert(Relation::Seq);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Edges that touch a pinned NF are resolved by the pin itself; returns
+    /// true when the edge was consumed.
+    pub(super) fn handle_pinned_edge(&mut self, lo: NodeId, hi: NodeId) -> bool {
+        let lo_first = self.pinned_first.contains(&lo);
+        let hi_first = self.pinned_first.contains(&hi);
+        let lo_last = self.pinned_last.contains(&lo);
+        let hi_last = self.pinned_last.contains(&hi);
+        if !(lo_first || hi_first || lo_last || hi_last) {
+            return false;
+        }
+        // Consistent cases: lo pinned first, or hi pinned last.
+        let consistent = (lo_first || hi_last) && !(hi_first || lo_last);
+        let (pinned, other) = if lo_first || lo_last {
+            (lo, hi)
+        } else {
+            (hi, lo)
+        };
+        self.warnings.push(CompileWarning::OrderWithPinnedNf {
+            pinned: self.nodes[pinned].name.clone(),
+            other: self.nodes[other].name.clone(),
+            consistent,
+        });
+        true
+    }
+}

@@ -27,9 +27,13 @@
 //! * [`census`](mod@census) — reproduces the paper's §4.3 statistic ("53.8% NF pairs
 //!   can work in parallel; 41.5% without extra resource overhead").
 //! * [`graph`] — the compiled service-graph representation.
-//! * [`compile`](mod@compile) — the §4.4 three-step compiler (IR → micrographs → graph).
+//! * [`compile`](mod@compile) — the §4.4 compiler, as explicit passes
+//!   (profile collection → transform → micrographs → emission).
 //! * [`tables`] — generation of the classification, forwarding and merging
 //!   tables the infrastructure installs (§4.4.3/§5).
+//! * [`program`] — the sealed [`program::Program`] artifact handed to the
+//!   dataplane: validated tables + stage wiring plan + per-position field
+//!   masks + worst-case pool footprint.
 //! * [`modular`] — OpenBox-style block-level parallelism merge (paper §7,
 //!   Figure 15).
 //! * [`partition`] — cross-server graph partitioning sketch (paper §7).
@@ -44,6 +48,7 @@ pub mod deps;
 pub mod graph;
 pub mod modular;
 pub mod partition;
+pub mod program;
 pub mod table2;
 pub mod tables;
 
@@ -53,4 +58,5 @@ pub use census::{census, CensusReport};
 pub use compile::{compile, CompileError, CompileOptions, CompileWarning, Compiled};
 pub use deps::{DependencyTable, Parallelism};
 pub use graph::{NodeId, ParallelGroup, Segment, ServiceGraph};
+pub use program::{Program, ProgramError, Stage, WiringPlan};
 pub use table2::Registry;

@@ -1,0 +1,606 @@
+//! The sealed **Program** artifact — the orchestrator→dataplane handoff.
+//!
+//! Compilation used to end at a loosely-validated [`GraphTables`]; every
+//! engine then re-derived its own wiring from the raw tables and trusted
+//! them blindly. A [`Program`] seals the result of compilation into one
+//! validated, replicable artifact:
+//!
+//! * the classification/forwarding/merging **tables** (unchanged),
+//! * a **wiring plan** describing which pipeline stage feeds which (the
+//!   ring mesh both engines instantiate),
+//! * per-position **field masks** (which fields each NF may write at its
+//!   graph position — the scope Dirty Memory Reusing granted it),
+//! * a worst-case **pool footprint** (`slots_per_packet`) so an engine can
+//!   reject configurations whose packet pool cannot cover the in-flight
+//!   window before wedging the closed loop.
+//!
+//! Sealing runs invariant checks over the tables: every forwarding target
+//! is in range, every copy chain is closable (versions are produced before
+//! they are referenced and every copy a merge expects exists), and every
+//! merge spec's total count matches its member list. A `Program` that
+//! seals successfully can be executed — or replicated per flow shard —
+//! without any engine-side re-validation.
+
+use crate::graph::{Segment, ServiceGraph};
+use crate::tables::{self, DropBehavior, FtAction, GraphTables, Target};
+use nfp_packet::meta::VERSION_ORIGINAL;
+use nfp_packet::FieldMask;
+use std::sync::Arc;
+
+/// A pipeline stage of the NFP dataplane — the vertices of the wiring
+/// plan. Both the threaded engine (one thread per stage) and the sync
+/// engine (one dispatch arm per stage) execute the same stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The packet classifier (CT lookup + entry actions).
+    Classifier,
+    /// One NF runtime, by `NodeId`.
+    Nf(usize),
+    /// The merger agent (PID-hash router + merge-order sequencer).
+    Agent,
+    /// One merger instance behind the agent.
+    Merger(usize),
+    /// The output collector.
+    Collector,
+}
+
+impl Stage {
+    /// The stage that consumes messages sent to `target`. Merger-bound
+    /// messages route through the agent (which assigns the merge-order
+    /// sequence and picks an instance), so `Target::Merger` maps to
+    /// [`Stage::Agent`].
+    pub fn of(target: Target) -> Stage {
+        match target {
+            Target::Nf(i) => Stage::Nf(i),
+            Target::Merger(_) => Stage::Agent,
+            Target::Output => Stage::Collector,
+        }
+    }
+}
+
+/// The static wiring plan: which stages each stage delivers messages to.
+/// Derived once from the tables at seal time; engines instantiate one SPSC
+/// ring per (producer stage, consumer stage) edge.
+#[derive(Debug, Clone)]
+pub struct WiringPlan {
+    classifier: Vec<Stage>,
+    nfs: Vec<Vec<Stage>>,
+    /// Stages the agent reaches when releasing merge outcomes (each merge
+    /// spec's `next` actions; may include the agent itself for chained
+    /// parallel segments). Merger instances are prepended at query time
+    /// because their count is an engine-config choice.
+    agent_next: Vec<Stage>,
+}
+
+impl WiringPlan {
+    fn from_tables(t: &GraphTables) -> Self {
+        fn add(stage: Stage, out: &mut Vec<Stage>) {
+            if !out.contains(&stage) {
+                out.push(stage);
+            }
+        }
+        fn action_targets(actions: &[FtAction], out: &mut Vec<Stage>) {
+            for a in actions {
+                match a {
+                    FtAction::Distribute { targets, .. } => {
+                        for t in targets {
+                            add(Stage::of(*t), out);
+                        }
+                    }
+                    FtAction::Output { .. } => add(Stage::Collector, out),
+                    FtAction::Copy { .. } => {}
+                }
+            }
+        }
+        let mut classifier = Vec::new();
+        action_targets(&t.entry_actions, &mut classifier);
+        let nfs = t
+            .nf_configs
+            .iter()
+            .map(|cfg| {
+                let mut out = Vec::new();
+                action_targets(&cfg.actions, &mut out);
+                if matches!(cfg.on_drop, DropBehavior::NilToMerger { .. }) {
+                    // Nil packets travel the same edge as data copies.
+                    add(Stage::Agent, &mut out);
+                }
+                out
+            })
+            .collect();
+        let mut agent_next = Vec::new();
+        for spec in &t.merge_specs {
+            action_targets(&spec.next, &mut agent_next);
+        }
+        Self {
+            classifier,
+            nfs,
+            agent_next,
+        }
+    }
+
+    /// The stages `from` delivers packet messages to, given `mergers`
+    /// instances behind the agent. (Merger→agent *outcome* rings are typed
+    /// separately and are not part of this mesh.)
+    pub fn targets_of(&self, from: Stage, mergers: usize) -> Vec<Stage> {
+        match from {
+            Stage::Classifier => self.classifier.clone(),
+            Stage::Nf(i) => self.nfs.get(i).cloned().unwrap_or_default(),
+            Stage::Agent => {
+                let mut out: Vec<Stage> = (0..mergers).map(Stage::Merger).collect();
+                for t in &self.agent_next {
+                    if !out.contains(t) {
+                        out.push(*t);
+                    }
+                }
+                out
+            }
+            // Merger instances return outcomes on typed rings; the
+            // collector is a sink.
+            Stage::Merger(_) | Stage::Collector => Vec::new(),
+        }
+    }
+}
+
+/// Invariant violations found while sealing a [`Program`]. Each names the
+/// table inconsistency an engine would otherwise hit at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A forwarding action targets an NF id outside the graph.
+    NfTargetOutOfRange {
+        /// The out-of-range node id.
+        node: usize,
+        /// Number of NFs the tables configure.
+        nf_count: usize,
+    },
+    /// A forwarding action targets a merger for a segment with no spec.
+    MissingMergeSpec {
+        /// The segment without a merge spec.
+        segment: usize,
+    },
+    /// An entry/next action list references a version before any copy
+    /// produced it.
+    UnproducedVersion {
+        /// The unproduced version.
+        version: u8,
+    },
+    /// An action list copies into a version that already exists.
+    DuplicateCopyVersion {
+        /// The doubly-produced version.
+        version: u8,
+    },
+    /// A merge spec's total count disagrees with its member list — the
+    /// accumulating table would either merge early or wait forever.
+    MergeTotalMismatch {
+        /// The inconsistent segment.
+        segment: usize,
+        /// The spec's total count.
+        total_count: usize,
+        /// Members actually listed.
+        members: usize,
+    },
+    /// A merge spec has no member carrying the original version v1.
+    MissingOriginalMember {
+        /// The offending segment.
+        segment: usize,
+    },
+    /// Two members of one merge spec carry the same version.
+    DuplicateMemberVersion {
+        /// The offending segment.
+        segment: usize,
+        /// The duplicated version.
+        version: u8,
+    },
+    /// A merge spec expects a copy version no forwarding action produces —
+    /// the merge count could never close.
+    UnclosableCopy {
+        /// The offending segment.
+        segment: usize,
+        /// The never-produced version.
+        version: u8,
+    },
+    /// The tables configure a different NF count than the graph has nodes.
+    NfConfigCountMismatch {
+        /// Graph nodes.
+        expected: usize,
+        /// Table NF configs.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProgramError::NfTargetOutOfRange { node, nf_count } => {
+                write!(
+                    f,
+                    "forwarding target Nf({node}) out of range ({nf_count} NFs)"
+                )
+            }
+            ProgramError::MissingMergeSpec { segment } => {
+                write!(f, "no merge spec for merger-targeted segment {segment}")
+            }
+            ProgramError::UnproducedVersion { version } => {
+                write!(
+                    f,
+                    "version {version} referenced before any copy produced it"
+                )
+            }
+            ProgramError::DuplicateCopyVersion { version } => {
+                write!(f, "version {version} produced twice in one action list")
+            }
+            ProgramError::MergeTotalMismatch {
+                segment,
+                total_count,
+                members,
+            } => write!(
+                f,
+                "segment {segment}: total_count {total_count} != {members} members"
+            ),
+            ProgramError::MissingOriginalMember { segment } => {
+                write!(f, "segment {segment}: no member carries v1")
+            }
+            ProgramError::DuplicateMemberVersion { segment, version } => {
+                write!(f, "segment {segment}: duplicate member version {version}")
+            }
+            ProgramError::UnclosableCopy { segment, version } => write!(
+                f,
+                "segment {segment}: member version {version} is never produced by a copy"
+            ),
+            ProgramError::NfConfigCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "graph has {expected} nodes but tables configure {got} NFs"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A sealed, validated, replicable execution artifact: everything an
+/// engine (or N sharded engine replicas) needs to run one service graph.
+#[derive(Debug, Clone)]
+pub struct Program {
+    tables: Arc<GraphTables>,
+    wiring: WiringPlan,
+    /// Per-`NodeId` write masks (the fields each NF's position permits it
+    /// to modify).
+    writes: Vec<FieldMask>,
+    /// Worst-case pool slots one in-flight packet can occupy (original +
+    /// fan-out copies + transient nil packets from drop-capable members).
+    slots_per_packet: usize,
+}
+
+impl Program {
+    /// Compile `graph` to tables under match ID `mid` and seal the result.
+    pub fn compile(graph: &ServiceGraph, mid: u32) -> Result<Program, ProgramError> {
+        Self::seal(tables::generate(graph, mid), graph)
+    }
+
+    /// Seal pre-generated `tables` against their source `graph`, running
+    /// every invariant check.
+    pub fn seal(tables: GraphTables, graph: &ServiceGraph) -> Result<Program, ProgramError> {
+        if tables.nf_configs.len() != graph.nodes.len() {
+            return Err(ProgramError::NfConfigCountMismatch {
+                expected: graph.nodes.len(),
+                got: tables.nf_configs.len(),
+            });
+        }
+        validate_tables(&tables)?;
+        let wiring = WiringPlan::from_tables(&tables);
+        let writes = graph.nodes.iter().map(|n| n.profile.write_mask()).collect();
+        let slots_per_packet = slots_per_packet(graph);
+        Ok(Program {
+            tables: Arc::new(tables),
+            wiring,
+            writes,
+            slots_per_packet,
+        })
+    }
+
+    /// The sealed tables (shared with classifiers and engine stages).
+    pub fn tables(&self) -> &Arc<GraphTables> {
+        &self.tables
+    }
+
+    /// The match ID this program serves.
+    pub fn mid(&self) -> u32 {
+        self.tables.mid
+    }
+
+    /// Number of NF positions the program drives.
+    pub fn nf_count(&self) -> usize {
+        self.tables.nf_configs.len()
+    }
+
+    /// The stage wiring plan.
+    pub fn wiring(&self) -> &WiringPlan {
+        &self.wiring
+    }
+
+    /// Fields NF `node` may write at its graph position.
+    pub fn writes_of(&self, node: usize) -> FieldMask {
+        self.writes.get(node).copied().unwrap_or(FieldMask::EMPTY)
+    }
+
+    /// Worst-case pool slots one admitted packet can occupy at once. An
+    /// engine's pool must cover `max_in_flight × slots_per_packet` or the
+    /// closed loop can wedge on pool exhaustion.
+    pub fn slots_per_packet(&self) -> usize {
+        self.slots_per_packet
+    }
+}
+
+/// Worst case per packet: the original, plus (per parallel segment, of
+/// which one is active at a time) its fan-out copies plus one transient
+/// nil slot per drop-capable member.
+fn slots_per_packet(graph: &ServiceGraph) -> usize {
+    let worst_segment = graph
+        .segments
+        .iter()
+        .map(|seg| match seg {
+            Segment::Sequential(_) => 0,
+            Segment::Parallel(grp) => {
+                grp.copies() + grp.members.iter().filter(|m| m.drop_capable).count()
+            }
+        })
+        .max()
+        .unwrap_or(0);
+    1 + worst_segment
+}
+
+fn validate_tables(t: &GraphTables) -> Result<(), ProgramError> {
+    let nf_count = t.nf_configs.len();
+    let check_targets = |actions: &[FtAction]| -> Result<(), ProgramError> {
+        for a in actions {
+            if let FtAction::Distribute { targets, .. } = a {
+                for target in targets {
+                    match target {
+                        Target::Nf(i) if *i >= nf_count => {
+                            return Err(ProgramError::NfTargetOutOfRange { node: *i, nf_count });
+                        }
+                        Target::Merger(s) if t.merge_spec_for(*s).is_none() => {
+                            return Err(ProgramError::MissingMergeSpec { segment: *s });
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    // Entry actions and merge `next` actions start from a lone v1 and must
+    // produce every version before referencing it.
+    let check_versions = |actions: &[FtAction]| -> Result<(), ProgramError> {
+        let mut produced = vec![VERSION_ORIGINAL];
+        for a in actions {
+            match a {
+                FtAction::Copy { from, to, .. } => {
+                    if !produced.contains(from) {
+                        return Err(ProgramError::UnproducedVersion { version: *from });
+                    }
+                    if produced.contains(to) {
+                        return Err(ProgramError::DuplicateCopyVersion { version: *to });
+                    }
+                    produced.push(*to);
+                }
+                FtAction::Distribute { version, .. } | FtAction::Output { version } => {
+                    if !produced.contains(version) {
+                        return Err(ProgramError::UnproducedVersion { version: *version });
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    check_targets(&t.entry_actions)?;
+    check_versions(&t.entry_actions)?;
+    for cfg in &t.nf_configs {
+        // Per-NF slices operate on whatever version the member carries, so
+        // only target ranges are checkable here.
+        check_targets(&cfg.actions)?;
+        if let DropBehavior::NilToMerger { segment, .. } = cfg.on_drop {
+            if t.merge_spec_for(segment).is_none() {
+                return Err(ProgramError::MissingMergeSpec { segment });
+            }
+        }
+    }
+    // Every copy version any action list produces, for closability checks.
+    let mut all_copies: Vec<u8> = Vec::new();
+    let mut collect_copies = |actions: &[FtAction]| {
+        for a in actions {
+            if let FtAction::Copy { to, .. } = a {
+                if !all_copies.contains(to) {
+                    all_copies.push(*to);
+                }
+            }
+        }
+    };
+    collect_copies(&t.entry_actions);
+    for cfg in &t.nf_configs {
+        collect_copies(&cfg.actions);
+    }
+    for spec in &t.merge_specs {
+        collect_copies(&spec.next);
+    }
+    for spec in &t.merge_specs {
+        check_targets(&spec.next)?;
+        check_versions(&spec.next)?;
+        if spec.total_count != spec.members.len() || spec.members.is_empty() {
+            return Err(ProgramError::MergeTotalMismatch {
+                segment: spec.segment,
+                total_count: spec.total_count,
+                members: spec.members.len(),
+            });
+        }
+        if !spec.members.iter().any(|m| m.version == VERSION_ORIGINAL) {
+            return Err(ProgramError::MissingOriginalMember {
+                segment: spec.segment,
+            });
+        }
+        // Several members may *share* v1 (OP#1 Dirty Memory Reusing), but a
+        // copy version identifies exactly one member.
+        let mut versions: Vec<u8> = spec
+            .members
+            .iter()
+            .map(|m| m.version)
+            .filter(|&v| v != VERSION_ORIGINAL)
+            .collect();
+        versions.sort_unstable();
+        for w in versions.windows(2) {
+            if w[0] == w[1] {
+                return Err(ProgramError::DuplicateMemberVersion {
+                    segment: spec.segment,
+                    version: w[0],
+                });
+            }
+        }
+        for m in &spec.members {
+            if m.version != VERSION_ORIGINAL && !all_copies.contains(&m.version) {
+                return Err(ProgramError::UnclosableCopy {
+                    segment: spec.segment,
+                    version: m.version,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::table2::Registry;
+    use nfp_policy::Policy;
+
+    fn graph(chain: &[&str]) -> ServiceGraph {
+        compile(
+            &Policy::from_chain(chain.iter().copied()),
+            &Registry::paper_table2(),
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap()
+        .graph
+    }
+
+    #[test]
+    fn firewall_chain_seals() {
+        let g = graph(&["Monitor", "Firewall"]);
+        let p = Program::compile(&g, 3).unwrap();
+        assert_eq!(p.mid(), 3);
+        assert_eq!(p.nf_count(), 2);
+        // v1 shared pair, firewall drop-capable: 1 + (0 copies + 1 nil).
+        assert_eq!(p.slots_per_packet(), 2);
+        assert!(!p.writes_of(0).contains(nfp_packet::FieldId::Payload));
+    }
+
+    #[test]
+    fn wiring_mirrors_tables() {
+        let g = graph(&["VPN", "Monitor", "Firewall", "LoadBalancer"]);
+        let p = Program::compile(&g, 1).unwrap();
+        let w = p.wiring();
+        let vpn = g.node_by_name("VPN").unwrap();
+        let lb = g.node_by_name("LoadBalancer").unwrap();
+        // Classifier feeds the VPN; VPN fans out to the parallel pair.
+        assert_eq!(w.targets_of(Stage::Classifier, 2), vec![Stage::Nf(vpn)]);
+        let vpn_targets = w.targets_of(Stage::Nf(vpn), 2);
+        assert_eq!(vpn_targets.len(), 2);
+        // Agent reaches its mergers plus the merge spec's next hop (LB).
+        let agent = w.targets_of(Stage::Agent, 2);
+        assert!(agent.contains(&Stage::Merger(0)) && agent.contains(&Stage::Merger(1)));
+        assert!(agent.contains(&Stage::Nf(lb)));
+        // LB outputs.
+        assert_eq!(w.targets_of(Stage::Nf(lb), 2), vec![Stage::Collector]);
+        // Sinks have no outgoing message rings.
+        assert!(w.targets_of(Stage::Merger(0), 2).is_empty());
+        assert!(w.targets_of(Stage::Collector, 2).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let g = graph(&["Monitor", "Firewall"]);
+        let mut t = tables::generate(&g, 1);
+        if let Some(FtAction::Distribute { targets, .. }) = t.entry_actions.first_mut() {
+            targets[0] = Target::Nf(99);
+        }
+        assert_eq!(
+            Program::seal(t, &g).unwrap_err(),
+            ProgramError::NfTargetOutOfRange {
+                node: 99,
+                nf_count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn merge_total_mismatch_rejected() {
+        let g = graph(&["Monitor", "Firewall"]);
+        let mut t = tables::generate(&g, 1);
+        t.merge_specs[0].total_count += 1;
+        assert!(matches!(
+            Program::seal(t, &g).unwrap_err(),
+            ProgramError::MergeTotalMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn unclosable_copy_rejected() {
+        // Monitor ∥ LB: the LB's member rides a copy (v2). Removing the
+        // copy action leaves the merge spec waiting for a version nobody
+        // produces.
+        let g = graph(&["Monitor", "LoadBalancer"]);
+        let mut t = tables::generate(&g, 1);
+        t.entry_actions
+            .retain(|a| !matches!(a, FtAction::Copy { .. }));
+        t.entry_actions.retain(
+            |a| !matches!(a, FtAction::Distribute { version, .. } if *version != VERSION_ORIGINAL),
+        );
+        assert!(matches!(
+            Program::seal(t, &g).unwrap_err(),
+            ProgramError::UnclosableCopy { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_merge_spec_rejected() {
+        let g = graph(&["Monitor", "Firewall"]);
+        let mut t = tables::generate(&g, 1);
+        t.merge_specs.clear();
+        assert!(matches!(
+            Program::seal(t, &g).unwrap_err(),
+            ProgramError::MissingMergeSpec { .. }
+        ));
+    }
+
+    #[test]
+    fn nf_config_count_mismatch_rejected() {
+        let g = graph(&["Monitor", "Firewall"]);
+        let mut t = tables::generate(&g, 1);
+        t.nf_configs.pop();
+        assert!(matches!(
+            Program::seal(t, &g).unwrap_err(),
+            ProgramError::NfConfigCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn sequential_chain_needs_one_slot() {
+        let g = graph(&["NAT", "LoadBalancer"]); // unparallelizable
+        let p = Program::compile(&g, 1).unwrap();
+        assert_eq!(p.slots_per_packet(), 1);
+        assert!(p.tables().merge_specs.is_empty());
+    }
+
+    #[test]
+    fn copy_segment_counts_copy_slots() {
+        let g = graph(&["Monitor", "LoadBalancer"]); // one header-only copy
+        let p = Program::compile(&g, 1).unwrap();
+        assert_eq!(p.slots_per_packet(), 2);
+    }
+}

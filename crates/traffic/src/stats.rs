@@ -60,7 +60,9 @@ impl LatencyRecorder {
         self.samples.extend_from_slice(&other.samples);
     }
 
-    /// Summarize. Returns `None` when empty.
+    /// Summarize. Returns `None` when no samples were recorded — a run
+    /// that delivered zero packets has no latency distribution, and
+    /// callers must not see zeroed garbage in its place.
     pub fn summary(&self) -> Option<LatencySummary> {
         if self.samples.is_empty() {
             return None;
@@ -69,10 +71,12 @@ impl LatencyRecorder {
         sorted.sort_unstable();
         let count = sorted.len();
         // Nearest-rank percentiles: the p-th percentile is the smallest
-        // sample with at least p·N samples ≤ it.
+        // sample with at least p·N samples ≤ it. `max(1).min(count)` keeps
+        // the rank in bounds without `clamp`'s min>max panic, so the
+        // closure is total even if the empty guard above ever changes.
         let pct = |p: f64| -> Duration {
             let rank = (p * count as f64).ceil() as usize;
-            sorted[rank.clamp(1, count) - 1]
+            sorted[rank.max(1).min(count) - 1]
         };
         let total: Duration = sorted.iter().sum();
         Some(LatencySummary {

@@ -9,7 +9,6 @@
 
 use nfp_core::prelude::*;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 fn make(name: &str) -> Box<dyn NetworkFunction> {
     use nfp_core::nf::*;
@@ -53,7 +52,7 @@ fn main() {
         }
 
         // Threaded run.
-        let tables = Arc::new(nfp_core::orchestrator::tables::generate(&compiled.graph, 1));
+        let program = compiled.program(1).unwrap();
         let nfs: Vec<_> = compiled
             .graph
             .nodes
@@ -64,14 +63,15 @@ fn main() {
         // sequential oracle — the VPN's AH sequence numbers (and thus its
         // CTR nonces) depend on processing order.
         let mut engine = Engine::new(
-            tables,
+            program,
             nfs,
             EngineConfig {
                 keep_packets: true,
                 max_in_flight: 1,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .expect("engine config");
         let traffic = TrafficGenerator::new(TrafficSpec {
             flows: 32,
             sizes: SizeDistribution::datacenter(),

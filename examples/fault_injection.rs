@@ -12,7 +12,6 @@
 use nfp_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
 fn main() {
     // IDS -> [Monitor | LB(copy)] — the east-west graph.
@@ -29,7 +28,7 @@ fn main() {
     .unwrap();
     println!("graph under test: {}\n", compiled.graph.describe());
 
-    let tables = Arc::new(nfp_core::orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<Box<dyn NetworkFunction>> = compiled
         .graph
         .nodes
@@ -50,7 +49,7 @@ fn main() {
         })
         .collect();
     // A deliberately tiny pool: 8 slots for a graph needing 2 per packet.
-    let mut engine = nfp_core::dataplane::SyncEngine::new(tables, nfs, 8);
+    let mut engine = nfp_core::dataplane::SyncEngine::new(program, nfs, 8);
 
     // 30% of packets carry an IDS signature; 10% are corrupted frames.
     let mut gen = TrafficGenerator::new(TrafficSpec {

@@ -6,7 +6,6 @@
 //! ```
 
 use nfp_core::prelude::*;
-use std::sync::Arc;
 
 fn main() {
     // 1. An operator writes a traditional sequential chain — NFP converts
@@ -27,9 +26,10 @@ fn main() {
     );
     println!("copies per packet: {}\n", graph.copies_per_packet());
 
-    // 3. Generate the runtime tables (classification / forwarding /
-    //    merging, §4.4.3) and instantiate the NFs.
-    let tables = Arc::new(nfp_core::orchestrator::tables::generate(graph, 1));
+    // 3. Seal the graph into a validated Program artifact — runtime tables
+    //    (classification / forwarding / merging, §4.4.3) plus the wiring
+    //    plan the engines execute — and instantiate the NFs.
+    let program = compiled.program(1).expect("program seals");
     let nfs: Vec<Box<dyn NetworkFunction>> = graph
         .nodes
         .iter()
@@ -47,8 +47,10 @@ fn main() {
         })
         .collect();
 
-    // 4. Run packets through the deterministic engine.
-    let mut engine = SyncEngine::new(tables, nfs, 64);
+    // 4. Run packets through the deterministic engine. (For multi-core
+    //    scale-out, hand the same Program to `ShardedEngine::new` with a
+    //    shard count — see the `shard_scale` bench.)
+    let mut engine = SyncEngine::new(program, nfs, 64);
     let mut gen = TrafficGenerator::new(TrafficSpec {
         flows: 4,
         sizes: SizeDistribution::Fixed(128),

@@ -6,7 +6,6 @@
 use nfp_core::prelude::*;
 use nfp_dataplane::sync_engine::{ProcessOutcome, SyncEngine};
 use nfp_packet::ipv4::Ipv4Addr;
-use std::sync::Arc;
 
 fn registry() -> Registry {
     let mut r = Registry::paper_table2();
@@ -66,14 +65,14 @@ fn replay(chain: &[&str], packets: usize) {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_core::orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<_> = compiled
         .graph
         .nodes
         .iter()
         .map(|n| make(n.name.as_str()))
         .collect();
-    let mut parallel = SyncEngine::new(tables, nfs, 128);
+    let mut parallel = SyncEngine::new(program, nfs, 128);
     let mut sequential = RunToCompletion::new(chain.iter().map(|n| make(n)).collect());
 
     let mut drops = 0u64;

@@ -7,8 +7,8 @@ use nfp_core::prelude::*;
 use nfp_dataplane::sync_engine::{ProcessOutcome, SyncEngine};
 use nfp_orchestrator::graph::{GraphNode, Member, ParallelGroup, Segment, ServiceGraph};
 use nfp_orchestrator::partition::{inter_server_copies, partition};
+use nfp_orchestrator::Program;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 fn make(name: &str) -> Box<dyn NetworkFunction> {
     use nfp_core::nf::*;
@@ -87,16 +87,16 @@ fn partitioned_graph_equals_whole_graph() {
         .iter()
         .map(|plan| {
             let sub = subgraph(graph, plan.segments.clone());
-            let tables = Arc::new(nfp_orchestrator::tables::generate(&sub, 1));
+            let program = Program::compile(&sub, 1).unwrap();
             let nfs: Vec<_> = sub.nodes.iter().map(|n| make(n.name.as_str())).collect();
-            SyncEngine::new(tables, nfs, 64)
+            SyncEngine::new(program, nfs, 64)
         })
         .collect();
 
     // The oracle: one engine over the whole graph.
-    let tables = Arc::new(nfp_orchestrator::tables::generate(graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<_> = graph.nodes.iter().map(|n| make(n.name.as_str())).collect();
-    let mut whole = SyncEngine::new(tables, nfs, 64);
+    let mut whole = SyncEngine::new(program, nfs, 64);
 
     let traffic = TrafficGenerator::new(TrafficSpec {
         flows: 8,

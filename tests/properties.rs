@@ -7,7 +7,6 @@ use nfp_core::prelude::*;
 use nfp_dataplane::sync_engine::{ProcessOutcome, SyncEngine};
 use nfp_packet::ipv4::Ipv4Addr;
 use proptest::prelude::*;
-use std::sync::Arc;
 
 /// NF types with deterministic implementations available for replay —
 /// every Table 2 row except the NAT (port allocation order is stateful in
@@ -104,9 +103,12 @@ proptest! {
         prop_assert!(g.equivalent_chain_length() <= chain.len());
         prop_assert!(g.equivalent_chain_length() >= 1);
         prop_assert!(g.copies_per_packet() < chain.len().max(1));
-        // Tables generate without panicking and cover every node.
-        let t = nfp_orchestrator::tables::generate(g, 9);
-        prop_assert_eq!(t.nf_configs.len(), chain.len());
+        // The graph compiles to a sealed, validated Program whose tables
+        // cover every node.
+        let program = compiled.program(9).unwrap();
+        prop_assert_eq!(program.tables().nf_configs.len(), chain.len());
+        prop_assert_eq!(program.nf_count(), chain.len());
+        prop_assert!(program.slots_per_packet() >= 1);
     }
 
     #[test]
@@ -120,9 +122,9 @@ proptest! {
             &[],
             &CompileOptions::default(),
         ).unwrap();
-        let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+        let program = compiled.program(1).unwrap();
         let nfs: Vec<_> = compiled.graph.nodes.iter().map(|n| make(n.name.as_str())).collect();
-        let mut parallel = SyncEngine::new(tables, nfs, 64);
+        let mut parallel = SyncEngine::new(program, nfs, 64);
         let mut sequential = RunToCompletion::new(chain.iter().map(|n| make(n)).collect());
         for pkt in pkts {
             let seq = sequential.process(pkt.clone());
@@ -240,14 +242,14 @@ fn replay_recorded(chain: &[&str], payload: &[u8]) {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<_> = compiled
         .graph
         .nodes
         .iter()
         .map(|n| make(n.name.as_str()))
         .collect();
-    let mut parallel = SyncEngine::new(tables, nfs, 64);
+    let mut parallel = SyncEngine::new(program, nfs, 64);
     let mut sequential = RunToCompletion::new(chain.iter().map(|n| make(n)).collect());
     let seq = sequential.process(pkt.clone());
     let par = parallel.process(pkt).unwrap();
@@ -295,7 +297,7 @@ fn threaded_matches_sequential(chain: &[&str], iters: usize, mergers: usize) {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let mut sequential = RunToCompletion::new(chain.iter().map(|n| make(n)).collect());
     let mut expected: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
     let mut expected_drops = 0u64;
@@ -313,7 +315,7 @@ fn threaded_matches_sequential(chain: &[&str], iters: usize, mergers: usize) {
             .map(|n| make(n.name.as_str()))
             .collect();
         let mut engine = Engine::new(
-            Arc::clone(&tables),
+            program.clone(),
             nfs,
             EngineConfig {
                 keep_packets: true,
@@ -321,7 +323,8 @@ fn threaded_matches_sequential(chain: &[&str], iters: usize, mergers: usize) {
                 mergers,
                 ..EngineConfig::default()
             },
-        );
+        )
+        .unwrap();
         let report = engine.run(pkts.clone());
         let mut got: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
         for out in &report.packets {

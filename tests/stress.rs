@@ -4,7 +4,6 @@
 
 use nfp_core::prelude::*;
 use nfp_packet::ipv4::Ipv4Addr;
-use std::sync::Arc;
 
 fn make(name: &str) -> Box<dyn NetworkFunction> {
     use nfp_core::nf::*;
@@ -16,7 +15,7 @@ fn make(name: &str) -> Box<dyn NetworkFunction> {
     }
 }
 
-fn engine(chain: &[&str], config: EngineConfig) -> Engine {
+fn try_engine(chain: &[&str], config: EngineConfig) -> Result<Engine, EngineError> {
     let compiled = compile(
         &Policy::from_chain(chain.iter().copied()),
         &Registry::paper_table2(),
@@ -24,14 +23,18 @@ fn engine(chain: &[&str], config: EngineConfig) -> Engine {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<_> = compiled
         .graph
         .nodes
         .iter()
         .map(|n| make(n.name.as_str()))
         .collect();
-    Engine::new(tables, nfs, config)
+    Engine::new(program, nfs, config)
+}
+
+fn engine(chain: &[&str], config: EngineConfig) -> Engine {
+    try_engine(chain, config).expect("valid stress config")
 }
 
 fn traffic(n: usize, drop_share: usize) -> Vec<Packet> {
@@ -72,14 +75,41 @@ fn tiny_rings_backpressure_instead_of_wedging() {
 }
 
 #[test]
+fn pool_that_cannot_cover_the_window_is_rejected_up_front() {
+    // Pool of 8 slots, window of 16 packets needing 2 slots each: the
+    // engine must refuse to build instead of wedging mid-run.
+    let err = try_engine(
+        &["Monitor", "LoadBalancer"],
+        EngineConfig {
+            pool_size: 8,
+            max_in_flight: 16,
+            ..EngineConfig::default()
+        },
+    )
+    .map(|_| ())
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::PoolTooSmall {
+                pool_size: 8,
+                required: 32,
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
 fn tiny_pool_applies_backpressure() {
-    // Pool of 8 slots for a graph needing ~2 per packet: the classifier
-    // must stall rather than lose packets.
+    // The smallest pool the validator admits (4 packets × 2 slots): the
+    // classifier must stall on exhaustion rather than lose packets.
     let mut e = engine(
         &["Monitor", "LoadBalancer"],
         EngineConfig {
             pool_size: 8,
-            max_in_flight: 16, // deliberately larger than the pool allows
+            max_in_flight: 4,
             ..EngineConfig::default()
         },
     );
@@ -120,14 +150,14 @@ fn sync_engine_survives_pathological_packets() {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<_> = compiled
         .graph
         .nodes
         .iter()
         .map(|n| make(n.name.as_str()))
         .collect();
-    let mut e = nfp_dataplane::SyncEngine::new(tables, nfs, 16);
+    let mut e = nfp_dataplane::SyncEngine::new(program, nfs, 16);
     // Garbage, truncated, non-IP, and minimum frames.
     for bytes in [
         vec![0u8; 60],

@@ -6,7 +6,6 @@ use nfp_core::prelude::*;
 use nfp_dataplane::sync_engine::SyncEngine;
 use nfp_packet::ipv4::Ipv4Addr;
 use std::collections::BTreeSet;
-use std::sync::Arc;
 
 fn make(name: &str) -> Box<dyn NetworkFunction> {
     use nfp_core::nf::*;
@@ -18,12 +17,7 @@ fn make(name: &str) -> Box<dyn NetworkFunction> {
     }
 }
 
-fn build(
-    chain: &[&str],
-) -> (
-    nfp_orchestrator::Compiled,
-    Arc<nfp_orchestrator::tables::GraphTables>,
-) {
+fn build(chain: &[&str]) -> (nfp_orchestrator::Compiled, Program) {
     let compiled = compile(
         &Policy::from_chain(chain.iter().copied()),
         &Registry::paper_table2(),
@@ -31,8 +25,8 @@ fn build(
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
-    (compiled, tables)
+    let program = compiled.program(1).unwrap();
+    (compiled, program)
 }
 
 fn traffic(n: usize) -> Vec<Packet> {
@@ -57,7 +51,7 @@ fn traffic(n: usize) -> Vec<Packet> {
 #[test]
 fn threaded_matches_sync_engine_with_copies_and_drops() {
     let chain = ["Monitor", "Firewall", "LoadBalancer"];
-    let (compiled, tables) = build(&chain);
+    let (compiled, program) = build(&chain);
     let nfs_threaded: Vec<_> = compiled
         .graph
         .nodes
@@ -72,7 +66,7 @@ fn threaded_matches_sync_engine_with_copies_and_drops() {
         .collect();
 
     let pkts = traffic(400);
-    let mut sync = SyncEngine::new(Arc::clone(&tables), nfs_sync, 128);
+    let mut sync = SyncEngine::new(program.clone(), nfs_sync, 128);
     let mut expected: BTreeSet<Vec<u8>> = BTreeSet::new();
     let mut expected_drops = 0u64;
     for p in pkts.clone() {
@@ -85,7 +79,7 @@ fn threaded_matches_sync_engine_with_copies_and_drops() {
     }
 
     let mut engine = Engine::new(
-        tables,
+        program,
         nfs_threaded,
         EngineConfig {
             keep_packets: true,
@@ -93,7 +87,8 @@ fn threaded_matches_sync_engine_with_copies_and_drops() {
             mergers: 2,
             ..EngineConfig::default()
         },
-    );
+    )
+    .unwrap();
     let report = engine.run(pkts);
     assert_eq!(report.dropped, expected_drops);
     assert_eq!(report.delivered as usize, expected.len());
@@ -105,7 +100,7 @@ fn threaded_matches_sync_engine_with_copies_and_drops() {
 #[test]
 fn threaded_engine_with_single_merger() {
     let chain = ["Monitor", "Firewall"];
-    let (compiled, tables) = build(&chain);
+    let (compiled, program) = build(&chain);
     let nfs: Vec<_> = compiled
         .graph
         .nodes
@@ -113,14 +108,15 @@ fn threaded_engine_with_single_merger() {
         .map(|n| make(n.name.as_str()))
         .collect();
     let mut engine = Engine::new(
-        tables,
+        program,
         nfs,
         EngineConfig {
             mergers: 1,
             max_in_flight: 8,
             ..EngineConfig::default()
         },
-    );
+    )
+    .unwrap();
     let report = engine.run(traffic(200));
     assert_eq!(report.injected, 200);
     assert_eq!(report.delivered + report.dropped, 200);
@@ -143,8 +139,8 @@ fn graph_with_two_parallel_segments_merges_twice() {
         .filter(|s| matches!(s, nfp_orchestrator::graph::Segment::Parallel(_)))
         .count();
     assert_eq!(parallel_segments, 2, "{}", g.describe());
-    let tables = Arc::new(nfp_orchestrator::tables::generate(g, 1));
-    assert_eq!(tables.merge_specs.len(), 2);
+    let program = compiled.program(1).unwrap();
+    assert_eq!(program.tables().merge_specs.len(), 2);
 
     let make_all = |g: &nfp_orchestrator::ServiceGraph| -> Vec<Box<dyn NetworkFunction>> {
         g.nodes
@@ -164,7 +160,7 @@ fn graph_with_two_parallel_segments_merges_twice() {
     };
 
     // Sync oracle.
-    let mut sync = SyncEngine::new(Arc::clone(&tables), make_all(g), 128);
+    let mut sync = SyncEngine::new(program.clone(), make_all(g), 128);
     let pkts = traffic(150);
     let mut expected = Vec::new();
     for p in pkts.clone() {
@@ -174,14 +170,15 @@ fn graph_with_two_parallel_segments_merges_twice() {
     }
     // Threaded engine.
     let mut engine = Engine::new(
-        tables,
+        program,
         make_all(g),
         EngineConfig {
             keep_packets: true,
             max_in_flight: 16,
             ..EngineConfig::default()
         },
-    );
+    )
+    .unwrap();
     let report = engine.run(pkts);
     assert_eq!(report.delivered as usize, expected.len());
     let mut got: Vec<Vec<u8>> = report.packets.iter().map(|p| p.data().to_vec()).collect();
@@ -193,14 +190,14 @@ fn graph_with_two_parallel_segments_merges_twice() {
 #[test]
 fn engine_rerun_accumulates() {
     let chain = ["Monitor", "Firewall"];
-    let (compiled, tables) = build(&chain);
+    let (compiled, program) = build(&chain);
     let nfs: Vec<_> = compiled
         .graph
         .nodes
         .iter()
         .map(|n| make(n.name.as_str()))
         .collect();
-    let mut engine = Engine::new(tables, nfs, EngineConfig::default());
+    let mut engine = Engine::new(program, nfs, EngineConfig::default()).unwrap();
     let r1 = engine.run(traffic(50));
     let r2 = engine.run(traffic(50));
     assert_eq!(r1.injected + r2.injected, 100);

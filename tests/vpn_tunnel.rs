@@ -5,7 +5,6 @@
 use nfp_core::prelude::*;
 use nfp_dataplane::sync_engine::{ProcessOutcome, SyncEngine};
 use nfp_packet::ipv4::Ipv4Addr;
-use std::sync::Arc;
 
 const KEY: [u8; 16] = [0x77; 16];
 
@@ -38,14 +37,14 @@ fn engine(chain: &[&str]) -> (SyncEngine, nfp_orchestrator::Compiled) {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<_> = compiled
         .graph
         .nodes
         .iter()
         .map(|n| make(n.name.as_str()))
         .collect();
-    (SyncEngine::new(tables, nfs, 64), compiled)
+    (SyncEngine::new(program, nfs, 64), compiled)
 }
 
 #[test]
@@ -130,14 +129,14 @@ fn mismatched_tunnel_keys_fail_closed() {
         &CompileOptions::default(),
     )
     .unwrap();
-    let tables = Arc::new(nfp_orchestrator::tables::generate(&compiled.graph, 1));
+    let program = compiled.program(1).unwrap();
     let nfs: Vec<Box<dyn NetworkFunction>> = vec![Box::new(nfp_core::nf::vpn::Vpn::new(
         "VPN-decap",
         [0x88; 16],
         31,
         nfp_core::nf::vpn::VpnMode::Decapsulate,
     ))];
-    let mut egress = SyncEngine::new(tables, nfs, 16);
+    let mut egress = SyncEngine::new(program, nfs, 16);
 
     let pkt = nfp_traffic::gen::build_tcp_frame(
         Ipv4Addr::new(1, 1, 1, 1),
