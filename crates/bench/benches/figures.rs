@@ -9,6 +9,7 @@ use nfp_dataplane::merger::{arrival_from, resolve_and_merge, MergeOutcome};
 use nfp_dataplane::SyncEngine;
 use nfp_nf::PacketView;
 use nfp_orchestrator::tables::{FtAction, MemberSpec, MergeSpec};
+use nfp_orchestrator::FailurePolicy;
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Metadata;
 
@@ -47,6 +48,7 @@ fn bench_merge_degree(c: &mut Criterion) {
                     version: 1,
                     priority: i as u32,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 })
                 .collect(),
             next: vec![FtAction::Output { version: 1 }],

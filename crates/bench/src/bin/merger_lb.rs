@@ -14,6 +14,7 @@ use nfp_bench::calibrate::{nf_service_ns, time_per_iter, Calibration};
 use nfp_bench::table::{mpps, TablePrinter};
 use nfp_dataplane::merger::{agent_pick, arrival_from, resolve_and_merge, MergeOutcome};
 use nfp_orchestrator::tables::{FtAction, MemberSpec, MergeSpec};
+use nfp_orchestrator::FailurePolicy;
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Metadata;
 
@@ -27,6 +28,7 @@ fn merge_spec(degree: usize) -> MergeSpec {
                 version: 1,
                 priority: i as u32,
                 drop_capable: false,
+                on_failure: FailurePolicy::FailOpen,
             })
             .collect(),
         next: vec![FtAction::Output { version: 1 }],

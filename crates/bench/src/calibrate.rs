@@ -9,6 +9,7 @@ use nfp_dataplane::ring;
 use nfp_nf::PacketView;
 use nfp_orchestrator::graph::ServiceGraph;
 use nfp_orchestrator::tables::{FtAction, MemberSpec, MergeSpec};
+use nfp_orchestrator::FailurePolicy;
 use nfp_packet::pool::PacketPool;
 use nfp_packet::{Metadata, Packet};
 use nfp_sim::CostModel;
@@ -116,11 +117,13 @@ impl Calibration {
                         version: 1,
                         priority: 0,
                         drop_capable: false,
+                        on_failure: FailurePolicy::FailOpen,
                     },
                     MemberSpec {
                         version: 2,
                         priority: 1,
                         drop_capable: false,
+                        on_failure: FailurePolicy::FailOpen,
                     },
                 ],
                 next: vec![FtAction::Output { version: 1 }],

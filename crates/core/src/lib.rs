@@ -60,10 +60,14 @@ pub use nfp_traffic as traffic;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use nfp_baseline::{OnvmPipeline, RunToCompletion};
-    pub use nfp_dataplane::{Engine, EngineConfig, EngineError, ShardedEngine, SyncEngine};
+    pub use nfp_dataplane::{
+        Engine, EngineConfig, EngineError, EngineReport, FailureKind, NfFailure, ShardedEngine,
+        SyncEngine,
+    };
     pub use nfp_nf::{NetworkFunction, PacketView, Verdict};
     pub use nfp_orchestrator::{
-        compile, identify, ActionProfile, CompileOptions, Compiled, Program, Registry, ServiceGraph,
+        compile, identify, ActionProfile, CompileOptions, Compiled, FailurePolicy, Program,
+        Registry, ServiceGraph,
     };
     pub use nfp_packet::{FieldId, FieldMask, Metadata, Packet, PacketPool, PacketRef};
     pub use nfp_policy::{parse_policy, Policy, PositionAnchor, Rule};

@@ -18,6 +18,14 @@
 //! executing the merge spec's `next` actions. Every seq gets exactly one
 //! outcome (dropped packets included — dropping members emit nils, so
 //! every merge completes), so the release cursor never stalls.
+//!
+//! The one-outcome-per-seq invariant survives NF failure because the two
+//! failure paths preserve it: a merge whose copies stop arriving is
+//! resolved at its deadline ([`crate::cores::MergerCore::expire`]) with
+//! an outcome carrying the seq the entry's first copy was stamped with
+//! (seqs are assigned at the *first* copy, so every AT entry has one),
+//! and stragglers arriving after expiry are swallowed by the entry's
+//! tombstone without producing a second outcome.
 
 use crate::actions::{self, Deliver, Msg, VersionMap};
 use crate::merger;

@@ -6,6 +6,15 @@
 //! (MID, segment, PID); when the last expected copy or nil of a packet
 //! arrives, it resolves drop conflicts by member priority and folds the
 //! copies' modifications into v1, releasing every reference it consumed.
+//!
+//! The AT carries a per-entry deadline (stamped from the caller's clock —
+//! virtual ticks in the sync engine, elapsed milliseconds in the threaded
+//! engine). [`MergerCore::expire`] resolves overdue entries from the
+//! copies that arrived ([`merger::resolve_partial`]) and leaves a
+//! *tombstone* per evicted entry, so stragglers that show up later are
+//! released on sight instead of reopening an entry that could never
+//! complete — that is what guarantees `pool_in_use` returns to 0 even
+//! when an NF dies mid-segment.
 
 use crate::actions::Msg;
 use crate::cores::agent::Outcome;
@@ -13,43 +22,60 @@ use crate::merger::{self, Accumulator, MergeOutcome};
 use crate::stats::{DropCause, StageStats};
 use nfp_orchestrator::tables::GraphTables;
 use nfp_packet::pool::PacketPool;
+use std::collections::HashMap;
 
-/// The merger core: accumulate arrivals, merge when complete.
+/// The merger core: accumulate arrivals, merge when complete, expire when
+/// overdue.
 #[derive(Default)]
 pub struct MergerCore {
     at: Accumulator,
+    /// Expired entries still owed arrivals: (mid, segment, pid) → how many
+    /// stragglers to swallow before the tombstone itself is dropped.
+    tombstones: HashMap<(u32, u32, u64), usize>,
 }
 
 impl MergerCore {
     /// A fresh merger with an empty accumulating table.
     pub fn new() -> Self {
-        Self {
-            at: Accumulator::new(),
-        }
+        Self::default()
     }
 
-    /// Offer one arrival (copy or nil). Returns the merge [`Outcome`] when
-    /// this arrival completed the packet's expected count, `None` while
-    /// the accumulating table is still waiting for siblings.
+    /// Offer one arrival (copy or nil), stamped with the caller's clock.
+    /// Returns the merge [`Outcome`] when this arrival completed the
+    /// packet's expected count, `None` while the accumulating table is
+    /// still waiting for siblings — or when the arrival was a straggler
+    /// for an already-expired entry (released against its tombstone; the
+    /// packet was fully accounted at expiry).
     pub fn offer(
         &mut self,
         msg: Msg,
         pool: &PacketPool,
         tables: &GraphTables,
         stats: &StageStats,
+        now: u64,
     ) -> Option<Outcome> {
         stats.note_in(1);
         let spec = tables
             .merge_spec_for(msg.segment as usize)
             .expect("merger msg implies spec");
         let (mid, pid) = pool.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
+        let key = (mid, msg.segment, pid);
+        if let Some(remaining) = self.tombstones.get_mut(&key) {
+            pool.release(msg.r);
+            stats.note_late_arrival();
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.tombstones.remove(&key);
+            }
+            return None;
+        }
         let arrival = merger::arrival_from(pool, msg.r);
         if arrival.nil {
             stats.note_nil();
         }
         let arrivals = self
             .at
-            .offer(mid, msg.segment, pid, arrival, spec.total_count)?;
+            .offer(key, arrival, spec.total_count, now, msg.seq)?;
         stats.note_merge();
         let (forward, error) = match merger::resolve_and_merge(spec, &arrivals, pool) {
             Ok(MergeOutcome::Forward(v1)) => (Some(v1), false),
@@ -74,8 +100,62 @@ impl MergerCore {
         })
     }
 
+    /// Resolve every AT entry whose first arrival is at or before
+    /// `cutoff` — its deadline has passed — from the copies that did
+    /// arrive. Each evicted entry yields exactly one [`Outcome`]
+    /// (forwarded partial merge or an accounted drop) carrying the
+    /// agent-assigned seq, so the in-order release cursor never stalls on
+    /// a packet whose copies stopped coming.
+    pub fn expire(
+        &mut self,
+        cutoff: u64,
+        pool: &PacketPool,
+        tables: &GraphTables,
+        stats: &StageStats,
+    ) -> Vec<Outcome> {
+        if self.at.pending_len() == 0 {
+            return Vec::new();
+        }
+        let mut outcomes = Vec::new();
+        for entry in self.at.take_expired(cutoff) {
+            let spec = tables
+                .merge_spec_for(entry.segment as usize)
+                .expect("AT entry implies spec");
+            let owed = spec.total_count.saturating_sub(entry.arrivals.len());
+            if owed > 0 {
+                self.tombstones
+                    .insert((entry.mid, entry.segment, entry.pid), owed);
+            }
+            let forward = match merger::resolve_partial(spec, &entry.arrivals, pool) {
+                MergeOutcome::Forward(v1) => {
+                    stats.note_merge();
+                    stats.note_out(1);
+                    Some(v1)
+                }
+                MergeOutcome::Dropped => {
+                    stats.note_drop(DropCause::MergeExpired);
+                    None
+                }
+            };
+            outcomes.push(Outcome {
+                mid: entry.mid,
+                segment: entry.segment,
+                seq: entry.seq,
+                forward,
+                error: false,
+            });
+        }
+        outcomes
+    }
+
     /// Packets waiting in the accumulating table (leak detection).
     pub fn pending_len(&self) -> usize {
         self.at.pending_len()
+    }
+
+    /// Expired entries still owed straggler arrivals (leak detection: a
+    /// tombstone holds no references, only a count).
+    pub fn tombstone_len(&self) -> usize {
+        self.tombstones.len()
     }
 }

@@ -30,11 +30,11 @@ use crate::actions::{Deliver, Msg};
 use crate::classifier::{AdmitError, Classifier};
 use crate::cores::{collector, AgentCore, MergerCore, Outcome};
 use crate::ring::{self, Consumer, Producer};
-use crate::runtime::NfRuntime;
+use crate::runtime::{FailureKind, NfRuntime};
 use crate::stats::{EngineStats, StageStats};
 use nfp_nf::NetworkFunction;
-use nfp_orchestrator::tables::{DropBehavior, Target};
-use nfp_orchestrator::{Program, Stage};
+use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
+use nfp_orchestrator::{FailurePolicy, Program, Stage};
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use nfp_traffic::{LatencyRecorder, LatencySummary};
@@ -64,6 +64,14 @@ pub struct EngineConfig {
     pub max_in_flight: usize,
     /// Keep delivered packets in the report (correctness tests).
     pub keep_packets: bool,
+    /// How long an accumulating-table entry may wait for missing sibling
+    /// copies before the merger resolves it from the copies that arrived
+    /// (the merge deadline; see DESIGN.md "Failure model"). Generous by
+    /// default: a healthy run never comes close.
+    pub merge_deadline: Duration,
+    /// How long the engine may make zero global progress before the
+    /// watchdog declares a busy, heartbeat-silent NF stalled and fails it.
+    pub stall_timeout: Duration,
 }
 
 impl Default for EngineConfig {
@@ -74,6 +82,8 @@ impl Default for EngineConfig {
             mergers: 2,
             max_in_flight: 64,
             keep_packets: false,
+            merge_deadline: Duration::from_secs(1),
+            stall_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -107,6 +117,16 @@ pub enum EngineError {
         /// Worst-case slots per admitted packet (from the program).
         slots_per_packet: usize,
     },
+    /// The program's tables can emit a message along a stage edge the
+    /// wiring plan does not provide a ring for. A run would have had to
+    /// drop that packet mid-graph (it used to panic); the inconsistency is
+    /// rejected here instead.
+    MissingRing {
+        /// Producing stage.
+        from: Stage,
+        /// Target stage with no ring from `from`.
+        to: Stage,
+    },
 }
 
 impl core::fmt::Display for EngineError {
@@ -129,11 +149,36 @@ impl core::fmt::Display for EngineError {
                 "pool of {pool_size} slots cannot cover max_in_flight {max_in_flight} × \
                  {slots_per_packet} slots/packet = {required}"
             ),
+            EngineError::MissingRing { from, to } => {
+                write!(
+                    f,
+                    "tables emit {from:?} → {to:?} but the wiring plan has no such ring"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// One NF that failed during a run — the [`EngineReport`] `failures`
+/// section. The engine survives the failure; this records what degraded
+/// and how the failure policy handled the NF's subsequent traffic.
+#[derive(Debug, Clone)]
+pub struct NfFailure {
+    /// Graph node (`NodeId`) of the failed NF.
+    pub node: usize,
+    /// The NF's name.
+    pub nf: String,
+    /// How it failed (panic or watchdog-detected stall).
+    pub kind: FailureKind,
+    /// The failure policy that governed its traffic afterwards.
+    pub policy: FailurePolicy,
+    /// Packets forwarded unprocessed past the failed NF (fail-open).
+    pub bypassed: u64,
+    /// Packets discarded by policy at the failed NF (fail-closed).
+    pub policy_drops: u64,
+}
 
 /// Result of one engine run.
 #[derive(Debug)]
@@ -153,6 +198,11 @@ pub struct EngineReport {
     pub packets: Vec<Packet>,
     /// Per-stage counters for this run.
     pub stats: EngineStats,
+    /// NFs that failed during the run (empty on a healthy run).
+    pub failures: Vec<NfFailure>,
+    /// Pool slots still held when the run finished — 0 unless references
+    /// leaked (the failure paths exist precisely to keep this at 0).
+    pub pool_in_use: usize,
 }
 
 impl EngineReport {
@@ -194,17 +244,27 @@ fn flush_burst(p: &Producer<Msg>, buf: &mut Vec<Msg>, stats: &StageStats) {
 
 /// A sink mapping abstract targets onto this stage's ring producers,
 /// buffering messages per target stage and flushing them as bursts.
+///
+/// A message for a stage with no ring is *misrouted*: the wiring plan is
+/// validated against the tables at [`Engine::new`], so this cannot happen
+/// for a sealed program, but the fallback still releases the reference and
+/// accounts the packet (instead of panicking the stage thread) so the
+/// closed loop terminates even if an invariant is ever violated.
 struct BurstSink<'a> {
     out: HashMap<Stage, (Producer<Msg>, Vec<Msg>)>,
     stats: &'a StageStats,
+    pool: &'a PacketPool,
+    dropped: &'a AtomicU64,
 }
 
 impl BurstSink<'_> {
     fn send(&mut self, stage: Stage, msg: Msg) {
-        let (p, buf) = self
-            .out
-            .get_mut(&stage)
-            .unwrap_or_else(|| panic!("no ring from this stage to {stage:?}"));
+        let Some((p, buf)) = self.out.get_mut(&stage) else {
+            self.pool.release(msg.r);
+            self.stats.note_misroute();
+            self.dropped.fetch_add(1, Ordering::Release);
+            return;
+        };
         buf.push(msg);
         if buf.len() >= BURST {
             flush_burst(p, buf, self.stats);
@@ -239,14 +299,19 @@ impl Deliver for BurstSink<'_> {
 struct AgentSink<'a> {
     out: HashMap<Stage, (Producer<Msg>, VecDeque<Msg>)>,
     stats: &'a StageStats,
+    pool: &'a PacketPool,
+    dropped: &'a AtomicU64,
 }
 
 impl AgentSink<'_> {
     fn send(&mut self, stage: Stage, msg: Msg) {
-        let (p, stash) = self
-            .out
-            .get_mut(&stage)
-            .unwrap_or_else(|| panic!("no ring from the agent to {stage:?}"));
+        let Some((p, stash)) = self.out.get_mut(&stage) else {
+            // Misroute fallback — see [`BurstSink::send`].
+            self.pool.release(msg.r);
+            self.stats.note_misroute();
+            self.dropped.fetch_add(1, Ordering::Release);
+            return;
+        };
         if stash.is_empty() {
             if let Err(back) = p.push(msg) {
                 self.stats.note_backpressure();
@@ -283,6 +348,51 @@ impl Deliver for AgentSink<'_> {
     }
 }
 
+/// Stages a list of forwarding actions can deliver messages to.
+fn action_stages(actions: &[FtAction]) -> Vec<Stage> {
+    let mut out = Vec::new();
+    for a in actions {
+        match a {
+            FtAction::Distribute { targets, .. } => {
+                out.extend(targets.iter().map(|&t| Stage::of(t)));
+            }
+            FtAction::Output { .. } => out.push(Stage::Collector),
+            FtAction::Copy { .. } => {}
+        }
+    }
+    out
+}
+
+/// Check that every stage edge the tables can emit a message along has a
+/// ring in the wiring plan, so a run can never misroute (the sinks used to
+/// panic on this; now it cannot build).
+fn validate_wiring(program: &Program, mergers: usize) -> Result<(), EngineError> {
+    let tables: &GraphTables = program.tables();
+    let check = |from: Stage, needed: Vec<Stage>| -> Result<(), EngineError> {
+        let have = program.wiring().targets_of(from, mergers);
+        needed.into_iter().try_for_each(|to| {
+            if have.contains(&to) {
+                Ok(())
+            } else {
+                Err(EngineError::MissingRing { from, to })
+            }
+        })
+    };
+    check(Stage::Classifier, action_stages(&tables.entry_actions))?;
+    for (i, cfg) in tables.nf_configs.iter().enumerate() {
+        let mut needed = action_stages(&cfg.actions);
+        if matches!(cfg.on_drop, DropBehavior::NilToMerger { .. }) {
+            needed.push(Stage::Agent);
+        }
+        check(Stage::Nf(i), needed)?;
+    }
+    let mut agent_needed: Vec<Stage> = (0..mergers).map(Stage::Merger).collect();
+    for spec in &tables.merge_specs {
+        agent_needed.extend(action_stages(&spec.next));
+    }
+    check(Stage::Agent, agent_needed)
+}
+
 /// The threaded engine: one executor for a sealed [`Program`]. Build once,
 /// run many times.
 pub struct Engine {
@@ -310,6 +420,7 @@ impl Engine {
         if config.mergers == 0 {
             return Err(EngineError::NoMergers);
         }
+        validate_wiring(&program, config.mergers)?;
         let slots = program.slots_per_packet();
         let required = config.max_in_flight.max(1) * slots;
         if config.pool_size < required {
@@ -393,10 +504,27 @@ impl Engine {
         // Injection ring into the classifier.
         let (inject_tx, inject_rx) = ring::channel::<Packet>(self.config.ring_capacity);
 
+        // Two-phase shutdown. `stop` ends injection (the classifier exits
+        // once its ring drains). `quiesce` releases everything else — it is
+        // raised only after the pool is empty, because a deadline-expired
+        // merge accounts its packet while a straggler copy from the
+        // stalled NF may still be in flight toward the merger's tombstone;
+        // stages must keep draining until that last reference is released
+        // or it would leak.
         let stop = AtomicBool::new(false);
+        let quiesce = AtomicBool::new(false);
         let delivered = AtomicU64::new(0);
         let dropped = AtomicU64::new(0);
         let injected_total = packets.len() as u64;
+
+        // Watchdog state: per-NF heartbeats (bumped once per drain loop),
+        // busy flags (set while inside `handle`), and the failed verdicts
+        // the watchdog hands down.
+        let heartbeats: Vec<AtomicU64> = (0..n_nfs).map(|_| AtomicU64::new(0)).collect();
+        let nf_busy: Vec<AtomicBool> = (0..n_nfs).map(|_| AtomicBool::new(false)).collect();
+        let nf_failed: Vec<AtomicBool> = (0..n_nfs).map(|_| AtomicBool::new(false)).collect();
+        let stall_timeout = self.config.stall_timeout;
+        let merge_deadline_ms = self.config.merge_deadline.as_millis() as u64;
 
         let mut classifier_sink = BurstSink {
             out: producers_from(Stage::Classifier, &mut producers)
@@ -404,6 +532,8 @@ impl Engine {
                 .map(|(to, p)| (to, (p, Vec::new())))
                 .collect(),
             stats: &classifier_stats,
+            pool: pool.as_ref(),
+            dropped: &dropped,
         };
         let mut nf_sinks: Vec<BurstSink> = (0..n_nfs)
             .map(|i| BurstSink {
@@ -412,6 +542,8 @@ impl Engine {
                     .map(|(to, p)| (to, (p, Vec::new())))
                     .collect(),
                 stats: &nf_stats[i],
+                pool: pool.as_ref(),
+                dropped: &dropped,
             })
             .collect();
         let mut agent_sink = AgentSink {
@@ -420,6 +552,8 @@ impl Engine {
                 .map(|(to, p)| (to, (p, VecDeque::new())))
                 .collect(),
             stats: &agent_stats,
+            pool: pool.as_ref(),
+            dropped: &dropped,
         };
         let mut nf_rx: Vec<Vec<Consumer<Msg>>> = (0..n_nfs)
             .map(|i| consumers.remove(&Stage::Nf(i)).unwrap_or_default())
@@ -444,6 +578,7 @@ impl Engine {
 
         let mut report_latency = LatencyRecorder::with_capacity(packets.len());
         let mut report_packets = Vec::new();
+        let mut nf_failures: Vec<NfFailure> = Vec::new();
         let started = Instant::now();
 
         crossbeam::thread::scope(|scope| {
@@ -452,6 +587,7 @@ impl Engine {
             let pool_c = Arc::clone(&pool);
             let tables_c = Arc::clone(&tables);
             let stop_ref = &stop;
+            let quiesce_ref = &quiesce;
             let dropped_ref = &dropped;
             let cstats = &classifier_stats;
             scope.spawn(move |_| {
@@ -498,7 +634,11 @@ impl Engine {
             });
 
             // NF threads: each drives its NF runtime core (and returns it
-            // so the engine can be rerun and NF stats inspected).
+            // so the engine can be rerun and NF stats inspected). Each
+            // loop iteration bumps the thread's heartbeat and honors a
+            // watchdog stall verdict before touching more traffic; the
+            // busy flag brackets time spent inside the NF so the watchdog
+            // only ever blames an NF that is actually holding a packet.
             let mut nf_handles = Vec::new();
             for (i, mut rt) in runtimes.drain(..).enumerate() {
                 let rxs = std::mem::take(&mut nf_rx[i]);
@@ -507,14 +647,23 @@ impl Engine {
                     BurstSink {
                         out: HashMap::new(),
                         stats: &nf_stats[i],
+                        pool: pool.as_ref(),
+                        dropped: &dropped,
                     },
                 );
                 let pool_n = Arc::clone(&pool);
                 let nstats = &nf_stats[i];
                 let discard_counts = matches!(tables.nf_configs[i].on_drop, DropBehavior::Discard);
+                let hb = &heartbeats[i];
+                let busy_flag = &nf_busy[i];
+                let failed_flag = &nf_failed[i];
                 nf_handles.push(scope.spawn(move |_| {
                     let mut batch: Vec<Msg> = Vec::new();
                     loop {
+                        hb.fetch_add(1, Ordering::Relaxed);
+                        if failed_flag.load(Ordering::Acquire) {
+                            rt.force_fail(FailureKind::Stalled);
+                        }
                         let mut progress = false;
                         for rx in &rxs {
                             nstats.note_occupancy(rx.len());
@@ -524,19 +673,22 @@ impl Engine {
                                     break;
                                 }
                                 progress = true;
+                                busy_flag.store(true, Ordering::Release);
                                 for msg in batch.drain(..) {
-                                    let before = rt.dropped + rt.errors;
+                                    let before = rt.dropped + rt.errors + rt.policy_drops;
                                     rt.handle(msg, &pool_n, &mut sink, nstats);
-                                    let after = rt.dropped + rt.errors;
+                                    let after = rt.dropped + rt.errors + rt.policy_drops;
                                     if discard_counts && after > before {
                                         dropped_ref.fetch_add(after - before, Ordering::Release);
                                     }
                                 }
+                                busy_flag.store(false, Ordering::Release);
                             }
                         }
                         sink.flush();
                         if !progress {
-                            if stop_ref.load(Ordering::Acquire) && rxs.iter().all(|r| r.is_empty())
+                            if quiesce_ref.load(Ordering::Acquire)
+                                && rxs.iter().all(|r| r.is_empty())
                             {
                                 break;
                             }
@@ -594,7 +746,7 @@ impl Engine {
                     // 3. Retry stalled sends — the agent never blocks.
                     let stashes_empty = agent_sink.pump();
                     if !progress {
-                        if stop_ref.load(Ordering::Acquire)
+                        if quiesce_ref.load(Ordering::Acquire)
                             && stashes_empty
                             && agent_rx.iter().all(|r| r.is_empty())
                             && outcome_rxs.iter().all(|r| r.is_empty())
@@ -628,31 +780,51 @@ impl Engine {
                                     break;
                                 }
                                 progress = true;
+                                let now_ms = started.elapsed().as_millis() as u64;
                                 for msg in batch.drain(..) {
-                                    if let Some(o) = core.offer(msg, &pool_m, &tables_m, mstats) {
+                                    if let Some(o) =
+                                        core.offer(msg, &pool_m, &tables_m, mstats, now_ms)
+                                    {
                                         outcomes.push(o);
                                     }
                                 }
-                                // Return outcomes as a burst; the agent
-                                // always drains, so the wait is bounded.
-                                let mut off = 0;
-                                let mut attempts = 0u32;
-                                while off < outcomes.len() {
-                                    let n = outcome_tx.push_burst(&outcomes[off..]);
-                                    off += n;
-                                    if n == 0 {
-                                        attempts += 1;
-                                        if attempts == RETRY_LIMIT {
-                                            mstats.note_backpressure();
-                                        }
-                                        std::thread::yield_now();
-                                    }
-                                }
-                                outcomes.clear();
                             }
                         }
+                        // Deadline pass: resolve entries whose siblings
+                        // stopped coming (a failed NF never sends its
+                        // copy). Runs on idle iterations too, so a wedged
+                        // merge cannot outlive its deadline just because
+                        // traffic stopped.
+                        if core.pending_len() > 0 {
+                            if let Some(cutoff) = (started.elapsed().as_millis() as u64)
+                                .checked_sub(merge_deadline_ms)
+                            {
+                                let expired = core.expire(cutoff, &pool_m, &tables_m, mstats);
+                                if !expired.is_empty() {
+                                    progress = true;
+                                    outcomes.extend(expired);
+                                }
+                            }
+                        }
+                        // Return outcomes as a burst; the agent always
+                        // drains, so the wait is bounded.
+                        let mut off = 0;
+                        let mut attempts = 0u32;
+                        while off < outcomes.len() {
+                            let n = outcome_tx.push_burst(&outcomes[off..]);
+                            off += n;
+                            if n == 0 {
+                                attempts += 1;
+                                if attempts == RETRY_LIMIT {
+                                    mstats.note_backpressure();
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                        outcomes.clear();
                         if !progress {
-                            if stop_ref.load(Ordering::Acquire) && rxs.iter().all(|r| r.is_empty())
+                            if quiesce_ref.load(Ordering::Acquire)
+                                && rxs.iter().all(|r| r.is_empty())
                             {
                                 break;
                             }
@@ -689,7 +861,7 @@ impl Engine {
                         }
                     }
                     if !progress {
-                        if stop_ref.load(Ordering::Acquire)
+                        if quiesce_ref.load(Ordering::Acquire)
                             && collector_rx.iter().all(|r| r.is_empty())
                         {
                             break;
@@ -700,6 +872,39 @@ impl Engine {
                 outputs
             });
 
+            // Cooperative stall watchdog, polled from this thread's spin
+            // loops: when the whole engine makes no progress for
+            // `stall_timeout` while some NF sits busy with a static
+            // heartbeat, that NF is holding the pipeline hostage — hand
+            // down a failed verdict so its thread force-fails the runtime
+            // the next time the NF yields control back (an NF that never
+            // returns at all is unrecoverable; see DESIGN.md).
+            let mut wd_total: (u64, Instant) = (0, Instant::now());
+            let mut wd_hb: Vec<(u64, Instant)> = (0..n_nfs).map(|_| (0, Instant::now())).collect();
+            let mut check_stall = || {
+                let now = Instant::now();
+                let total = delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire);
+                if total != wd_total.0 {
+                    wd_total = (total, now);
+                }
+                for (i, slot) in wd_hb.iter_mut().enumerate() {
+                    let hb = heartbeats[i].load(Ordering::Relaxed);
+                    if hb != slot.0 {
+                        *slot = (hb, now);
+                    }
+                }
+                if now.duration_since(wd_total.1) < stall_timeout {
+                    return;
+                }
+                for (i, slot) in wd_hb.iter().enumerate() {
+                    if nf_busy[i].load(Ordering::Acquire)
+                        && now.duration_since(slot.1) >= stall_timeout
+                    {
+                        nf_failed[i].store(true, Ordering::Release);
+                    }
+                }
+            };
+
             // Closed-loop injection on this thread.
             let mut inject_times: Vec<Instant> = Vec::with_capacity(packets.len());
             for pkt in packets {
@@ -707,18 +912,29 @@ impl Engine {
                     delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire),
                 ) >= max_in_flight as u64
                 {
+                    check_stall();
                     std::thread::yield_now();
                 }
                 inject_times.push(Instant::now());
                 ring::push_blocking(&inject_tx, pkt);
             }
-            // Wait for completion, then stop everything.
+            // Wait for completion, then stop injection.
             while delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire)
                 < injected_total
             {
+                check_stall();
                 std::thread::yield_now();
             }
             stop.store(true, Ordering::Release);
+            // Every packet is accounted, but straggler copies of
+            // deadline-expired merges may still be in flight toward their
+            // tombstones. Hold the worker stages until the pool is empty —
+            // only then is it safe to let them exit without leaking.
+            while pool.in_use() > 0 {
+                check_stall();
+                std::thread::yield_now();
+            }
+            quiesce.store(true, Ordering::Release);
             drop(inject_tx);
 
             let outputs = collector_handle.join().expect("collector thread");
@@ -730,10 +946,25 @@ impl Engine {
                     report_packets.push(p);
                 }
             }
-            // Recover the NFs for subsequent runs.
-            for h in nf_handles {
+            // Recover the NFs for subsequent runs, harvesting failure
+            // records on the way out.
+            for (i, h) in nf_handles.into_iter().enumerate() {
                 let rt = h.join().expect("nf thread");
-                self.nfs.push(rt.into_nf());
+                let failure = rt.failure().cloned();
+                let policy = rt.failure_policy();
+                let (bypassed, policy_drops) = (rt.bypassed, rt.policy_drops);
+                let nf = rt.into_nf();
+                if let Some(kind) = failure {
+                    nf_failures.push(NfFailure {
+                        node: i,
+                        nf: nf.name().to_string(),
+                        kind,
+                        policy,
+                        bypassed,
+                        policy_drops,
+                    });
+                }
+                self.nfs.push(nf);
             }
         })
         .expect("engine scope");
@@ -752,6 +983,8 @@ impl Engine {
                 mergers: merger_stats.iter().map(StageStats::snapshot).collect(),
                 collector: collector_stats.snapshot(),
             },
+            failures: nf_failures,
+            pool_in_use: pool.in_use(),
         };
         (report, report_latency)
     }

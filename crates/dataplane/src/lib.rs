@@ -48,7 +48,8 @@ pub mod stats;
 pub mod sync_engine;
 
 pub use classifier::Classifier;
-pub use engine::{Engine, EngineConfig, EngineError, EngineReport};
+pub use engine::{Engine, EngineConfig, EngineError, EngineReport, NfFailure};
+pub use runtime::FailureKind;
 pub use shard::ShardedEngine;
 pub use stats::{EngineStats, StageStats};
 pub use sync_engine::SyncEngine;

@@ -15,6 +15,7 @@
 use crate::actions::Msg;
 use nfp_orchestrator::graph::{HeaderKind, MergeOp};
 use nfp_orchestrator::tables::MergeSpec;
+use nfp_orchestrator::FailurePolicy;
 use nfp_packet::meta::VERSION_ORIGINAL;
 use nfp_packet::pool::{PacketPool, PacketRef};
 use nfp_packet::{ah, ipv4, Packet};
@@ -31,12 +32,43 @@ pub struct Arrival {
     pub nil: bool,
     /// Member priority carried on nil packets.
     pub nil_priority: u32,
+    /// True for *failure* nils — emitted by the fail-closed path of a
+    /// failed NF, honored unconditionally (no priority resolution).
+    pub failure: bool,
+}
+
+/// One AT entry: the arrivals so far plus what deadline expiry needs — when
+/// the entry opened and the merge-order sequence number the agent assigned
+/// (the seq travels with the *first* copy, so every entry has one).
+#[derive(Debug)]
+struct PendingEntry {
+    arrivals: Vec<Arrival>,
+    first_seen: u64,
+    seq: u64,
+}
+
+/// An AT entry evicted by deadline expiry, with everything the caller
+/// needs to resolve the partial merge and emit its outcome.
+#[derive(Debug)]
+pub struct ExpiredEntry {
+    /// Match ID of the graph the packet belongs to.
+    pub mid: u32,
+    /// The parallel segment awaiting the merge.
+    pub segment: u32,
+    /// The packet's immutable PID.
+    pub pid: u64,
+    /// Merge-order sequence number assigned by the agent — the outcome
+    /// for an expired entry must carry it, or the agent's in-order
+    /// release cursor stalls forever.
+    pub seq: u64,
+    /// The copies that did arrive before the deadline.
+    pub arrivals: Vec<Arrival>,
 }
 
 /// The Accumulating Table: (mid, segment, pid) → arrivals so far.
 #[derive(Debug, Default)]
 pub struct Accumulator {
-    pending: HashMap<(u32, u32, u64), Vec<Arrival>>,
+    pending: HashMap<(u32, u32, u64), PendingEntry>,
 }
 
 impl Accumulator {
@@ -46,20 +78,26 @@ impl Accumulator {
     }
 
     /// Record an arrival; returns the full arrival set once `expected`
-    /// copies are present.
+    /// copies are present. `now` stamps the entry on first arrival (the
+    /// deadline clock: virtual ticks in the sync engine, elapsed
+    /// milliseconds in the threaded engine); `seq` is the agent-assigned
+    /// merge-order number carried by the message.
     pub fn offer(
         &mut self,
-        mid: u32,
-        segment: u32,
-        pid: u64,
+        key: (u32, u32, u64),
         arrival: Arrival,
         expected: usize,
+        now: u64,
+        seq: u64,
     ) -> Option<Vec<Arrival>> {
-        let key = (mid, segment, pid);
-        let entry = self.pending.entry(key).or_default();
-        entry.push(arrival);
-        if entry.len() >= expected {
-            self.pending.remove(&key)
+        let entry = self.pending.entry(key).or_insert_with(|| PendingEntry {
+            arrivals: Vec::new(),
+            first_seen: now,
+            seq,
+        });
+        entry.arrivals.push(arrival);
+        if entry.arrivals.len() >= expected {
+            self.pending.remove(&key).map(|e| e.arrivals)
         } else {
             None
         }
@@ -70,10 +108,36 @@ impl Accumulator {
         self.pending.len()
     }
 
+    /// Evict every entry first seen at or before `cutoff` (its deadline
+    /// has passed), sorted by seq for deterministic resolution order.
+    pub fn take_expired(&mut self, cutoff: u64) -> Vec<ExpiredEntry> {
+        let keys: Vec<(u32, u32, u64)> = self
+            .pending
+            .iter()
+            .filter(|(_, e)| e.first_seen <= cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out: Vec<ExpiredEntry> = keys
+            .into_iter()
+            .map(|key| {
+                let e = self.pending.remove(&key).expect("key just listed");
+                ExpiredEntry {
+                    mid: key.0,
+                    segment: key.1,
+                    pid: key.2,
+                    seq: e.seq,
+                    arrivals: e.arrivals,
+                }
+            })
+            .collect();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
     /// Drain every incomplete entry (engine shutdown), returning all held
     /// references so the caller can release them.
     pub fn drain(&mut self) -> Vec<Arrival> {
-        self.pending.drain().flat_map(|(_, v)| v).collect()
+        self.pending.drain().flat_map(|(_, e)| e.arrivals).collect()
     }
 }
 
@@ -105,6 +169,7 @@ pub fn arrival_from(pool: &PacketPool, r: PacketRef) -> Arrival {
         version: p.meta().version(),
         nil: p.is_nil(),
         nil_priority: p.nil_priority(),
+        failure: p.is_nil_failure(),
     })
 }
 
@@ -118,6 +183,14 @@ pub fn resolve_and_merge(
     arrivals: &[Arrival],
     pool: &PacketPool,
 ) -> Result<MergeOutcome, MergeError> {
+    // A failure nil short-circuits everything: a fail-closed NF crashed,
+    // and no peer verdict — whatever its priority — can vouch for the
+    // processing that never happened.
+    if arrivals.iter().any(|a| a.nil && a.failure) {
+        release_all(pool, arrivals);
+        return Ok(MergeOutcome::Dropped);
+    }
+
     // Drop resolution: "the system should adopt the processing result of
     // [the highest-priority drop-capable NF] during conflicts" (§3).
     let deciding = spec
@@ -205,6 +278,151 @@ pub fn resolve_and_merge(
             Err(e)
         }
     }
+}
+
+/// Resolve a deadline-expired AT entry using only the copies that arrived.
+///
+/// Missing writers contribute nothing; a missing member's verdict defaults
+/// per its [`FailurePolicy`]: fail-closed members veto the packet (their
+/// branch's processing cannot be vouched for), fail-open members are
+/// treated as having passed. The result is always a total resolution —
+/// every arrived reference is consumed and the packet is either forwarded
+/// (partially merged) or dropped; there is no error path, because expiry
+/// *is* the error path.
+///
+/// Structural safety: the original can only be forwarded when every member
+/// sharing v1 delivered its share. A missing v1 sharer still holds (and
+/// may still be writing through) its share, so forwarding would race with
+/// it and trip the collector's sole-ownership check; those packets drop,
+/// and the late share's release — routed to the expiry tombstone — is what
+/// finally frees the slot.
+pub fn resolve_partial(spec: &MergeSpec, arrivals: &[Arrival], pool: &PacketPool) -> MergeOutcome {
+    // Work out which members are missing. Nils match members by carried
+    // priority; data arrivals match by version. When several members share
+    // a version (v1 sharers) the match is ambiguous — prefer matching the
+    // fail-open member, so the unmatched (presumed failed) one is the
+    // fail-closed member and the packet errs toward dropping.
+    let mut matched = vec![false; spec.members.len()];
+    for a in arrivals {
+        if !a.nil {
+            continue;
+        }
+        if let Some(i) = spec
+            .members
+            .iter()
+            .enumerate()
+            .position(|(i, m)| !matched[i] && m.priority == a.nil_priority)
+        {
+            matched[i] = true;
+        }
+    }
+    for a in arrivals {
+        if a.nil {
+            continue;
+        }
+        let mut pick: Option<usize> = None;
+        for (i, m) in spec.members.iter().enumerate() {
+            if matched[i] || m.version != a.version {
+                continue;
+            }
+            let better = match pick {
+                None => true,
+                Some(p) => {
+                    spec.members[p].on_failure == FailurePolicy::FailClosed
+                        && m.on_failure == FailurePolicy::FailOpen
+                }
+            };
+            if better {
+                pick = Some(i);
+            }
+        }
+        if let Some(i) = pick {
+            matched[i] = true;
+        }
+    }
+    let missing: Vec<_> = spec
+        .members
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !matched[*i])
+        .map(|(_, m)| m)
+        .collect();
+
+    // Drop rules, in order: a failure nil (fail-closed NF crashed mid-
+    // segment), a missing fail-closed member (its verdict cannot default
+    // to pass), or an arrived drop verdict from the decider (the normal
+    // §3 conflict rule — a missing fail-open decider defaults to pass).
+    let failure_nil = arrivals.iter().any(|a| a.nil && a.failure);
+    let missing_closed = missing
+        .iter()
+        .any(|m| m.on_failure == FailurePolicy::FailClosed);
+    let decider_nil = spec
+        .members
+        .iter()
+        .filter(|m| m.drop_capable)
+        .max_by_key(|m| m.priority)
+        .is_some_and(|d| {
+            arrivals
+                .iter()
+                .any(|a| a.nil && !a.failure && a.nil_priority == d.priority)
+        });
+    // Structural rules: no original, nothing to forward; a missing v1
+    // sharer still holds a share of the original, so it must not be
+    // forwarded (see the doc comment).
+    let v1_arrived = arrivals
+        .iter()
+        .any(|a| !a.nil && a.version == VERSION_ORIGINAL);
+    let missing_shares_v1 = missing.iter().any(|m| m.version == VERSION_ORIGINAL);
+    if failure_nil || missing_closed || decider_nil || !v1_arrived || missing_shares_v1 {
+        release_all(pool, arrivals);
+        return MergeOutcome::Dropped;
+    }
+
+    // Forward a partial merge: dedup v1 shares, fold the ops whose source
+    // version arrived, skip the ops of missing writers.
+    let mut v1: Option<PacketRef> = None;
+    for a in arrivals {
+        if a.nil {
+            pool.release(a.r);
+            continue;
+        }
+        if a.version == VERSION_ORIGINAL {
+            match v1 {
+                None => v1 = Some(a.r),
+                Some(existing) => {
+                    debug_assert_eq!(existing, a.r, "distinct v1 packets for one pid");
+                    pool.release(a.r);
+                }
+            }
+        }
+    }
+    let v1 = v1.expect("v1_arrived checked above");
+    for op in &spec.ops {
+        let from_version = match op {
+            MergeOp::Modify { from_version, .. } | MergeOp::AddHeader { from_version, .. } => {
+                Some(*from_version)
+            }
+            MergeOp::RemoveHeader { .. } => None,
+        };
+        let src = match from_version {
+            Some(v) => match arrivals.iter().find(|a| !a.nil && a.version == v) {
+                Some(a) => Some(a.r),
+                None => continue, // the writer never delivered; skip its op
+            },
+            None => None,
+        };
+        if pool
+            .with_mut(v1, |dst| apply_op(op, dst, src, pool))
+            .is_err()
+        {
+            // A malformed partial copy: safest total resolution is a drop.
+            release_copies(pool, arrivals);
+            pool.release(v1);
+            return MergeOutcome::Dropped;
+        }
+    }
+    release_copies(pool, arrivals);
+    MergeOutcome::Forward(v1)
 }
 
 fn release_all(pool: &PacketPool, arrivals: &[Arrival]) {
@@ -351,9 +569,13 @@ mod tests {
         let mut at = Accumulator::new();
         let r1 = pool.insert(packet(80)).unwrap();
         let r2 = pool.insert(packet(80)).unwrap();
-        assert!(at.offer(1, 1, 42, arrival_from(&pool, r1), 2).is_none());
+        assert!(at
+            .offer((1, 1, 42), arrival_from(&pool, r1), 2, 0, 0)
+            .is_none());
         assert_eq!(at.pending_len(), 1);
-        let done = at.offer(1, 1, 42, arrival_from(&pool, r2), 2).unwrap();
+        let done = at
+            .offer((1, 1, 42), arrival_from(&pool, r2), 2, 0, 0)
+            .unwrap();
         assert_eq!(done.len(), 2);
         assert_eq!(at.pending_len(), 0);
     }
@@ -380,11 +602,13 @@ mod tests {
                     version: 1,
                     priority: 0,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 },
                 MemberSpec {
                     version: 2,
                     priority: 1,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 },
             ],
         );
@@ -419,11 +643,13 @@ mod tests {
                     version: 1,
                     priority: 0,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 },
                 MemberSpec {
                     version: 1,
                     priority: 1,
                     drop_capable: true,
+                    on_failure: FailurePolicy::FailOpen,
                 },
             ],
         );
@@ -453,11 +679,13 @@ mod tests {
                     version: 1,
                     priority: 0,
                     drop_capable: true, // firewall
+                    on_failure: FailurePolicy::FailOpen,
                 },
                 MemberSpec {
                     version: 1,
                     priority: 1,
                     drop_capable: true, // IPS — the decider
+                    on_failure: FailurePolicy::FailOpen,
                 },
             ],
         );
@@ -506,11 +734,13 @@ mod tests {
                     version: 1,
                     priority: 0,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 },
                 MemberSpec {
                     version: 2,
                     priority: 1,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 },
             ],
         );
@@ -547,6 +777,7 @@ mod tests {
                 version: 2,
                 priority: 0,
                 drop_capable: false,
+                on_failure: FailurePolicy::FailOpen,
             }],
         );
         let arrivals = [arrival_from(&pool, v2)];
@@ -578,11 +809,13 @@ mod tests {
                     version: 1,
                     priority: 0,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 },
                 MemberSpec {
                     version: 2,
                     priority: 1,
                     drop_capable: false,
+                    on_failure: FailurePolicy::FailOpen,
                 },
             ],
         );
@@ -613,13 +846,13 @@ mod tests {
         // First arrivals for all PIDs, then second arrivals in reverse.
         for (pid, &r) in refs.iter().enumerate() {
             assert!(at
-                .offer(1, 1, pid as u64, arrival_from(&pool, r), 2)
+                .offer((1, 1, pid as u64), arrival_from(&pool, r), 2, 0, pid as u64)
                 .is_none());
         }
         assert_eq!(at.pending_len(), 10);
         for (pid, &r) in refs.iter().enumerate().rev() {
             let done = at
-                .offer(1, 1, pid as u64, arrival_from(&pool, r), 2)
+                .offer((1, 1, pid as u64), arrival_from(&pool, r), 2, 0, pid as u64)
                 .unwrap();
             assert_eq!(done.len(), 2);
             pool.release(r);
@@ -636,12 +869,188 @@ mod tests {
         let mut p = packet(1);
         p.set_meta(Metadata::new(1, 5, 1));
         let r = pool.insert(p).unwrap();
-        at.offer(1, 0, 5, arrival_from(&pool, r), 3);
+        at.offer((1, 0, 5), arrival_from(&pool, r), 3, 0, 0);
         let drained = at.drain();
         assert_eq!(drained.len(), 1);
         pool.release(drained[0].r);
         assert_eq!(pool.in_use(), 0);
         assert_eq!(at.pending_len(), 0);
+    }
+
+    fn member(version: u8, priority: u32, drop_capable: bool, closed: bool) -> MemberSpec {
+        MemberSpec {
+            version,
+            priority,
+            drop_capable,
+            on_failure: if closed {
+                FailurePolicy::FailClosed
+            } else {
+                FailurePolicy::FailOpen
+            },
+        }
+    }
+
+    #[test]
+    fn failure_nil_drops_despite_higher_priority_pass() {
+        // The decider (priority 1) passed, but the lower-priority member's
+        // *failure* nil is not a verdict — the packet must drop.
+        let pool = PacketPool::new(4);
+        let mut original = packet(80);
+        original.set_meta(Metadata::new(1, 11, 1));
+        let v1 = pool.insert(original).unwrap();
+        let mut nil = make_nil(Metadata::new(1, 11, 1), 0);
+        nil.set_nil_failure(true);
+        let niland = pool.insert(nil).unwrap();
+        let spec = spec(
+            2,
+            vec![],
+            vec![member(1, 0, true, true), member(1, 1, true, false)],
+        );
+        let arrivals = [arrival_from(&pool, niland), arrival_from(&pool, v1)];
+        assert_eq!(
+            resolve_and_merge(&spec, &arrivals, &pool).unwrap(),
+            MergeOutcome::Dropped
+        );
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn take_expired_evicts_only_old_entries() {
+        let pool = PacketPool::new(8);
+        let mut at = Accumulator::new();
+        let insert = |pid: u64| {
+            let mut p = packet(80);
+            p.set_meta(Metadata::new(1, pid, 1));
+            pool.insert(p).unwrap()
+        };
+        let r1 = insert(1);
+        let r2 = insert(2);
+        assert!(at
+            .offer((1, 1, 1), arrival_from(&pool, r1), 2, 10, 100)
+            .is_none());
+        assert!(at
+            .offer((1, 1, 2), arrival_from(&pool, r2), 2, 20, 101)
+            .is_none());
+        let expired = at.take_expired(10);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].pid, 1);
+        assert_eq!(expired[0].seq, 100);
+        assert_eq!(at.pending_len(), 1, "the younger entry survives");
+        pool.release(expired[0].arrivals[0].r);
+        for a in at.drain() {
+            pool.release(a.r);
+        }
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn partial_merge_missing_fail_open_writer_forwards() {
+        // v1 arrived, the fail-open copy writer (v2) never delivered: the
+        // packet forwards with the v2 merge op skipped — the bypass.
+        let pool = PacketPool::new(4);
+        let mut original = packet(80);
+        original.set_meta(Metadata::new(1, 7, 1));
+        let dport_before = 80u16;
+        let v1 = pool.insert(original).unwrap();
+        let spec = spec(
+            2,
+            vec![MergeOp::Modify {
+                field: FieldId::Dport,
+                from_version: 2,
+            }],
+            vec![member(1, 0, false, false), member(2, 1, false, false)],
+        );
+        let arrivals = [arrival_from(&pool, v1)];
+        let MergeOutcome::Forward(m) = resolve_partial(&spec, &arrivals, &pool) else {
+            panic!("expected forward");
+        };
+        pool.with(m, |p| assert_eq!(p.dport().unwrap(), dport_before));
+        pool.release(m);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn partial_merge_missing_fail_closed_member_drops() {
+        let pool = PacketPool::new(4);
+        let mut original = packet(80);
+        original.set_meta(Metadata::new(1, 7, 1));
+        let v1 = pool.insert(original).unwrap();
+        let spec = spec(
+            2,
+            vec![],
+            vec![member(1, 0, false, false), member(2, 1, true, true)],
+        );
+        let arrivals = [arrival_from(&pool, v1)];
+        assert_eq!(
+            resolve_partial(&spec, &arrivals, &pool),
+            MergeOutcome::Dropped
+        );
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn partial_merge_missing_v1_sharer_drops() {
+        // Both members share v1; only one share arrived. The missing
+        // sharer still holds (and may still write through) its share, so
+        // the original must not be forwarded even though both members
+        // fail open.
+        let pool = PacketPool::new(4);
+        let mut original = packet(80);
+        original.set_meta(Metadata::new(1, 7, 1));
+        let v1 = pool.insert(original).unwrap();
+        pool.retain(v1); // the stalled member's share, still out there
+        let spec = spec(
+            2,
+            vec![],
+            vec![member(1, 0, false, false), member(1, 1, false, false)],
+        );
+        let arrivals = [arrival_from(&pool, v1)];
+        assert_eq!(
+            resolve_partial(&spec, &arrivals, &pool),
+            MergeOutcome::Dropped
+        );
+        assert_eq!(pool.in_use(), 1, "only the stalled member's share left");
+        pool.release(v1);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn partial_merge_missing_decider_defaults_per_policy() {
+        // Decider missing + fail-open → defaults to pass → forward.
+        let pool = PacketPool::new(4);
+        let mut original = packet(80);
+        original.set_meta(Metadata::new(1, 7, 1));
+        let v1 = pool.insert(original).unwrap();
+        let spec2 = spec(
+            2,
+            vec![],
+            vec![member(1, 0, false, false), member(2, 1, true, false)],
+        );
+        let arrivals = [arrival_from(&pool, v1)];
+        let MergeOutcome::Forward(m) = resolve_partial(&spec2, &arrivals, &pool) else {
+            panic!("fail-open decider defaults to pass");
+        };
+        pool.release(m);
+        // An *arrived* decider drop verdict still wins in a partial merge.
+        let mut original = packet(80);
+        original.set_meta(Metadata::new(1, 8, 1));
+        let v1 = pool.insert(original).unwrap();
+        let nil = pool.insert(make_nil(Metadata::new(1, 8, 1), 1)).unwrap();
+        let spec3 = spec(
+            3,
+            vec![],
+            vec![
+                member(1, 0, false, false),
+                member(2, 1, true, false),
+                member(3, 2, false, false),
+            ],
+        );
+        let arrivals = [arrival_from(&pool, v1), arrival_from(&pool, nil)];
+        assert_eq!(
+            resolve_partial(&spec3, &arrivals, &pool),
+            MergeOutcome::Dropped
+        );
+        assert_eq!(pool.in_use(), 0);
     }
 
     #[test]

@@ -13,19 +13,57 @@ use crate::merger::make_nil;
 use crate::stats::{DropCause, StageStats};
 use nfp_nf::{NetworkFunction, PacketView, Verdict};
 use nfp_orchestrator::tables::{AccessMode, DropBehavior, FtAction, NfConfig, Target};
+use nfp_orchestrator::FailurePolicy;
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Metadata;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How an NF failed. Once a runtime records a failure it stops invoking
+/// the NF; subsequent traffic takes the configured
+/// [`FailurePolicy`] path instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The NF panicked mid-packet; the payload's message, when it had one.
+    Panicked(String),
+    /// The engine's watchdog declared the NF stalled: no progress while
+    /// input was pending.
+    Stalled,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Panicked(msg) => write!(f, "panicked: {msg}"),
+            FailureKind::Stalled => write!(f, "stalled"),
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// One NF plus its installed forwarding-table slice.
 pub struct NfRuntime<N: NetworkFunction> {
     nf: N,
     config: NfConfig,
+    failure: Option<FailureKind>,
     /// Packets processed (diagnostics).
     pub processed: u64,
     /// Packets this NF dropped.
     pub dropped: u64,
     /// Action/table failures (packets discarded defensively).
     pub errors: u64,
+    /// Packets forwarded unprocessed after a failure (fail-open).
+    pub bypassed: u64,
+    /// Packets dropped by failure policy after a failure (fail-closed).
+    pub policy_drops: u64,
 }
 
 impl<N: NetworkFunction> NfRuntime<N> {
@@ -35,15 +73,37 @@ impl<N: NetworkFunction> NfRuntime<N> {
         Self {
             nf,
             config,
+            failure: None,
             processed: 0,
             dropped: 0,
             errors: 0,
+            bypassed: 0,
+            policy_drops: 0,
         }
     }
 
     /// Access the wrapped NF (stats inspection after a run).
     pub fn nf(&self) -> &N {
         &self.nf
+    }
+
+    /// The recorded failure, if this NF has failed.
+    pub fn failure(&self) -> Option<&FailureKind> {
+        self.failure.as_ref()
+    }
+
+    /// The failure policy this runtime applies once its NF has failed.
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.config.on_failure
+    }
+
+    /// Mark the NF failed without it panicking — the watchdog path. The
+    /// first recorded failure wins; later calls are no-ops so a panic is
+    /// never overwritten by a subsequent stall verdict (or vice versa).
+    pub fn force_fail(&mut self, kind: FailureKind) {
+        if self.failure.is_none() {
+            self.failure = Some(kind);
+        }
     }
 
     /// Unwrap the NF (engine teardown).
@@ -73,14 +133,37 @@ impl<N: NetworkFunction> NfRuntime<N> {
     ) {
         let r = msg.r;
         stats.note_in(1);
-        let verdict = match self.config.access {
+        if self.failure.is_some() {
+            // The NF is dead: don't invoke it, route the packet per its
+            // failure policy.
+            self.apply_failure_policy(r, pool, sink, stats);
+            return;
+        }
+        // Isolate the NF invocation: a panic must not take the engine
+        // down or leak the in-flight reference. `AssertUnwindSafe` is
+        // justified because nothing the closure touches holds invariants
+        // across the call — the pool is lock-free (no poisoning; `with_mut`
+        // mutates no pool state around the callback) and the NF itself is
+        // quarantined on the first panic, so its possibly-torn internal
+        // state is never observed again.
+        let access = self.config.access;
+        let nf = &mut self.nf;
+        let caught = catch_unwind(AssertUnwindSafe(|| match access {
             AccessMode::Exclusive => pool.with_mut(r, |p| {
                 let mut view = PacketView::Exclusive(p);
-                self.nf.process(&mut view)
+                nf.process(&mut view)
             }),
             AccessMode::SharedField => {
                 let mut view = PacketView::Shared { pool, r };
-                self.nf.process(&mut view)
+                nf.process(&mut view)
+            }
+        }));
+        let verdict = match caught {
+            Ok(v) => v,
+            Err(payload) => {
+                self.failure = Some(FailureKind::Panicked(panic_message(payload)));
+                self.apply_failure_policy(r, pool, sink, stats);
+                return;
             }
         };
         self.processed += 1;
@@ -103,6 +186,35 @@ impl<N: NetworkFunction> NfRuntime<N> {
         }
     }
 
+    /// Route a packet addressed to a failed NF. Fail-open forwards it
+    /// unprocessed along the normal actions (parallel merges still close:
+    /// the bypassed copy contributes unchanged bytes, so merge ops fold a
+    /// no-op). Fail-closed drops it — in parallel positions via a
+    /// *failure nil*, which the merger honors unconditionally.
+    fn apply_failure_policy(
+        &mut self,
+        r: nfp_packet::pool::PacketRef,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+    ) {
+        match self.config.on_failure {
+            FailurePolicy::FailOpen => {
+                self.bypassed += 1;
+                let mut versions = VersionMap::single(self.own_version(), r);
+                if actions::execute(&self.config.actions, pool, &mut versions, sink, stats).is_err()
+                {
+                    self.errors += 1;
+                    self.emit_drop(r, pool, sink, stats, DropCause::NfError);
+                }
+            }
+            FailurePolicy::FailClosed => {
+                self.policy_drops += 1;
+                self.emit_failure_drop(r, pool, sink, stats);
+            }
+        }
+    }
+
     /// Implement the drop intention: discard in sequential positions, nil
     /// packet to the merger in parallel positions (§5.2 `ignore`).
     fn emit_drop(
@@ -112,6 +224,31 @@ impl<N: NetworkFunction> NfRuntime<N> {
         sink: &mut impl Deliver,
         stats: &StageStats,
         cause: DropCause,
+    ) {
+        self.emit_drop_inner(r, pool, sink, stats, cause, false);
+    }
+
+    /// The fail-closed drop path: like [`NfRuntime::emit_drop`] but the
+    /// nil is flagged as a failure nil so the merger drops unconditionally
+    /// instead of applying drop-conflict priorities.
+    fn emit_failure_drop(
+        &mut self,
+        r: nfp_packet::pool::PacketRef,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+    ) {
+        self.emit_drop_inner(r, pool, sink, stats, DropCause::NfFailed, true);
+    }
+
+    fn emit_drop_inner(
+        &mut self,
+        r: nfp_packet::pool::PacketRef,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+        cause: DropCause,
+        failure_nil: bool,
     ) {
         let meta: Metadata = pool.with(r, |p| p.meta());
         pool.release(r);
@@ -125,6 +262,7 @@ impl<N: NetworkFunction> NfRuntime<N> {
                 // transient exhaustion we wait for the mergers to drain —
                 // a nil *must* arrive or the merger's count never closes.
                 let mut nil = make_nil(meta, priority);
+                nil.set_nil_failure(failure_nil);
                 let mut stalled = false;
                 let nil_ref = loop {
                     match pool.insert(nil) {
@@ -190,6 +328,7 @@ mod tests {
             }],
             access: AccessMode::Exclusive,
             on_drop: DropBehavior::Discard,
+            on_failure: FailurePolicy::FailOpen,
         }
     }
 
@@ -233,6 +372,7 @@ mod tests {
                 segment: 2,
                 priority: 9,
             },
+            on_failure: FailurePolicy::FailClosed,
         };
         let mut rt = NfRuntime::new(Firewall::with_synthetic_acl("fw", 100), config);
         let mut sink = Capture::default();
@@ -252,6 +392,100 @@ mod tests {
     }
 
     #[test]
+    fn panic_is_caught_and_fail_open_bypasses() {
+        use nfp_nf::chaos::PanicAfter;
+        let pool = PacketPool::new(4);
+        let mut rt = NfRuntime::new(
+            PanicAfter::new(Monitor::new("mon"), 1),
+            seq_config(Target::Nf(3)),
+        );
+        let mut sink = Capture::default();
+        let stats = StageStats::new();
+        rt.handle(Msg::plain(pooled(&pool, 80)), &pool, &mut sink, &stats);
+        assert!(rt.failure().is_none());
+        // Second packet panics; fail-open forwards it unprocessed.
+        rt.handle(Msg::plain(pooled(&pool, 80)), &pool, &mut sink, &stats);
+        assert!(matches!(rt.failure(), Some(FailureKind::Panicked(_))));
+        assert_eq!(rt.bypassed, 1);
+        // Third packet bypasses without invoking the NF at all.
+        rt.handle(Msg::plain(pooled(&pool, 80)), &pool, &mut sink, &stats);
+        assert_eq!(rt.bypassed, 2);
+        assert_eq!(sink.0.len(), 3, "all three delivered downstream");
+        assert_eq!(rt.nf().inner().total_packets, 1, "NF saw only the first");
+    }
+
+    #[test]
+    fn fail_closed_discards_and_counts() {
+        use nfp_nf::chaos::PanicAfter;
+        let pool = PacketPool::new(4);
+        let config = NfConfig {
+            on_failure: FailurePolicy::FailClosed,
+            ..seq_config(Target::Nf(3))
+        };
+        let mut rt = NfRuntime::new(PanicAfter::new(Monitor::new("mon"), 0), config);
+        let mut sink = Capture::default();
+        let stats = StageStats::new();
+        for _ in 0..3 {
+            rt.handle(Msg::plain(pooled(&pool, 80)), &pool, &mut sink, &stats);
+        }
+        assert!(rt.failure().is_some());
+        assert_eq!(rt.policy_drops, 3);
+        assert!(sink.0.is_empty());
+        assert_eq!(pool.in_use(), 0, "every reference released");
+        assert_eq!(stats.snapshot().drop_nf_failed, 3);
+    }
+
+    #[test]
+    fn fail_closed_parallel_member_emits_failure_nil() {
+        use nfp_nf::chaos::PanicAfter;
+        let pool = PacketPool::new(4);
+        let config = NfConfig {
+            actions: vec![FtAction::Distribute {
+                version: 1,
+                targets: vec![Target::Merger(1)],
+            }],
+            access: AccessMode::Exclusive,
+            on_drop: DropBehavior::NilToMerger {
+                segment: 1,
+                priority: 4,
+            },
+            on_failure: FailurePolicy::FailClosed,
+        };
+        let mut rt = NfRuntime::new(PanicAfter::new(Monitor::new("mon"), 0), config);
+        let mut sink = Capture::default();
+        let r = pooled(&pool, 80);
+        rt.handle(Msg::plain(r), &pool, &mut sink, &StageStats::new());
+        let (target, msg) = sink.0[0];
+        assert_eq!(target, Target::Merger(1));
+        pool.with(msg.r, |p| {
+            assert!(p.is_nil());
+            assert!(p.is_nil_failure(), "failure nil, not a verdict nil");
+            assert_eq!(p.nil_priority(), 4);
+        });
+        pool.release(msg.r);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn force_fail_keeps_first_failure() {
+        let pool = PacketPool::new(4);
+        let mut rt = NfRuntime::new(Monitor::new("mon"), seq_config(Target::Nf(1)));
+        rt.force_fail(FailureKind::Stalled);
+        rt.force_fail(FailureKind::Panicked("later".into()));
+        assert_eq!(rt.failure(), Some(&FailureKind::Stalled));
+        // Traffic bypasses (fail-open default) without touching the NF.
+        let mut sink = Capture::default();
+        rt.handle(
+            Msg::plain(pooled(&pool, 80)),
+            &pool,
+            &mut sink,
+            &StageStats::new(),
+        );
+        assert_eq!(rt.bypassed, 1);
+        assert_eq!(rt.nf().total_packets, 0);
+    }
+
+    #[test]
     fn shared_access_mode_reaches_nf() {
         let pool = PacketPool::new(4);
         let config = NfConfig {
@@ -264,6 +498,7 @@ mod tests {
                 segment: 0,
                 priority: 0,
             },
+            on_failure: FailurePolicy::FailOpen,
         };
         let mut rt = NfRuntime::new(Monitor::new("mon"), config);
         let mut sink = Capture::default();

@@ -126,6 +126,8 @@ impl ShardedEngine {
         let mut stats = EngineStats::default();
         let mut latency = LatencyRecorder::new();
         let mut packets_out = Vec::new();
+        let mut failures = Vec::new();
+        let mut pool_in_use = 0;
         for (report, recorder) in &mut results {
             injected += report.injected;
             delivered += report.delivered;
@@ -133,6 +135,8 @@ impl ShardedEngine {
             stats.merge(&report.stats);
             latency.merge(recorder);
             packets_out.append(&mut report.packets);
+            failures.append(&mut report.failures);
+            pool_in_use += report.pool_in_use;
         }
         EngineReport {
             injected,
@@ -142,6 +146,8 @@ impl ShardedEngine {
             latency: latency.summary(),
             packets: packets_out,
             stats,
+            failures,
+            pool_in_use,
         }
     }
 

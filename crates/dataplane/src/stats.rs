@@ -30,6 +30,13 @@ pub enum DropCause {
     MergeError,
     /// The classifier rejected the packet (no match / unparseable).
     AdmitRejected,
+    /// A failed (panicked/stalled) fail-closed NF: the runtime drops the
+    /// packets that would have traversed it.
+    NfFailed,
+    /// A merge deadline expired and the partial merge resolved to a drop
+    /// (a fail-closed member's copy never arrived, or the original was
+    /// unavailable to forward).
+    MergeExpired,
 }
 
 /// Atomic counters for one pipeline stage.
@@ -49,11 +56,19 @@ pub struct StageStats {
     pub backpressure: AtomicU64,
     /// Highest receive-ring occupancy observed when draining.
     pub ring_high_water: AtomicU64,
+    /// References that arrived at a stage with no ring to their target
+    /// (released defensively; the wiring validator makes this unreachable).
+    pub misroutes: AtomicU64,
+    /// Copies that arrived for an already-expired merge entry (released
+    /// against the expiry tombstone; the packet was accounted at expiry).
+    pub late_arrivals: AtomicU64,
     drop_nf_verdict: AtomicU64,
     drop_nf_error: AtomicU64,
     drop_merge_resolved: AtomicU64,
     drop_merge_error: AtomicU64,
     drop_admit_rejected: AtomicU64,
+    drop_nf_failed: AtomicU64,
+    drop_merge_expired: AtomicU64,
 }
 
 impl StageStats {
@@ -97,6 +112,16 @@ impl StageStats {
         self.ring_high_water.fetch_max(n as u64, Ordering::Relaxed);
     }
 
+    /// Count one misrouted reference (no ring to the target stage).
+    pub fn note_misroute(&self) {
+        self.misroutes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one arrival for an already-expired merge entry.
+    pub fn note_late_arrival(&self) {
+        self.late_arrivals.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one drop with its cause.
     pub fn note_drop(&self, cause: DropCause) {
         let c = match cause {
@@ -105,6 +130,8 @@ impl StageStats {
             DropCause::MergeResolved => &self.drop_merge_resolved,
             DropCause::MergeError => &self.drop_merge_error,
             DropCause::AdmitRejected => &self.drop_admit_rejected,
+            DropCause::NfFailed => &self.drop_nf_failed,
+            DropCause::MergeExpired => &self.drop_merge_expired,
         };
         c.fetch_add(1, Ordering::Relaxed);
     }
@@ -119,11 +146,15 @@ impl StageStats {
             merges: self.merges.load(Ordering::Relaxed),
             backpressure: self.backpressure.load(Ordering::Relaxed),
             ring_high_water: self.ring_high_water.load(Ordering::Relaxed),
+            misroutes: self.misroutes.load(Ordering::Relaxed),
+            late_arrivals: self.late_arrivals.load(Ordering::Relaxed),
             drop_nf_verdict: self.drop_nf_verdict.load(Ordering::Relaxed),
             drop_nf_error: self.drop_nf_error.load(Ordering::Relaxed),
             drop_merge_resolved: self.drop_merge_resolved.load(Ordering::Relaxed),
             drop_merge_error: self.drop_merge_error.load(Ordering::Relaxed),
             drop_admit_rejected: self.drop_admit_rejected.load(Ordering::Relaxed),
+            drop_nf_failed: self.drop_nf_failed.load(Ordering::Relaxed),
+            drop_merge_expired: self.drop_merge_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +176,10 @@ pub struct StageSnapshot {
     pub backpressure: u64,
     /// Highest receive-ring occupancy observed.
     pub ring_high_water: u64,
+    /// References defensively released for want of a ring to their target.
+    pub misroutes: u64,
+    /// Arrivals released against an expired merge entry's tombstone.
+    pub late_arrivals: u64,
     /// Drops: sequential NF verdict.
     pub drop_nf_verdict: u64,
     /// Drops: NF runtime action error.
@@ -155,6 +190,10 @@ pub struct StageSnapshot {
     pub drop_merge_error: u64,
     /// Drops: classifier rejection.
     pub drop_admit_rejected: u64,
+    /// Drops: failed fail-closed NF.
+    pub drop_nf_failed: u64,
+    /// Drops: deadline-expired merge resolved to a drop.
+    pub drop_merge_expired: u64,
 }
 
 impl StageSnapshot {
@@ -165,6 +204,8 @@ impl StageSnapshot {
             + self.drop_merge_resolved
             + self.drop_merge_error
             + self.drop_admit_rejected
+            + self.drop_nf_failed
+            + self.drop_merge_expired
     }
 
     /// Fold another snapshot of the *same logical stage* into this one.
@@ -179,11 +220,15 @@ impl StageSnapshot {
         self.merges += other.merges;
         self.backpressure += other.backpressure;
         self.ring_high_water = self.ring_high_water.max(other.ring_high_water);
+        self.misroutes += other.misroutes;
+        self.late_arrivals += other.late_arrivals;
         self.drop_nf_verdict += other.drop_nf_verdict;
         self.drop_nf_error += other.drop_nf_error;
         self.drop_merge_resolved += other.drop_merge_resolved;
         self.drop_merge_error += other.drop_merge_error;
         self.drop_admit_rejected += other.drop_admit_rejected;
+        self.drop_nf_failed += other.drop_nf_failed;
+        self.drop_merge_expired += other.drop_merge_expired;
     }
 }
 
@@ -294,6 +339,10 @@ mod tests {
         s.note_occupancy(3); // max keeps 7
         s.note_drop(DropCause::NfVerdict);
         s.note_drop(DropCause::MergeResolved);
+        s.note_drop(DropCause::NfFailed);
+        s.note_drop(DropCause::MergeExpired);
+        s.note_late_arrival();
+        s.note_misroute();
         let snap = s.snapshot();
         assert_eq!(snap.packets_in, 5);
         assert_eq!(snap.packets_out, 3);
@@ -302,7 +351,9 @@ mod tests {
         assert_eq!(snap.merges, 1);
         assert_eq!(snap.backpressure, 1);
         assert_eq!(snap.ring_high_water, 7);
-        assert_eq!(snap.drops(), 2);
+        assert_eq!(snap.drops(), 4); // failure causes count as drops
+        assert_eq!(snap.late_arrivals, 1); // observations, not drops
+        assert_eq!(snap.misroutes, 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::actions::{Deliver, Msg};
 use crate::classifier::{AdmitError, Classifier};
 use crate::cores::{collector, AgentCore, MergerCore};
-use crate::runtime::NfRuntime;
+use crate::runtime::{FailureKind, NfRuntime};
 use crate::stats::{StageSnapshot, StageStats};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::tables::Target;
@@ -51,6 +51,12 @@ pub struct SyncEngine {
     merger: MergerCore,
     program: Program,
     stats: StageStats,
+    /// Virtual clock: one tick per `process()` call. Accumulating-table
+    /// entries are stamped with it, and every entry still pending at the
+    /// end of the call that created it is expired — the sync engine's
+    /// merge deadline is zero ticks, preserving the per-packet semantics
+    /// of `process()` even when a failed NF never sends its copy.
+    tick: u64,
     /// Packets delivered.
     pub delivered: u64,
     /// Packets dropped.
@@ -90,6 +96,7 @@ impl SyncEngine {
             merger: MergerCore::new(),
             program,
             stats: StageStats::new(),
+            tick: 0,
             delivered: 0,
             dropped: 0,
         }
@@ -98,6 +105,20 @@ impl SyncEngine {
     /// Access an NF runtime (stats inspection).
     pub fn runtime(&self, node: usize) -> &NfRuntime<Box<dyn NetworkFunction>> {
         &self.runtimes[node]
+    }
+
+    /// NFs that have failed so far, as `(node id, failure kind)` pairs.
+    pub fn failures(&self) -> Vec<(usize, FailureKind)> {
+        self.runtimes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, rt)| rt.failure().map(|f| (i, f.clone())))
+            .collect()
+    }
+
+    /// Accumulating-table entries still waiting for sibling copies.
+    pub fn pending(&self) -> usize {
+        self.merger.pending_len()
     }
 
     /// Snapshot of the engine-wide counters (the sync engine is one stage).
@@ -126,47 +147,72 @@ impl SyncEngine {
     pub fn process(&mut self, pkt: Packet) -> Result<ProcessOutcome, AdmitError> {
         let tables = Arc::clone(self.program.tables());
         let mut sink = QueueSink::default();
+        self.tick += 1;
         self.classifier
             .admit(pkt, &self.pool, &mut sink, &self.stats)?;
         let mut output: Option<Packet> = None;
         let mut was_dropped = false;
-        while let Some((target, msg)) = sink.events.pop_front() {
-            match target {
-                Target::Nf(id) => {
-                    self.runtimes[id].handle(msg, &self.pool, &mut sink, &self.stats);
-                }
-                Target::Merger(_) => {
-                    // The same route → offer → ordered-release path as the
-                    // threaded engine, just inline: with one merger
-                    // instance and FIFO dispatch, release order is always
-                    // immediate.
-                    let mut msg = msg;
-                    let _instance = self.agent.route(&mut msg, &self.pool, &tables, &self.stats);
-                    if let Some(outcome) = self.merger.offer(msg, &self.pool, &tables, &self.stats)
-                    {
-                        let drops = self.agent.release(
-                            outcome,
-                            &self.pool,
-                            &tables,
-                            &mut sink,
-                            &self.stats,
-                        );
-                        if drops > 0 {
-                            was_dropped = true;
+        loop {
+            while let Some((target, msg)) = sink.events.pop_front() {
+                match target {
+                    Target::Nf(id) => {
+                        self.runtimes[id].handle(msg, &self.pool, &mut sink, &self.stats);
+                    }
+                    Target::Merger(_) => {
+                        // The same route → offer → ordered-release path as
+                        // the threaded engine, just inline: with one merger
+                        // instance and FIFO dispatch, release order is
+                        // always immediate.
+                        let mut msg = msg;
+                        let _instance =
+                            self.agent.route(&mut msg, &self.pool, &tables, &self.stats);
+                        if let Some(outcome) =
+                            self.merger
+                                .offer(msg, &self.pool, &tables, &self.stats, self.tick)
+                        {
+                            let drops = self.agent.release(
+                                outcome,
+                                &self.pool,
+                                &tables,
+                                &mut sink,
+                                &self.stats,
+                            );
+                            if drops > 0 {
+                                was_dropped = true;
+                            }
                         }
                     }
+                    Target::Output => {
+                        let pkt = collector::collect(msg, &self.pool, &self.stats);
+                        debug_assert!(output.is_none(), "one output per packet");
+                        output = Some(pkt);
+                    }
                 }
-                Target::Output => {
-                    let pkt = collector::collect(msg, &self.pool, &self.stats);
-                    debug_assert!(output.is_none(), "one output per packet");
-                    output = Some(pkt);
+            }
+            // All events drained. Any entry still accumulating can never
+            // complete inside this call (a failed NF swallowed its copy),
+            // so it has hit the zero-tick deadline: resolve it from the
+            // copies that arrived. Partial forwards enqueue the merge
+            // spec's next actions, so loop until expiry yields nothing.
+            let outcomes = self
+                .merger
+                .expire(self.tick, &self.pool, &tables, &self.stats);
+            if outcomes.is_empty() {
+                break;
+            }
+            for outcome in outcomes {
+                let drops =
+                    self.agent
+                        .release(outcome, &self.pool, &tables, &mut sink, &self.stats);
+                if drops > 0 {
+                    was_dropped = true;
                 }
             }
         }
         debug_assert_eq!(
             self.merger.pending_len(),
             0,
-            "a packet's copies must all merge before process() returns"
+            "a packet's copies must all merge or expire before process() returns"
         );
         match output {
             Some(p) => {

@@ -22,6 +22,8 @@
 //! * [`extra`] — the remaining Table 2 rows: terminating proxy, LZSS
 //!   payload compression ([`lz`]), token-bucket traffic shaper, media
 //!   gateway and LRU request cache.
+//! * [`chaos`] — fault-injection wrappers (panic after N packets, stall
+//!   once) for exercising the failure model; not part of the paper.
 //!
 //! NFs implement [`NetworkFunction`] and process packets through a
 //! [`PacketView`], which supports both exclusive access (sequential
@@ -34,6 +36,7 @@
 
 pub mod aes;
 pub mod aho;
+pub mod chaos;
 pub mod cycles;
 pub mod extra;
 pub mod firewall;

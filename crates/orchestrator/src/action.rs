@@ -16,6 +16,36 @@ pub enum HeaderKind {
     AuthHeader,
 }
 
+/// What the dataplane should do with traffic addressed to an NF that has
+/// failed (panicked or stopped making progress).
+///
+/// Chain specifications distinguish NFs that may be skipped from NFs that
+/// must not be (arXiv:1406.1058); NFP-rs encodes that distinction per NF
+/// type. A security-critical NF (firewall, inline IDS, VPN) *fails
+/// closed*: packets that would have traversed it are dropped, because
+/// forwarding unvetted (or unencrypted) traffic is worse than losing it.
+/// A best-effort NF (monitor, compressor) *fails open*: packets bypass it
+/// unmodified and the chain keeps delivering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FailurePolicy {
+    /// Bypass the failed NF: packets continue unmodified (best-effort
+    /// NFs — losing the side effect beats losing the traffic).
+    #[default]
+    FailOpen,
+    /// Drop packets addressed to the failed NF (security-critical NFs —
+    /// losing the traffic beats forwarding it unvetted).
+    FailClosed,
+}
+
+impl core::fmt::Display for FailurePolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            FailurePolicy::FailOpen => "fail-open",
+            FailurePolicy::FailClosed => "fail-closed",
+        })
+    }
+}
+
 /// The four action categories of the paper's Tables 2 and 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActionKind {
@@ -119,6 +149,9 @@ pub struct ActionProfile {
     /// removes, so the graph compiler can emit the matching merge
     /// operation (`add(v2.AH, after, v1.IP)`).
     pub add_rm_header: Option<HeaderKind>,
+    /// Explicit failure policy, when the operator pinned one. `None`
+    /// means "derive it": see [`ActionProfile::failure_policy`].
+    pub failure: Option<FailurePolicy>,
 }
 
 impl ActionProfile {
@@ -128,6 +161,7 @@ impl ActionProfile {
             nf_type: nf_type.into(),
             actions: Vec::new(),
             add_rm_header: None,
+            failure: None,
         }
     }
 
@@ -177,6 +211,22 @@ impl ActionProfile {
         self
     }
 
+    /// Builder: pin the failure policy to fail-open (bypass on failure),
+    /// overriding the drop-capability heuristic.
+    #[must_use]
+    pub fn fail_open(mut self) -> Self {
+        self.failure = Some(FailurePolicy::FailOpen);
+        self
+    }
+
+    /// Builder: pin the failure policy to fail-closed (drop on failure),
+    /// overriding the drop-capability heuristic.
+    #[must_use]
+    pub fn fail_closed(mut self) -> Self {
+        self.failure = Some(FailurePolicy::FailClosed);
+        self
+    }
+
     /// Add a single action, deduplicating.
     pub fn push(&mut self, action: Action) {
         if !self.actions.contains(&action) {
@@ -215,6 +265,18 @@ impl ActionProfile {
     /// True if the NF never modifies packets (no writes, no add/rm).
     pub fn is_read_only(&self) -> bool {
         self.write_mask().is_empty() && !self.has_add_rm()
+    }
+
+    /// The resolved failure policy: the pinned value when one was set,
+    /// otherwise derived from the action profile — an NF that may *drop*
+    /// packets is enforcing something, so it fails closed; everything
+    /// else fails open.
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.failure.unwrap_or(if self.has_drop() {
+            FailurePolicy::FailClosed
+        } else {
+            FailurePolicy::FailOpen
+        })
     }
 }
 
@@ -273,5 +335,23 @@ mod tests {
     fn display_is_compact() {
         let p = ActionProfile::new("FW").reads([FieldId::Sip]).drops();
         assert_eq!(p.to_string(), "FW: read(sip) drop");
+    }
+
+    #[test]
+    fn failure_policy_derived_from_drop_capability() {
+        let fw = ActionProfile::new("FW").reads([FieldId::Sip]).drops();
+        assert_eq!(fw.failure_policy(), FailurePolicy::FailClosed);
+        let monitor = ActionProfile::new("Monitor").reads(FieldId::TABLE2);
+        assert_eq!(monitor.failure_policy(), FailurePolicy::FailOpen);
+    }
+
+    #[test]
+    fn pinned_failure_policy_overrides_heuristic() {
+        // A VPN never drops, but fail-open would forward plaintext.
+        let vpn = ActionProfile::new("VPN").adds_removes().fail_closed();
+        assert_eq!(vpn.failure_policy(), FailurePolicy::FailClosed);
+        // An operator may declare a permissive firewall bypassable.
+        let fw = ActionProfile::new("FW").drops().fail_open();
+        assert_eq!(fw.failure_policy(), FailurePolicy::FailOpen);
     }
 }

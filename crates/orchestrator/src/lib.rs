@@ -52,7 +52,7 @@ pub mod program;
 pub mod table2;
 pub mod tables;
 
-pub use action::{Action, ActionKind, ActionProfile, HeaderKind};
+pub use action::{Action, ActionKind, ActionProfile, FailurePolicy, HeaderKind};
 pub use alg1::{identify, identify_in, IdentifyOptions, PairAnalysis, PairContext};
 pub use census::{census, CensusReport};
 pub use compile::{compile, CompileError, CompileOptions, CompileWarning, Compiled};

@@ -77,12 +77,15 @@ impl Registry {
             Some(0.10),
         );
         // VPN (OpenVPN, 7%): reads SIP/DIP, R/W payload (encryption),
-        // adds/removes headers (AH encapsulation).
+        // adds/removes headers (AH encapsulation). Never drops, but must
+        // fail closed anyway: bypassing a failed VPN would forward
+        // plaintext onto the encrypted path.
         r.register_with_share(
             ActionProfile::new("VPN")
                 .reads([FieldId::Sip, FieldId::Dip])
                 .reads_writes([FieldId::Payload])
-                .adds_removes(),
+                .adds_removes()
+                .fail_closed(),
             Some(0.07),
         );
         // NAT (iptables): R/W on the full 4-tuple.
@@ -207,6 +210,25 @@ mod tests {
             .filter(|nf| r.get(nf).unwrap().write_mask().contains(FieldId::Payload))
             .collect();
         assert_eq!(payload_writers, vec!["Compression", "VPN"]);
+    }
+
+    #[test]
+    fn failure_policies_split_enforcing_from_best_effort() {
+        use crate::action::FailurePolicy::*;
+        let r = Registry::paper_table2();
+        let policy = |nf: &str| r.get(nf).unwrap().failure_policy();
+        // Enforcing NFs fail closed: the firewall by drop capability, the
+        // VPN by explicit pin (plaintext must not bypass it).
+        assert_eq!(policy("Firewall"), FailClosed);
+        assert_eq!(policy("VPN"), FailClosed);
+        // Best-effort NFs fail open: traffic outlives their side effects.
+        for nf in ["Monitor", "Compression", "LoadBalancer", "NAT", "NIDS"] {
+            assert_eq!(policy(nf), FailOpen, "{nf}");
+        }
+        // An operator hardening the passive NIDS into an inline IDS (the
+        // pattern the examples use) flips it closed via the heuristic.
+        let ids = r.get("NIDS").unwrap().clone().drops();
+        assert_eq!(ids.failure_policy(), FailClosed);
     }
 
     #[test]

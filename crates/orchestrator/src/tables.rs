@@ -19,6 +19,7 @@
 //! merge specs are indexed by segment and a merger forwards its result to
 //! the next segment's entry actions.
 
+use crate::action::FailurePolicy;
 use crate::graph::{CopyKind, MergeOp, NodeId, Segment, ServiceGraph};
 use nfp_packet::meta::VERSION_ORIGINAL;
 
@@ -75,6 +76,11 @@ pub struct MemberSpec {
     pub priority: u32,
     /// True if the member may signal a drop (nil packet).
     pub drop_capable: bool,
+    /// What a deadline-expired merge assumes about this member when its
+    /// copy never arrived: `FailClosed` if *any* NF on the member's
+    /// branch fails closed (the branch's verdict cannot be defaulted to
+    /// "pass"), `FailOpen` otherwise.
+    pub on_failure: FailurePolicy,
 }
 
 /// Merge specification for one parallel segment — the Classification
@@ -133,6 +139,9 @@ pub struct NfConfig {
     pub access: AccessMode,
     /// Drop handling at this graph position.
     pub on_drop: DropBehavior,
+    /// What the runtime does with traffic once this NF has failed
+    /// (panicked or been declared stalled by the watchdog).
+    pub on_failure: FailurePolicy,
 }
 
 /// The complete table set for one service graph (one Classification Table
@@ -220,6 +229,7 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                     actions: entry(i + 1),
                     access: AccessMode::Exclusive,
                     on_drop: DropBehavior::Discard,
+                    on_failure: graph.nodes[*n].profile.failure_policy(),
                 };
             }
             Segment::Parallel(grp) => {
@@ -249,6 +259,7 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                             }],
                             access,
                             on_drop,
+                            on_failure: graph.nodes[w[0]].profile.failure_policy(),
                         };
                     }
                     // Branch tail → merger for this segment.
@@ -260,6 +271,7 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                         }],
                         access,
                         on_drop,
+                        on_failure: graph.nodes[tail].profile.failure_policy(),
                     };
                 }
                 merge_specs.push(MergeSpec {
@@ -273,6 +285,16 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                             version: m.version,
                             priority: m.priority,
                             drop_capable: m.drop_capable,
+                            // The whole branch fails closed if any NF on
+                            // it does: a missing arrival means *some* NF
+                            // on the path did not finish its job.
+                            on_failure: if m.path.iter().any(|&n| {
+                                graph.nodes[n].profile.failure_policy() == FailurePolicy::FailClosed
+                            }) {
+                                FailurePolicy::FailClosed
+                            } else {
+                                FailurePolicy::FailOpen
+                            },
                         })
                         .collect(),
                     next: entry(i + 1),
@@ -415,6 +437,25 @@ mod tests {
             .find(|m| m.drop_capable)
             .expect("FW member");
         assert!(fw_spec.priority > 0);
+    }
+
+    #[test]
+    fn failure_policies_flow_into_tables() {
+        // VPN -> [Monitor | FW] -> LB: the VPN and FW fail closed, the
+        // rest fail open; the FW's member spec fails closed too.
+        let (t, g) = tables_for(&["VPN", "Monitor", "FW", "LB"]);
+        let vpn = g.node_by_name("VPN").unwrap();
+        let monitor = g.node_by_name("Monitor").unwrap();
+        let fw = g.node_by_name("FW").unwrap();
+        let lb = g.node_by_name("LB").unwrap();
+        assert_eq!(t.nf_configs[vpn].on_failure, FailurePolicy::FailClosed);
+        assert_eq!(t.nf_configs[fw].on_failure, FailurePolicy::FailClosed);
+        assert_eq!(t.nf_configs[monitor].on_failure, FailurePolicy::FailOpen);
+        assert_eq!(t.nf_configs[lb].on_failure, FailurePolicy::FailOpen);
+        let spec = t.merge_spec_for(1).unwrap();
+        let by_drop = |d: bool| spec.members.iter().find(|m| m.drop_capable == d).unwrap();
+        assert_eq!(by_drop(true).on_failure, FailurePolicy::FailClosed);
+        assert_eq!(by_drop(false).on_failure, FailurePolicy::FailOpen);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub struct Packet {
     layers: Option<Layers>,
     nil: bool,
     nil_priority: u32,
+    nil_failure: bool,
     header_only: bool,
 }
 
@@ -74,6 +75,7 @@ impl Packet {
             layers: None,
             nil: false,
             nil_priority: 0,
+            nil_failure: false,
             header_only: false,
         }
     }
@@ -98,6 +100,7 @@ impl Packet {
         self.buf[HEADROOM..HEADROOM + frame.len()].copy_from_slice(frame);
         self.layers = None;
         self.nil = false;
+        self.nil_failure = false;
         self.header_only = false;
         Ok(())
     }
@@ -154,6 +157,21 @@ impl Packet {
     /// Set the emitting member's conflict priority on a nil packet.
     pub fn set_nil_priority(&mut self, priority: u32) {
         self.nil_priority = priority;
+    }
+
+    /// Mark this nil packet as a *failure* nil: it stands in for a
+    /// fail-closed NF that crashed, not for a deliberate drop verdict.
+    /// Unlike verdict nils, failure nils drop the packet unconditionally
+    /// at merge time — the drop-conflict priority rules do not apply,
+    /// because no higher-priority NF can "overrule" a crash.
+    pub fn set_nil_failure(&mut self, failure: bool) {
+        self.nil_failure = failure;
+    }
+
+    /// True if this nil packet was emitted by the failed-NF path rather
+    /// than by a drop verdict.
+    pub fn is_nil_failure(&self) -> bool {
+        self.nil_failure
     }
 
     /// True if this copy carries only headers (OP#2 Header-Only Copying).
