@@ -42,13 +42,13 @@ fn bench_pool(c: &mut Criterion) {
     let r = pool.insert(pkt).unwrap();
     c.bench_function("pool_header_only_copy_724B", |b| {
         b.iter(|| {
-            let cp = pool.header_only_copy(black_box(r), 2).unwrap().unwrap();
+            let cp = pool.header_only_copy(black_box(r), 2).unwrap();
             pool.release(cp);
         })
     });
     c.bench_function("pool_full_copy_724B", |b| {
         b.iter(|| {
-            let cp = pool.full_copy(black_box(r), 2).unwrap().unwrap();
+            let cp = pool.full_copy(black_box(r), 2).unwrap();
             pool.release(cp);
         })
     });

@@ -80,11 +80,11 @@ fn main() {
         let pkt = nfp_bench::setups::fixed_traffic(1, frame).pop().unwrap();
         let r = pool.insert(pkt).unwrap();
         let header_ns = nfp_bench::calibrate::time_per_iter(20_000, || {
-            let c = pool.header_only_copy(r, 2).unwrap().unwrap();
+            let c = pool.header_only_copy(r, 2).unwrap();
             pool.release(c);
         });
         let full_ns = nfp_bench::calibrate::time_per_iter(20_000, || {
-            let c = pool.full_copy(r, 2).unwrap().unwrap();
+            let c = pool.full_copy(r, 2).unwrap();
             pool.release(c);
         });
         t.row([

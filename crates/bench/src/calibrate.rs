@@ -88,15 +88,15 @@ impl Calibration {
         let r_big = pool.insert(big).unwrap();
         let r_small = pool.insert(small).unwrap();
         let copy_header_ns = time_per_iter(20_000, || {
-            let c = pool.header_only_copy(r_big, 2).unwrap().unwrap();
+            let c = pool.header_only_copy(r_big, 2).unwrap();
             pool.release(c);
         });
         let full_small = time_per_iter(20_000, || {
-            let c = pool.full_copy(r_small, 2).unwrap().unwrap();
+            let c = pool.full_copy(r_small, 2).unwrap();
             pool.release(c);
         });
         let full_big = time_per_iter(20_000, || {
-            let c = pool.full_copy(r_big, 2).unwrap().unwrap();
+            let c = pool.full_copy(r_big, 2).unwrap();
             pool.release(c);
         });
         let copy_per_byte_ns = ((full_big - full_small) / (1400.0 - 64.0)).max(0.0);
@@ -133,7 +133,7 @@ impl Calibration {
             tmpl.set_meta(Metadata::new(1, 1, 1));
             time_per_iter(20_000, || {
                 let v1 = mpool.insert(tmpl.clone()).unwrap();
-                let v2 = mpool.full_copy(v1, 2).unwrap().unwrap();
+                let v2 = mpool.full_copy(v1, 2).unwrap();
                 let arrivals = [
                     nfp_dataplane::merger::arrival_from(&mpool, v1),
                     nfp_dataplane::merger::arrival_from(&mpool, v2),

@@ -11,6 +11,7 @@ use crate::stats::StageStats;
 use nfp_orchestrator::graph::CopyKind;
 use nfp_orchestrator::tables::{FtAction, Target};
 use nfp_packet::pool::{PacketPool, PacketRef};
+use nfp_packet::PacketError;
 
 /// Where interpreted actions send packet references.
 pub trait Deliver {
@@ -129,12 +130,12 @@ pub fn execute(
                     CopyKind::Full | CopyKind::None => pool.full_copy(src, *to),
                 };
                 match copied {
-                    Some(Ok(new_ref)) => {
+                    Ok(new_ref) => {
                         stats.note_copy();
                         versions.insert(*to, new_ref);
                     }
-                    Some(Err(_)) => return Err(ActionError::CopyFailed),
-                    None => return Err(ActionError::PoolExhausted),
+                    Err(PacketError::PoolExhausted) => return Err(ActionError::PoolExhausted),
+                    Err(_) => return Err(ActionError::CopyFailed),
                 }
             }
             FtAction::Distribute { version, targets } => {

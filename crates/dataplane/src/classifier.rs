@@ -8,6 +8,7 @@
 
 use crate::actions::{self, Deliver, VersionMap};
 use crate::stats::{DropCause, StageStats};
+use crate::swap::ProgramHandle;
 use nfp_orchestrator::tables::GraphTables;
 use nfp_packet::ipv4::Ipv4Addr;
 use nfp_packet::meta::{Metadata, PID_MAX, VERSION_ORIGINAL};
@@ -99,9 +100,20 @@ pub enum AdmitError {
 
 /// The classifier: first-match CT lookup, metadata tagging, entry-action
 /// launch.
+///
+/// Two construction modes:
+///
+/// * **Static** ([`Classifier::new`] / [`Classifier::single`]) — a fixed
+///   CT; admitted packets carry epoch 0.
+/// * **Live** ([`Classifier::live`]) — a single-graph classifier over a
+///   swappable [`ProgramHandle`]: each admission pins the handle's
+///   current epoch, classifies against that epoch's tables, and stamps
+///   the epoch into the packet metadata so every downstream stage
+///   resolves the same tables.
 #[derive(Debug)]
 pub struct Classifier {
     entries: Vec<CtEntry>,
+    handle: Option<Arc<ProgramHandle>>,
     next_pid: u64,
     /// Packets admitted (diagnostics).
     pub admitted: u64,
@@ -114,6 +126,7 @@ impl Classifier {
     pub fn new(entries: Vec<CtEntry>) -> Self {
         Self {
             entries,
+            handle: None,
             next_pid: 0,
             admitted: 0,
             rejected: 0,
@@ -128,13 +141,30 @@ impl Classifier {
         }])
     }
 
-    /// Number of CT entries.
+    /// Single-graph classifier over a swappable program handle: every
+    /// packet matches, classifies under the handle's current epoch, and
+    /// is stamped with it. The pin taken at admission must be settled by
+    /// the engine ([`ProgramHandle::finish`] on delivery/drop); failed
+    /// admissions are aborted here, so a retried packet (pool
+    /// backpressure) re-pins whatever epoch is current at the retry.
+    pub fn live(handle: Arc<ProgramHandle>) -> Self {
+        Self {
+            entries: Vec::new(),
+            handle: Some(handle),
+            next_pid: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Number of CT entries (0 in live mode — the handle is the table).
     pub fn entry_count(&self) -> usize {
         self.entries.len()
     }
 
-    /// Admit one packet: find its graph, tag MID/PID/v1 metadata, move it
-    /// into the pool and run the graph's entry actions against `sink`.
+    /// Admit one packet: find its graph, tag MID/PID/v1 metadata (plus
+    /// the pinned epoch in live mode), move it into the pool and run the
+    /// graph's entry actions against `sink`.
     pub fn admit(
         &mut self,
         mut pkt: Packet,
@@ -148,6 +178,18 @@ impl Classifier {
             stats.note_drop(DropCause::AdmitRejected);
             return Err(AdmitError::Unparseable);
         }
+        if let Some(handle) = self.handle.as_ref().map(Arc::clone) {
+            // Pin the current epoch for the packet's whole lifetime. Any
+            // admission failure aborts the pin — the caller either drops
+            // the packet (already counted at this stage) or retries, and
+            // a retry re-pins.
+            let pinned = handle.admit_current();
+            let res = self.admit_tables(pkt, pool, sink, stats, pinned.tables(), pinned.epoch());
+            if res.is_err() {
+                handle.abort(&pinned);
+            }
+            return res;
+        }
         let entry = self
             .entries
             .iter()
@@ -159,10 +201,24 @@ impl Classifier {
             stats.note_drop(DropCause::AdmitRejected);
             return Err(AdmitError::NoMatch);
         };
+        self.admit_tables(pkt, pool, sink, stats, entry.tables, 0)
+    }
+
+    /// Shared tail of admission: tag metadata, pool the packet, launch
+    /// entry actions. `pkt` is already parsed.
+    fn admit_tables(
+        &mut self,
+        mut pkt: Packet,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+        tables: Arc<GraphTables>,
+        epoch: u64,
+    ) -> Result<Arc<GraphTables>, AdmitError> {
         // The PID only advances on success, so retried packets (pool
         // backpressure) keep a dense injection-order numbering.
         let pid = self.next_pid;
-        pkt.set_meta(Metadata::new(entry.tables.mid, pid, VERSION_ORIGINAL));
+        pkt.set_meta(Metadata::new(tables.mid, pid, VERSION_ORIGINAL).with_epoch(epoch));
         let r = match pool.insert(pkt) {
             Ok(r) => r,
             Err(_) => {
@@ -173,18 +229,12 @@ impl Classifier {
             }
         };
         let mut versions = VersionMap::single(VERSION_ORIGINAL, r);
-        match actions::execute(
-            &entry.tables.entry_actions,
-            pool,
-            &mut versions,
-            sink,
-            stats,
-        ) {
+        match actions::execute(&tables.entry_actions, pool, &mut versions, sink, stats) {
             Ok(()) => {
                 stats.note_in(1);
                 self.next_pid = (pid + 1) & PID_MAX;
                 self.admitted += 1;
-                Ok(entry.tables)
+                Ok(tables)
             }
             Err(actions::ActionError::PoolExhausted) => {
                 // Entry copies ran out of slots. Generated entry actions

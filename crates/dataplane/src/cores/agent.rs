@@ -30,7 +30,7 @@
 use crate::actions::{self, Deliver, Msg, VersionMap};
 use crate::merger;
 use crate::stats::StageStats;
-use nfp_orchestrator::tables::GraphTables;
+use crate::swap::TablesResolver;
 use nfp_packet::meta::VERSION_ORIGINAL;
 use nfp_packet::pool::{PacketPool, PacketRef};
 use std::collections::HashMap;
@@ -44,6 +44,10 @@ pub struct Outcome {
     pub segment: u32,
     /// The agent-assigned merge-order sequence number.
     pub seq: u64,
+    /// The program epoch the packet was classified under — release
+    /// resolves the merge spec's `next` actions against this epoch, and
+    /// merge-resolved drops are settled against it.
+    pub epoch: u64,
     /// Merged v1 to forward; `None` when the merge resolved to a drop or
     /// failed (the merger already released all references).
     pub forward: Option<PacketRef>,
@@ -61,11 +65,14 @@ struct AssignState {
     by_pid: HashMap<u64, (u64, usize)>,
 }
 
-/// Per-(MID, segment) in-order release of merge outcomes.
+/// Per-(MID, segment) in-order release of merge outcomes. Each pending
+/// outcome keeps the epoch its packet was classified under, so a release
+/// that straddles a live swap still executes every packet's `next`
+/// actions against the tables that classified it.
 #[derive(Default)]
 struct ReleaseState {
     next_seq: u64,
-    ready: HashMap<u64, (Option<PacketRef>, bool)>,
+    ready: HashMap<u64, (Option<PacketRef>, bool, u64)>,
 }
 
 /// The agent/sequencer core. One per execution domain (engine or shard);
@@ -94,11 +101,14 @@ impl AgentCore {
         &mut self,
         msg: &mut Msg,
         pool: &PacketPool,
-        tables: &GraphTables,
+        resolver: &mut TablesResolver,
         stats: &StageStats,
     ) -> usize {
         stats.note_in(1);
-        let (mid, pid) = pool.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
+        let (mid, pid, epoch) = pool.with(msg.r, |p| {
+            (p.meta().mid(), p.meta().pid(), p.meta().epoch())
+        });
+        let tables = resolver.get(epoch, stats);
         let total = tables
             .merge_spec_for(msg.segment as usize)
             .expect("merger msg implies spec")
@@ -120,23 +130,25 @@ impl AgentCore {
 
     /// Accept one merge outcome and release every outcome that is now in
     /// sequence order, executing the merge spec's `next` actions into
-    /// `sink`. Returns the number of merge-resolved drops surfaced (the
-    /// closed loop must account for them).
+    /// `sink`. Returns the epoch of every merge-resolved drop surfaced
+    /// (the closed loop must account each against the epoch that admitted
+    /// it).
     pub fn release(
         &mut self,
         o: Outcome,
         pool: &PacketPool,
-        tables: &GraphTables,
+        resolver: &mut TablesResolver,
         sink: &mut impl Deliver,
         stats: &StageStats,
-    ) -> u64 {
+    ) -> Vec<u64> {
         let rs = self.release.entry((o.mid, o.segment)).or_default();
-        rs.ready.insert(o.seq, (o.forward, o.error));
-        let mut drops = 0;
-        while let Some((fwd, _err)) = rs.ready.remove(&rs.next_seq) {
+        rs.ready.insert(o.seq, (o.forward, o.error, o.epoch));
+        let mut drops = Vec::new();
+        while let Some((fwd, _err, epoch)) = rs.ready.remove(&rs.next_seq) {
             rs.next_seq += 1;
             match fwd {
                 Some(v1) => {
+                    let tables = resolver.get(epoch, stats);
                     let spec = tables
                         .merge_spec_for(o.segment as usize)
                         .expect("outcome implies spec");
@@ -144,7 +156,7 @@ impl AgentCore {
                     actions::execute(&spec.next, pool, &mut versions, sink, stats)
                         .expect("merger next actions");
                 }
-                None => drops += 1,
+                None => drops.push(epoch),
             }
         }
         drops

@@ -20,7 +20,7 @@ use crate::actions::Msg;
 use crate::cores::agent::Outcome;
 use crate::merger::{self, Accumulator, MergeOutcome};
 use crate::stats::{DropCause, StageStats};
-use nfp_orchestrator::tables::GraphTables;
+use crate::swap::TablesResolver;
 use nfp_packet::pool::PacketPool;
 use std::collections::HashMap;
 
@@ -50,15 +50,18 @@ impl MergerCore {
         &mut self,
         msg: Msg,
         pool: &PacketPool,
-        tables: &GraphTables,
+        resolver: &mut TablesResolver,
         stats: &StageStats,
         now: u64,
     ) -> Option<Outcome> {
         stats.note_in(1);
+        let (mid, pid, epoch) = pool.with(msg.r, |p| {
+            (p.meta().mid(), p.meta().pid(), p.meta().epoch())
+        });
+        let tables = resolver.get(epoch, stats);
         let spec = tables
             .merge_spec_for(msg.segment as usize)
             .expect("merger msg implies spec");
-        let (mid, pid) = pool.with(msg.r, |p| (p.meta().mid(), p.meta().pid()));
         let key = (mid, msg.segment, pid);
         if let Some(remaining) = self.tombstones.get_mut(&key) {
             pool.release(msg.r);
@@ -75,7 +78,7 @@ impl MergerCore {
         }
         let arrivals = self
             .at
-            .offer(key, arrival, spec.total_count, now, msg.seq)?;
+            .offer(key, arrival, spec.total_count, now, msg.seq, epoch)?;
         stats.note_merge();
         let (forward, error) = match merger::resolve_and_merge(spec, &arrivals, pool) {
             Ok(MergeOutcome::Forward(v1)) => (Some(v1), false),
@@ -95,6 +98,7 @@ impl MergerCore {
             mid,
             segment: msg.segment,
             seq: msg.seq,
+            epoch,
             forward,
             error,
         })
@@ -110,7 +114,7 @@ impl MergerCore {
         &mut self,
         cutoff: u64,
         pool: &PacketPool,
-        tables: &GraphTables,
+        resolver: &mut TablesResolver,
         stats: &StageStats,
     ) -> Vec<Outcome> {
         if self.at.pending_len() == 0 {
@@ -118,6 +122,7 @@ impl MergerCore {
         }
         let mut outcomes = Vec::new();
         for entry in self.at.take_expired(cutoff) {
+            let tables = resolver.get(entry.epoch, stats);
             let spec = tables
                 .merge_spec_for(entry.segment as usize)
                 .expect("AT entry implies spec");
@@ -141,6 +146,7 @@ impl MergerCore {
                 mid: entry.mid,
                 segment: entry.segment,
                 seq: entry.seq,
+                epoch: entry.epoch,
                 forward,
                 error: false,
             });

@@ -32,6 +32,7 @@ use crate::cores::{collector, AgentCore, MergerCore, Outcome};
 use crate::ring::{self, Consumer, Producer};
 use crate::runtime::{FailureKind, NfRuntime};
 use crate::stats::{EngineStats, StageStats};
+use crate::swap::{EpochReport, EpochTally, ProgramHandle, ReconfigError, TablesResolver};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
 use nfp_orchestrator::{FailurePolicy, Program, Stage};
@@ -203,6 +204,13 @@ pub struct EngineReport {
     /// Pool slots still held when the run finished — 0 unless references
     /// leaked (the failure paths exist precisely to keep this at 0).
     pub pool_in_use: usize,
+    /// The program epoch that was current when the run ended.
+    pub epoch: u64,
+    /// Per-epoch completion tallies over the engine's **lifetime** —
+    /// accumulated across runs and live swaps, sorted by epoch (see
+    /// [`ProgramHandle::tallies`]). Every delivered or dropped packet is
+    /// attributed to exactly one epoch.
+    pub epochs: Vec<EpochTally>,
 }
 
 impl EngineReport {
@@ -255,13 +263,18 @@ struct BurstSink<'a> {
     stats: &'a StageStats,
     pool: &'a PacketPool,
     dropped: &'a AtomicU64,
+    handle: &'a ProgramHandle,
 }
 
 impl BurstSink<'_> {
     fn send(&mut self, stage: Stage, msg: Msg) {
         let Some((p, buf)) = self.out.get_mut(&stage) else {
+            // Settle the packet against its stamped epoch before the
+            // reference is released (the slot may be reused immediately).
+            let epoch = self.pool.with(msg.r, |p| p.meta().epoch());
             self.pool.release(msg.r);
             self.stats.note_misroute();
+            self.handle.finish(epoch);
             self.dropped.fetch_add(1, Ordering::Release);
             return;
         };
@@ -301,14 +314,17 @@ struct AgentSink<'a> {
     stats: &'a StageStats,
     pool: &'a PacketPool,
     dropped: &'a AtomicU64,
+    handle: &'a ProgramHandle,
 }
 
 impl AgentSink<'_> {
     fn send(&mut self, stage: Stage, msg: Msg) {
         let Some((p, stash)) = self.out.get_mut(&stage) else {
             // Misroute fallback — see [`BurstSink::send`].
+            let epoch = self.pool.with(msg.r, |p| p.meta().epoch());
             self.pool.release(msg.r);
             self.stats.note_misroute();
+            self.handle.finish(epoch);
             self.dropped.fetch_add(1, Ordering::Release);
             return;
         };
@@ -393,10 +409,74 @@ fn validate_wiring(program: &Program, mergers: usize) -> Result<(), EngineError>
     check(Stage::Agent, agent_needed)
 }
 
+/// A cloneable, thread-safe handle for reconfiguring a running [`Engine`]
+/// from outside its run loop: it shares the engine's [`ProgramHandle`]
+/// and knows the fixed executor limits (pool, in-flight window) a
+/// candidate program must fit.
+#[derive(Debug, Clone)]
+pub struct EngineController {
+    handle: Arc<ProgramHandle>,
+    pool_size: usize,
+    max_in_flight: usize,
+    drain_timeout: Duration,
+}
+
+impl EngineController {
+    /// The engine's current program epoch.
+    pub fn epoch(&self) -> u64 {
+        self.handle.epoch()
+    }
+
+    /// Hot-swap `program` in as the new current epoch and wait for the
+    /// superseded epoch to drain (bounded by the engine's stall timeout).
+    ///
+    /// The swap is validated first — footprint against the engine's fixed
+    /// pool, then the orchestrator's compatibility diff — and any
+    /// rejection leaves the running engine untouched. On success the
+    /// returned [`EpochReport`] records the diff, the install-to-retire
+    /// latency and the old epoch's final accounting.
+    pub fn reconfigure(&self, program: Program) -> Result<EpochReport, ReconfigError> {
+        let slots = program.slots_per_packet();
+        let required = self.max_in_flight.max(1) * slots;
+        if self.pool_size < required {
+            return Err(ReconfigError::PoolTooSmall {
+                pool_size: self.pool_size,
+                required,
+                max_in_flight: self.max_in_flight,
+                slots_per_packet: slots,
+            });
+        }
+        let started = Instant::now();
+        let swap = self.handle.install(program)?;
+        let drained = swap.old.in_flight();
+        let deadline = started + self.drain_timeout;
+        while !swap.old.drained() {
+            if Instant::now() >= deadline {
+                return Err(ReconfigError::DrainTimeout {
+                    epoch: swap.old.epoch(),
+                    in_flight: swap.old.in_flight(),
+                });
+            }
+            std::thread::yield_now();
+        }
+        self.handle.retire();
+        Ok(EpochReport {
+            from_epoch: swap.old.epoch(),
+            to_epoch: self.handle.epoch(),
+            update: swap.update,
+            swap_latency: started.elapsed(),
+            drained,
+            completed: swap.old.completed(),
+            shards: Vec::new(),
+        })
+    }
+}
+
 /// The threaded engine: one executor for a sealed [`Program`]. Build once,
-/// run many times.
+/// run many times — and [`reconfigure`](Engine::reconfigure) between or
+/// during runs.
 pub struct Engine {
-    program: Program,
+    handle: Arc<ProgramHandle>,
     nfs: Vec<Box<dyn NetworkFunction>>,
     config: EngineConfig,
 }
@@ -432,15 +512,36 @@ impl Engine {
             });
         }
         Ok(Self {
-            program,
+            handle: Arc::new(ProgramHandle::new(program)),
             nfs,
             config,
         })
     }
 
-    /// The program this engine executes.
-    pub fn program(&self) -> &Program {
-        &self.program
+    /// The engine's swappable program slot (shared with every stage).
+    pub fn handle(&self) -> &Arc<ProgramHandle> {
+        &self.handle
+    }
+
+    /// The current program epoch.
+    pub fn epoch(&self) -> u64 {
+        self.handle.epoch()
+    }
+
+    /// A detached controller for reconfiguring this engine — including
+    /// from another thread while [`Engine::run`] is live.
+    pub fn controller(&self) -> EngineController {
+        EngineController {
+            handle: Arc::clone(&self.handle),
+            pool_size: self.config.pool_size,
+            max_in_flight: self.config.max_in_flight,
+            drain_timeout: self.config.stall_timeout,
+        }
+    }
+
+    /// Hot-swap to `program`; see [`EngineController::reconfigure`].
+    pub fn reconfigure(&mut self, program: Program) -> Result<EpochReport, ReconfigError> {
+        self.controller().reconfigure(program)
     }
 
     /// Run the engine over `packets` (closed loop) and report.
@@ -457,6 +558,13 @@ impl Engine {
         let pool = Arc::new(PacketPool::new(self.config.pool_size));
         let n_nfs = self.nfs.len();
         let n_mergers = self.config.mergers;
+        // Snapshot the current program for executor construction (ring
+        // mesh, runtime configs). A mid-run hot swap only ever installs a
+        // topology-identical successor, so the mesh built here stays valid
+        // across epochs; per-packet table lookups go through epoch-keyed
+        // [`TablesResolver`]s instead of this snapshot.
+        let handle = Arc::clone(&self.handle);
+        let program = handle.current().program().clone();
 
         // Per-stage counters, borrowed by the worker threads for the
         // duration of the scoped run and snapshotted into the report.
@@ -474,7 +582,7 @@ impl Engine {
         stages.extend((0..n_nfs).map(Stage::Nf));
         stages.extend((0..n_mergers).map(Stage::Merger));
         for &from in &stages {
-            for to in self.program.wiring().targets_of(from, n_mergers) {
+            for to in program.wiring().targets_of(from, n_mergers) {
                 let (tx, rx) = ring::channel(self.config.ring_capacity);
                 producers.insert((from, to), tx);
                 consumers.entry(to).or_default().push(rx);
@@ -534,6 +642,7 @@ impl Engine {
             stats: &classifier_stats,
             pool: pool.as_ref(),
             dropped: &dropped,
+            handle: handle.as_ref(),
         };
         let mut nf_sinks: Vec<BurstSink> = (0..n_nfs)
             .map(|i| BurstSink {
@@ -544,6 +653,7 @@ impl Engine {
                 stats: &nf_stats[i],
                 pool: pool.as_ref(),
                 dropped: &dropped,
+                handle: handle.as_ref(),
             })
             .collect();
         let mut agent_sink = AgentSink {
@@ -554,6 +664,7 @@ impl Engine {
             stats: &agent_stats,
             pool: pool.as_ref(),
             dropped: &dropped,
+            handle: handle.as_ref(),
         };
         let mut nf_rx: Vec<Vec<Consumer<Msg>>> = (0..n_nfs)
             .map(|i| consumers.remove(&Stage::Nf(i)).unwrap_or_default())
@@ -564,7 +675,7 @@ impl Engine {
             .collect();
         let collector_rx = consumers.remove(&Stage::Collector).unwrap_or_default();
 
-        let tables = Arc::clone(self.program.tables());
+        let tables = Arc::clone(program.tables());
         let keep_packets = self.config.keep_packets;
         let max_in_flight = self.config.max_in_flight.max(1);
 
@@ -583,15 +694,17 @@ impl Engine {
 
         crossbeam::thread::scope(|scope| {
             // Classifier thread: drains the injection ring in bursts and
-            // drives the classifier core.
+            // drives the classifier core in live mode — each admission is
+            // pinned to the then-current epoch (failed admissions are
+            // aborted inside the classifier, so a retry re-pins).
             let pool_c = Arc::clone(&pool);
-            let tables_c = Arc::clone(&tables);
+            let handle_c = Arc::clone(&handle);
             let stop_ref = &stop;
             let quiesce_ref = &quiesce;
             let dropped_ref = &dropped;
             let cstats = &classifier_stats;
             scope.spawn(move |_| {
-                let mut classifier = Classifier::single(tables_c);
+                let mut classifier = Classifier::live(handle_c);
                 let mut batch: Vec<Packet> = Vec::new();
                 loop {
                     cstats.note_occupancy(inject_rx.len());
@@ -649,15 +762,17 @@ impl Engine {
                         stats: &nf_stats[i],
                         pool: pool.as_ref(),
                         dropped: &dropped,
+                        handle: handle.as_ref(),
                     },
                 );
                 let pool_n = Arc::clone(&pool);
+                let handle_n = Arc::clone(&handle);
                 let nstats = &nf_stats[i];
-                let discard_counts = matches!(tables.nf_configs[i].on_drop, DropBehavior::Discard);
                 let hb = &heartbeats[i];
                 let busy_flag = &nf_busy[i];
                 let failed_flag = &nf_failed[i];
                 nf_handles.push(scope.spawn(move |_| {
+                    let mut resolver = TablesResolver::new(Arc::clone(&handle_n));
                     let mut batch: Vec<Msg> = Vec::new();
                     loop {
                         hb.fetch_add(1, Ordering::Relaxed);
@@ -675,10 +790,26 @@ impl Engine {
                                 progress = true;
                                 busy_flag.store(true, Ordering::Release);
                                 for msg in batch.drain(..) {
+                                    // Resolve this packet's NF config by
+                                    // its stamped epoch, so a mid-swap
+                                    // packet is processed under the policy
+                                    // that classified it.
+                                    let epoch = pool_n.with(msg.r, |p| p.meta().epoch());
+                                    let tables = resolver.get(epoch, nstats);
+                                    let cfg = &tables.nf_configs[i];
                                     let before = rt.dropped + rt.errors + rt.policy_drops;
-                                    rt.handle(msg, &pool_n, &mut sink, nstats);
+                                    rt.handle_with(cfg, msg, &pool_n, &mut sink, nstats);
                                     let after = rt.dropped + rt.errors + rt.policy_drops;
-                                    if discard_counts && after > before {
+                                    if matches!(cfg.on_drop, DropBehavior::Discard)
+                                        && after > before
+                                    {
+                                        // A silent discard finishes the
+                                        // packet right here: settle it
+                                        // against its epoch (≤ 1 drop per
+                                        // message by construction).
+                                        for _ in 0..(after - before) {
+                                            handle_n.finish(epoch);
+                                        }
                                         dropped_ref.fetch_add(after - before, Ordering::Release);
                                     }
                                 }
@@ -703,9 +834,10 @@ impl Engine {
             // PID-hash routing (§5.3), dense sequence assignment and
             // in-order outcome release.
             let pool_a = Arc::clone(&pool);
-            let tables_a = Arc::clone(&tables);
+            let handle_a = Arc::clone(&handle);
             let astats = &agent_stats;
             scope.spawn(move |_| {
+                let mut resolver = TablesResolver::new(Arc::clone(&handle_a));
                 let mut core = AgentCore::new(n_mergers);
                 let mut batch: Vec<Msg> = Vec::new();
                 let mut obatch: Vec<Outcome> = Vec::new();
@@ -721,12 +853,14 @@ impl Engine {
                             }
                             progress = true;
                             for mut msg in batch.drain(..) {
-                                let instance = core.route(&mut msg, &pool_a, &tables_a, astats);
+                                let instance = core.route(&mut msg, &pool_a, &mut resolver, astats);
                                 agent_sink.send(Stage::Merger(instance), msg);
                             }
                         }
                     }
-                    // 2. Release merge outcomes in sequence order.
+                    // 2. Release merge outcomes in sequence order. Each
+                    // merge-resolved drop settles against the epoch that
+                    // classified the packet.
                     for orx in &outcome_rxs {
                         loop {
                             obatch.clear();
@@ -735,10 +869,16 @@ impl Engine {
                             }
                             progress = true;
                             for o in obatch.drain(..) {
-                                let drops =
-                                    core.release(o, &pool_a, &tables_a, &mut agent_sink, astats);
-                                if drops > 0 {
-                                    dropped_ref.fetch_add(drops, Ordering::Release);
+                                let drops = core.release(
+                                    o,
+                                    &pool_a,
+                                    &mut resolver,
+                                    &mut agent_sink,
+                                    astats,
+                                );
+                                for epoch in drops {
+                                    handle_a.finish(epoch);
+                                    dropped_ref.fetch_add(1, Ordering::Release);
                                 }
                             }
                         }
@@ -764,9 +904,10 @@ impl Engine {
             for (m, outcome_tx) in outcome_txs.drain(..).enumerate() {
                 let rxs = std::mem::take(&mut merger_rx[m]);
                 let pool_m = Arc::clone(&pool);
-                let tables_m = Arc::clone(&tables);
+                let handle_m = Arc::clone(&handle);
                 let mstats = &merger_stats[m];
                 scope.spawn(move |_| {
+                    let mut resolver = TablesResolver::new(handle_m);
                     let mut core = MergerCore::new();
                     let mut batch: Vec<Msg> = Vec::new();
                     let mut outcomes: Vec<Outcome> = Vec::new();
@@ -783,7 +924,7 @@ impl Engine {
                                 let now_ms = started.elapsed().as_millis() as u64;
                                 for msg in batch.drain(..) {
                                     if let Some(o) =
-                                        core.offer(msg, &pool_m, &tables_m, mstats, now_ms)
+                                        core.offer(msg, &pool_m, &mut resolver, mstats, now_ms)
                                     {
                                         outcomes.push(o);
                                     }
@@ -799,7 +940,7 @@ impl Engine {
                             if let Some(cutoff) = (started.elapsed().as_millis() as u64)
                                 .checked_sub(merge_deadline_ms)
                             {
-                                let expired = core.expire(cutoff, &pool_m, &tables_m, mstats);
+                                let expired = core.expire(cutoff, &pool_m, &mut resolver, mstats);
                                 if !expired.is_empty() {
                                     progress = true;
                                     outcomes.extend(expired);
@@ -837,6 +978,7 @@ impl Engine {
             // Collector thread: drives the collector core in bursts,
             // timestamps, counts.
             let pool_o = Arc::clone(&pool);
+            let handle_o = Arc::clone(&handle);
             let delivered_ref = &delivered;
             let ostats = &collector_stats;
             let collector_handle = scope.spawn(move |_| {
@@ -855,6 +997,9 @@ impl Engine {
                             for msg in batch.drain(..) {
                                 let pkt = collector::collect(msg, &pool_o, ostats);
                                 let pid = pkt.meta().pid();
+                                // Delivery settles the packet against the
+                                // epoch that classified it.
+                                handle_o.finish(pkt.meta().epoch());
                                 outputs.push((pid, Instant::now(), keep_packets.then_some(pkt)));
                                 delivered_ref.fetch_add(1, Ordering::Release);
                             }
@@ -985,6 +1130,8 @@ impl Engine {
             },
             failures: nf_failures,
             pool_in_use: pool.in_use(),
+            epoch: handle.epoch(),
+            epochs: handle.tallies(),
         };
         (report, report_latency)
     }

@@ -30,6 +30,11 @@
 //! * [`engine`] — the multi-threaded engine: one thread per NF (the
 //!   paper's one-container-per-core), a classifier thread, a merger agent
 //!   and N merger instances, wired with SPSC rings.
+//! * [`swap`] — epoch-based live reconfiguration: the swappable
+//!   [`swap::ProgramHandle`] every stage hangs off, per-packet epoch
+//!   pinning, drain/retire accounting, and the per-stage
+//!   [`swap::TablesResolver`] that keeps mid-swap packets on the tables
+//!   that classified them.
 //! * [`shard`] — RSS-style flow sharding: a 5-tuple hash front-end over N
 //!   full engine replicas for multi-core scale-out, per-flow FIFO
 //!   preserved.
@@ -45,11 +50,15 @@ pub mod ring;
 pub mod runtime;
 pub mod shard;
 pub mod stats;
+pub mod swap;
 pub mod sync_engine;
 
 pub use classifier::Classifier;
-pub use engine::{Engine, EngineConfig, EngineError, EngineReport, NfFailure};
+pub use engine::{Engine, EngineConfig, EngineController, EngineError, EngineReport, NfFailure};
 pub use runtime::FailureKind;
 pub use shard::ShardedEngine;
 pub use stats::{EngineStats, StageStats};
+pub use swap::{
+    EpochReport, EpochState, EpochTally, ProgramHandle, ReconfigError, ShardSwap, TablesResolver,
+};
 pub use sync_engine::SyncEngine;

@@ -45,6 +45,7 @@ struct PendingEntry {
     arrivals: Vec<Arrival>,
     first_seen: u64,
     seq: u64,
+    epoch: u64,
 }
 
 /// An AT entry evicted by deadline expiry, with everything the caller
@@ -61,6 +62,10 @@ pub struct ExpiredEntry {
     /// for an expired entry must carry it, or the agent's in-order
     /// release cursor stalls forever.
     pub seq: u64,
+    /// The program epoch the packet was classified under (stamped at
+    /// first arrival) — partial-merge resolution must use that epoch's
+    /// merge spec, and the engine settles the packet against it.
+    pub epoch: u64,
     /// The copies that did arrive before the deadline.
     pub arrivals: Vec<Arrival>,
 }
@@ -81,7 +86,9 @@ impl Accumulator {
     /// copies are present. `now` stamps the entry on first arrival (the
     /// deadline clock: virtual ticks in the sync engine, elapsed
     /// milliseconds in the threaded engine); `seq` is the agent-assigned
-    /// merge-order number carried by the message.
+    /// merge-order number carried by the message; `epoch` is the program
+    /// epoch the packet was classified under (stamped on first arrival —
+    /// all copies of one PID were classified together).
     pub fn offer(
         &mut self,
         key: (u32, u32, u64),
@@ -89,11 +96,13 @@ impl Accumulator {
         expected: usize,
         now: u64,
         seq: u64,
+        epoch: u64,
     ) -> Option<Vec<Arrival>> {
         let entry = self.pending.entry(key).or_insert_with(|| PendingEntry {
             arrivals: Vec::new(),
             first_seen: now,
             seq,
+            epoch,
         });
         entry.arrivals.push(arrival);
         if entry.arrivals.len() >= expected {
@@ -126,6 +135,7 @@ impl Accumulator {
                     segment: key.1,
                     pid: key.2,
                     seq: e.seq,
+                    epoch: e.epoch,
                     arrivals: e.arrivals,
                 }
             })
@@ -570,11 +580,11 @@ mod tests {
         let r1 = pool.insert(packet(80)).unwrap();
         let r2 = pool.insert(packet(80)).unwrap();
         assert!(at
-            .offer((1, 1, 42), arrival_from(&pool, r1), 2, 0, 0)
+            .offer((1, 1, 42), arrival_from(&pool, r1), 2, 0, 0, 0)
             .is_none());
         assert_eq!(at.pending_len(), 1);
         let done = at
-            .offer((1, 1, 42), arrival_from(&pool, r2), 2, 0, 0)
+            .offer((1, 1, 42), arrival_from(&pool, r2), 2, 0, 0, 0)
             .unwrap();
         assert_eq!(done.len(), 2);
         assert_eq!(at.pending_len(), 0);
@@ -588,7 +598,7 @@ mod tests {
         let mut original = packet(80);
         original.set_meta(Metadata::new(1, 7, 1));
         let v1 = pool.insert(original).unwrap();
-        let v2 = pool.header_only_copy(v1, 2).unwrap().unwrap();
+        let v2 = pool.header_only_copy(v1, 2).unwrap();
         pool.with_mut(v2, |p| p.set_dip(Ipv4Addr::new(192, 168, 1, 3)).unwrap());
         // NOTE: v1 refcount is 1 here (single v1 member in this test).
         let spec = spec(
@@ -707,7 +717,7 @@ mod tests {
         let v1 = pool.insert(original).unwrap();
         // Build the "VPN's copy": full copy with an AH (and encrypted
         // payload folded in via a Modify op as the compiler would emit).
-        let v2 = pool.full_copy(v1, 2).unwrap().unwrap();
+        let v2 = pool.full_copy(v1, 2).unwrap();
         pool.with_mut(v2, |p| {
             let mut vpn =
                 nfp_nf::vpn::Vpn::new("vpn", [5u8; 16], 77, nfp_nf::vpn::VpnMode::Encapsulate);
@@ -796,7 +806,7 @@ mod tests {
         let mut original = packet(80);
         original.set_meta(Metadata::new(1, 21, 1));
         let v1 = pool.insert(original).unwrap();
-        let v2 = pool.header_only_copy(v1, 2).unwrap().unwrap();
+        let v2 = pool.header_only_copy(v1, 2).unwrap();
         pool.with_mut(v2, |p| p.set_dport(9999).unwrap());
         let spec = spec(
             2,
@@ -846,13 +856,27 @@ mod tests {
         // First arrivals for all PIDs, then second arrivals in reverse.
         for (pid, &r) in refs.iter().enumerate() {
             assert!(at
-                .offer((1, 1, pid as u64), arrival_from(&pool, r), 2, 0, pid as u64)
+                .offer(
+                    (1, 1, pid as u64),
+                    arrival_from(&pool, r),
+                    2,
+                    0,
+                    pid as u64,
+                    0
+                )
                 .is_none());
         }
         assert_eq!(at.pending_len(), 10);
         for (pid, &r) in refs.iter().enumerate().rev() {
             let done = at
-                .offer((1, 1, pid as u64), arrival_from(&pool, r), 2, 0, pid as u64)
+                .offer(
+                    (1, 1, pid as u64),
+                    arrival_from(&pool, r),
+                    2,
+                    0,
+                    pid as u64,
+                    0,
+                )
                 .unwrap();
             assert_eq!(done.len(), 2);
             pool.release(r);
@@ -869,7 +893,7 @@ mod tests {
         let mut p = packet(1);
         p.set_meta(Metadata::new(1, 5, 1));
         let r = pool.insert(p).unwrap();
-        at.offer((1, 0, 5), arrival_from(&pool, r), 3, 0, 0);
+        at.offer((1, 0, 5), arrival_from(&pool, r), 3, 0, 0, 0);
         let drained = at.drain();
         assert_eq!(drained.len(), 1);
         pool.release(drained[0].r);
@@ -926,10 +950,10 @@ mod tests {
         let r1 = insert(1);
         let r2 = insert(2);
         assert!(at
-            .offer((1, 1, 1), arrival_from(&pool, r1), 2, 10, 100)
+            .offer((1, 1, 1), arrival_from(&pool, r1), 2, 10, 100, 0)
             .is_none());
         assert!(at
-            .offer((1, 1, 2), arrival_from(&pool, r2), 2, 20, 101)
+            .offer((1, 1, 2), arrival_from(&pool, r2), 2, 20, 101, 0)
             .is_none());
         let expired = at.take_expired(10);
         assert_eq!(expired.len(), 1);

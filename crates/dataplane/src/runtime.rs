@@ -17,6 +17,7 @@ use nfp_orchestrator::FailurePolicy;
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Metadata;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// How an NF failed. Once a runtime records a failure it stops invoking
 /// the NF; subsequent traffic takes the configured
@@ -50,9 +51,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// One NF plus its installed forwarding-table slice.
+///
+/// The config passed at construction is the *install-time* slice; under
+/// live reconfiguration the engine resolves each packet's epoch to its
+/// tables and drives [`NfRuntime::handle_with`] with that epoch's config,
+/// so a runtime can serve two epochs' policies during a swap without
+/// being reconstructed.
 pub struct NfRuntime<N: NetworkFunction> {
     nf: N,
-    config: NfConfig,
+    config: Arc<NfConfig>,
     failure: Option<FailureKind>,
     /// Packets processed (diagnostics).
     pub processed: u64,
@@ -72,7 +79,7 @@ impl<N: NetworkFunction> NfRuntime<N> {
     pub fn new(nf: N, config: NfConfig) -> Self {
         Self {
             nf,
-            config,
+            config: Arc::new(config),
             failure: None,
             processed: 0,
             dropped: 0,
@@ -112,9 +119,9 @@ impl<N: NetworkFunction> NfRuntime<N> {
     }
 
     /// The member version this runtime's forwarding actions operate on.
-    fn own_version(&self) -> u8 {
+    fn own_version(cfg: &NfConfig) -> u8 {
         // Every per-NF action list references exactly one source version.
-        match self.config.actions.first() {
+        match cfg.actions.first() {
             Some(FtAction::Distribute { version, .. }) | Some(FtAction::Output { version }) => {
                 *version
             }
@@ -123,9 +130,25 @@ impl<N: NetworkFunction> NfRuntime<N> {
         }
     }
 
-    /// Handle one packet reference popped from a receive ring.
+    /// Handle one packet reference popped from a receive ring, under the
+    /// install-time config. Engines that support live reconfiguration use
+    /// [`NfRuntime::handle_with`] instead.
     pub fn handle(
         &mut self,
+        msg: Msg,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+    ) {
+        let cfg = Arc::clone(&self.config);
+        self.handle_with(&cfg, msg, pool, sink, stats);
+    }
+
+    /// Handle one packet reference under `cfg` — the forwarding-table
+    /// slice of the epoch the packet was classified under.
+    pub fn handle_with(
+        &mut self,
+        cfg: &NfConfig,
         msg: Msg,
         pool: &PacketPool,
         sink: &mut impl Deliver,
@@ -136,7 +159,7 @@ impl<N: NetworkFunction> NfRuntime<N> {
         if self.failure.is_some() {
             // The NF is dead: don't invoke it, route the packet per its
             // failure policy.
-            self.apply_failure_policy(r, pool, sink, stats);
+            self.apply_failure_policy(cfg, r, pool, sink, stats);
             return;
         }
         // Isolate the NF invocation: a panic must not take the engine
@@ -146,7 +169,7 @@ impl<N: NetworkFunction> NfRuntime<N> {
         // mutates no pool state around the callback) and the NF itself is
         // quarantined on the first panic, so its possibly-torn internal
         // state is never observed again.
-        let access = self.config.access;
+        let access = cfg.access;
         let nf = &mut self.nf;
         let caught = catch_unwind(AssertUnwindSafe(|| match access {
             AccessMode::Exclusive => pool.with_mut(r, |p| {
@@ -162,26 +185,25 @@ impl<N: NetworkFunction> NfRuntime<N> {
             Ok(v) => v,
             Err(payload) => {
                 self.failure = Some(FailureKind::Panicked(panic_message(payload)));
-                self.apply_failure_policy(r, pool, sink, stats);
+                self.apply_failure_policy(cfg, r, pool, sink, stats);
                 return;
             }
         };
         self.processed += 1;
         match verdict {
             Verdict::Pass => {
-                let mut versions = VersionMap::single(self.own_version(), r);
-                if actions::execute(&self.config.actions, pool, &mut versions, sink, stats).is_err()
-                {
+                let mut versions = VersionMap::single(Self::own_version(cfg), r);
+                if actions::execute(&cfg.actions, pool, &mut versions, sink, stats).is_err() {
                     // Defensive: drop the packet rather than wedging the
                     // graph; in parallel positions the merger still needs
                     // an arrival, so fall through to the nil path.
                     self.errors += 1;
-                    self.emit_drop(r, pool, sink, stats, DropCause::NfError);
+                    self.emit_drop(cfg, r, pool, sink, stats, DropCause::NfError);
                 }
             }
             Verdict::Drop => {
                 self.dropped += 1;
-                self.emit_drop(r, pool, sink, stats, DropCause::NfVerdict);
+                self.emit_drop(cfg, r, pool, sink, stats, DropCause::NfVerdict);
             }
         }
     }
@@ -193,24 +215,24 @@ impl<N: NetworkFunction> NfRuntime<N> {
     /// *failure nil*, which the merger honors unconditionally.
     fn apply_failure_policy(
         &mut self,
+        cfg: &NfConfig,
         r: nfp_packet::pool::PacketRef,
         pool: &PacketPool,
         sink: &mut impl Deliver,
         stats: &StageStats,
     ) {
-        match self.config.on_failure {
+        match cfg.on_failure {
             FailurePolicy::FailOpen => {
                 self.bypassed += 1;
-                let mut versions = VersionMap::single(self.own_version(), r);
-                if actions::execute(&self.config.actions, pool, &mut versions, sink, stats).is_err()
-                {
+                let mut versions = VersionMap::single(Self::own_version(cfg), r);
+                if actions::execute(&cfg.actions, pool, &mut versions, sink, stats).is_err() {
                     self.errors += 1;
-                    self.emit_drop(r, pool, sink, stats, DropCause::NfError);
+                    self.emit_drop(cfg, r, pool, sink, stats, DropCause::NfError);
                 }
             }
             FailurePolicy::FailClosed => {
                 self.policy_drops += 1;
-                self.emit_failure_drop(r, pool, sink, stats);
+                self.emit_failure_drop(cfg, r, pool, sink, stats);
             }
         }
     }
@@ -219,13 +241,14 @@ impl<N: NetworkFunction> NfRuntime<N> {
     /// packet to the merger in parallel positions (§5.2 `ignore`).
     fn emit_drop(
         &mut self,
+        cfg: &NfConfig,
         r: nfp_packet::pool::PacketRef,
         pool: &PacketPool,
         sink: &mut impl Deliver,
         stats: &StageStats,
         cause: DropCause,
     ) {
-        self.emit_drop_inner(r, pool, sink, stats, cause, false);
+        self.emit_drop_inner(cfg, r, pool, sink, stats, cause);
     }
 
     /// The fail-closed drop path: like [`NfRuntime::emit_drop`] but the
@@ -233,26 +256,30 @@ impl<N: NetworkFunction> NfRuntime<N> {
     /// instead of applying drop-conflict priorities.
     fn emit_failure_drop(
         &mut self,
+        cfg: &NfConfig,
         r: nfp_packet::pool::PacketRef,
         pool: &PacketPool,
         sink: &mut impl Deliver,
         stats: &StageStats,
     ) {
-        self.emit_drop_inner(r, pool, sink, stats, DropCause::NfFailed, true);
+        self.emit_drop_inner(cfg, r, pool, sink, stats, DropCause::NfFailed);
     }
 
     fn emit_drop_inner(
         &mut self,
+        cfg: &NfConfig,
         r: nfp_packet::pool::PacketRef,
         pool: &PacketPool,
         sink: &mut impl Deliver,
         stats: &StageStats,
         cause: DropCause,
-        failure_nil: bool,
     ) {
+        // `NfFailed` is emitted only by the fail-closed policy path, whose
+        // nils the merger must drop unconditionally.
+        let failure_nil = matches!(cause, DropCause::NfFailed);
         let meta: Metadata = pool.with(r, |p| p.meta());
         pool.release(r);
-        match self.config.on_drop {
+        match cfg.on_drop {
             DropBehavior::Discard => {
                 // The packet ends here: a stage-local drop with a cause.
                 stats.note_drop(cause);

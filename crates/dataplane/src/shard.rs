@@ -16,8 +16,9 @@
 //! merger accumulation state
 //! stay shard-local by construction — each replica owns its cores.
 
-use crate::engine::{Engine, EngineConfig, EngineError, EngineReport};
+use crate::engine::{Engine, EngineConfig, EngineController, EngineError, EngineReport};
 use crate::stats::EngineStats;
+use crate::swap::{EpochReport, EpochTally, ReconfigError, ShardSwap};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::Program;
 use nfp_packet::Packet;
@@ -95,6 +96,50 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// One detached [`EngineController`] per shard, in shard order — for
+    /// driving a rollout from another thread while the fleet is live.
+    pub fn controllers(&self) -> Vec<EngineController> {
+        self.shards.iter().map(Engine::controller).collect()
+    }
+
+    /// Roll `program` out across the fleet, one shard at a time: each
+    /// shard hot-swaps and drains its old epoch before the next begins
+    /// (a failure therefore leaves a *prefix* of shards on the new epoch;
+    /// re-issue the same program to converge the rest — already-swapped
+    /// shards reject it as a no-op [`nfp_orchestrator::UpdateRejection::StaleEpoch`]).
+    ///
+    /// The aggregated [`EpochReport`] sums per-shard drain/completion
+    /// counts, records the whole rollout's wall time as `swap_latency`,
+    /// and carries the per-shard breakdown in `shards`.
+    pub fn reconfigure(&mut self, program: Program) -> Result<EpochReport, ReconfigError> {
+        let started = Instant::now();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut drained = 0;
+        let mut completed = 0;
+        let mut first: Option<EpochReport> = None;
+        for (i, engine) in self.shards.iter_mut().enumerate() {
+            let r = engine.reconfigure(program.clone())?;
+            drained += r.drained;
+            completed += r.completed;
+            shards.push(ShardSwap {
+                shard: i,
+                swap_latency: r.swap_latency,
+                drained: r.drained,
+            });
+            first.get_or_insert(r);
+        }
+        let first = first.expect("at least one shard");
+        Ok(EpochReport {
+            from_epoch: first.from_epoch,
+            to_epoch: first.to_epoch,
+            update: first.update,
+            swap_latency: started.elapsed(),
+            drained,
+            completed,
+            shards,
+        })
+    }
+
     /// Dispatch `packets` to their shards and run every replica
     /// concurrently, aggregating the per-shard results into one report:
     /// counters sum, per-stage counters fold stage-by-stage
@@ -128,6 +173,8 @@ impl ShardedEngine {
         let mut packets_out = Vec::new();
         let mut failures = Vec::new();
         let mut pool_in_use = 0;
+        let mut epoch = 0;
+        let mut epochs: Vec<EpochTally> = Vec::new();
         for (report, recorder) in &mut results {
             injected += report.injected;
             delivered += report.delivered;
@@ -137,7 +184,16 @@ impl ShardedEngine {
             packets_out.append(&mut report.packets);
             failures.append(&mut report.failures);
             pool_in_use += report.pool_in_use;
+            epoch = epoch.max(report.epoch);
+            // Fold per-shard tallies: completions sum per epoch.
+            for t in &report.epochs {
+                match epochs.iter_mut().find(|e| e.epoch == t.epoch) {
+                    Some(e) => e.completed += t.completed,
+                    None => epochs.push(*t),
+                }
+            }
         }
+        epochs.sort_by_key(|t| t.epoch);
         EngineReport {
             injected,
             delivered,
@@ -148,6 +204,8 @@ impl ShardedEngine {
             stats,
             failures,
             pool_in_use,
+            epoch,
+            epochs,
         }
     }
 

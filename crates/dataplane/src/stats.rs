@@ -62,6 +62,12 @@ pub struct StageStats {
     /// Copies that arrived for an already-expired merge entry (released
     /// against the expiry tombstone; the packet was accounted at expiry).
     pub late_arrivals: AtomicU64,
+    /// Packets this stage resolved under a draining (non-newest) epoch —
+    /// the expected transient during a live swap, not an error.
+    pub stale_epochs: AtomicU64,
+    /// Epoch lookups that matched no live epoch and fell back to the
+    /// current tables (the drain protocol makes this unreachable).
+    pub epoch_conflicts: AtomicU64,
     drop_nf_verdict: AtomicU64,
     drop_nf_error: AtomicU64,
     drop_merge_resolved: AtomicU64,
@@ -122,6 +128,16 @@ impl StageStats {
         self.late_arrivals.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one packet resolved under a draining (non-newest) epoch.
+    pub fn note_stale_epoch(&self) {
+        self.stale_epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one epoch lookup that matched no live epoch.
+    pub fn note_epoch_conflict(&self) {
+        self.epoch_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one drop with its cause.
     pub fn note_drop(&self, cause: DropCause) {
         let c = match cause {
@@ -148,6 +164,8 @@ impl StageStats {
             ring_high_water: self.ring_high_water.load(Ordering::Relaxed),
             misroutes: self.misroutes.load(Ordering::Relaxed),
             late_arrivals: self.late_arrivals.load(Ordering::Relaxed),
+            stale_epochs: self.stale_epochs.load(Ordering::Relaxed),
+            epoch_conflicts: self.epoch_conflicts.load(Ordering::Relaxed),
             drop_nf_verdict: self.drop_nf_verdict.load(Ordering::Relaxed),
             drop_nf_error: self.drop_nf_error.load(Ordering::Relaxed),
             drop_merge_resolved: self.drop_merge_resolved.load(Ordering::Relaxed),
@@ -180,6 +198,10 @@ pub struct StageSnapshot {
     pub misroutes: u64,
     /// Arrivals released against an expired merge entry's tombstone.
     pub late_arrivals: u64,
+    /// Packets resolved under a draining (non-newest) epoch.
+    pub stale_epochs: u64,
+    /// Epoch lookups that matched no live epoch (fell back to current).
+    pub epoch_conflicts: u64,
     /// Drops: sequential NF verdict.
     pub drop_nf_verdict: u64,
     /// Drops: NF runtime action error.
@@ -222,6 +244,8 @@ impl StageSnapshot {
         self.ring_high_water = self.ring_high_water.max(other.ring_high_water);
         self.misroutes += other.misroutes;
         self.late_arrivals += other.late_arrivals;
+        self.stale_epochs += other.stale_epochs;
+        self.epoch_conflicts += other.epoch_conflicts;
         self.drop_nf_verdict += other.drop_nf_verdict;
         self.drop_nf_error += other.drop_nf_error;
         self.drop_merge_resolved += other.drop_merge_resolved;

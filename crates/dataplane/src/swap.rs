@@ -1,0 +1,556 @@
+//! Epoch-based live reconfiguration: versioned [`Program`] hot swap.
+//!
+//! A running engine serves exactly one *current* program epoch and at most
+//! one *draining* predecessor. The lifecycle of a packet against this
+//! module is:
+//!
+//! 1. **Admit** — the classifier pins the packet to the current epoch via
+//!    [`ProgramHandle::admit_current`]; the epoch's `attempts` counter
+//!    rises and the packet's [`nfp_packet::meta::Metadata`] is stamped
+//!    with the epoch id.
+//! 2. **Resolve** — every downstream stage (NF runtime, agent, merger)
+//!    looks its tables up *by the packet's stamped epoch* through a
+//!    [`TablesResolver`], never through a shared "latest" pointer. A
+//!    packet classified under epoch N is forwarded and merged under
+//!    epoch N even if epoch N+1 installs mid-flight.
+//! 3. **Settle** — when the engine delivers or drops the packet it calls
+//!    [`ProgramHandle::finish`] with the stamped epoch (or
+//!    [`ProgramHandle::abort`] if admission itself failed after pinning),
+//!    lowering the epoch's in-flight count.
+//!
+//! [`ProgramHandle::install`] swaps a compatible successor in under a
+//! write lock: new admissions pin the new epoch immediately, the old
+//! epoch keeps draining, and once its in-flight count reaches zero it is
+//! retired into an [`EpochTally`]. Incompatible successors are rejected
+//! with the orchestrator's structured [`UpdateRejection`] and the running
+//! program is left untouched. At most two epochs are ever live, so a
+//! second swap while the previous predecessor still drains fails with
+//! [`ReconfigError::SwapInProgress`] rather than queueing unboundedly.
+
+use crate::stats::StageStats;
+use nfp_orchestrator::tables::GraphTables;
+use nfp_orchestrator::{Program, ProgramUpdate, UpdateRejection};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// One live program epoch and its in-flight accounting.
+///
+/// `attempts` counts packets pinned to this epoch at admission;
+/// `settled` counts pins released (delivered, dropped, or aborted);
+/// `completed` counts the subset that were real deliveries/drops (i.e.
+/// packets the engine accounted, excluding admission aborts). The epoch
+/// is drained when every attempt has settled.
+#[derive(Debug)]
+pub struct EpochState {
+    program: Program,
+    attempts: AtomicU64,
+    settled: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl EpochState {
+    fn new(program: Program) -> Self {
+        Self {
+            program,
+            attempts: AtomicU64::new(0),
+            settled: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// The epoch id (the program's version).
+    pub fn epoch(&self) -> u64 {
+        self.program.epoch()
+    }
+
+    /// The program this epoch executes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The epoch's sealed tables.
+    pub fn tables(&self) -> Arc<GraphTables> {
+        Arc::clone(self.program.tables())
+    }
+
+    /// Packets currently pinned to this epoch (admitted, not yet settled).
+    pub fn in_flight(&self) -> u64 {
+        self.attempts
+            .load(Ordering::Acquire)
+            .saturating_sub(self.settled.load(Ordering::Acquire))
+    }
+
+    /// True when every pinned packet has settled.
+    pub fn drained(&self) -> bool {
+        self.attempts.load(Ordering::Acquire) == self.settled.load(Ordering::Acquire)
+    }
+
+    /// Packets fully processed (delivered or dropped) under this epoch.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+    }
+}
+
+/// Final per-epoch accounting, kept after the epoch retires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochTally {
+    /// The epoch id.
+    pub epoch: u64,
+    /// Packets delivered or dropped under it.
+    pub completed: u64,
+}
+
+/// The two live slots plus the retired history.
+#[derive(Debug)]
+struct Slots {
+    current: Arc<EpochState>,
+    prev: Option<Arc<EpochState>>,
+    retired: Vec<EpochTally>,
+}
+
+/// A successful [`ProgramHandle::install`]: the diff that justified the
+/// swap and the old epoch to watch drain.
+#[derive(Debug)]
+pub struct InstalledSwap {
+    /// What changed between the epochs.
+    pub update: ProgramUpdate,
+    /// The superseded epoch; poll [`EpochState::drained`] then call
+    /// [`ProgramHandle::retire`].
+    pub old: Arc<EpochState>,
+}
+
+/// Why a live reconfiguration could not proceed. The running engine is
+/// untouched in every case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The orchestrator-side compatibility check failed — the candidate
+    /// needs a cold restart (new rings/threads), not a hot swap.
+    Rejected(UpdateRejection),
+    /// The engine's pool cannot cover the candidate's worst-case footprint
+    /// over the configured in-flight window.
+    PoolTooSmall {
+        /// Slots the pool actually has.
+        pool_size: usize,
+        /// Slots required: `max_in_flight × slots_per_packet`.
+        required: usize,
+        /// The engine's admission window.
+        max_in_flight: usize,
+        /// The candidate's worst-case slots per packet.
+        slots_per_packet: usize,
+    },
+    /// A previous swap's old epoch is still draining; only two epochs may
+    /// be live at once.
+    SwapInProgress {
+        /// The epoch still holding in-flight packets.
+        draining: u64,
+    },
+    /// The superseded epoch failed to drain within the deadline — packets
+    /// pinned to it are stuck (e.g. a wedged NF). The new epoch *is*
+    /// installed and serving; only retirement is outstanding.
+    DrainTimeout {
+        /// The epoch that failed to drain.
+        epoch: u64,
+        /// Its in-flight count at the deadline.
+        in_flight: u64,
+    },
+}
+
+impl core::fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReconfigError::Rejected(r) => write!(f, "update rejected: {r}"),
+            ReconfigError::PoolTooSmall {
+                pool_size,
+                required,
+                max_in_flight,
+                slots_per_packet,
+            } => write!(
+                f,
+                "pool of {pool_size} slots cannot cover {required} \
+                 ({max_in_flight} in flight x {slots_per_packet} slots)"
+            ),
+            ReconfigError::SwapInProgress { draining } => {
+                write!(f, "epoch {draining} is still draining")
+            }
+            ReconfigError::DrainTimeout { epoch, in_flight } => {
+                write!(f, "epoch {epoch} failed to drain ({in_flight} in flight)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// Per-shard view of one live swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSwap {
+    /// The shard index.
+    pub shard: usize,
+    /// Install-to-retire latency on this shard.
+    pub swap_latency: Duration,
+    /// Old-epoch packets in flight at the moment of install.
+    pub drained: u64,
+}
+
+/// The outcome of a successful live reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Epoch swapped out.
+    pub from_epoch: u64,
+    /// Epoch swapped in.
+    pub to_epoch: u64,
+    /// What changed between the two programs.
+    pub update: ProgramUpdate,
+    /// Install-to-retire wall time (how long both epochs coexisted).
+    pub swap_latency: Duration,
+    /// Old-epoch packets that were in flight at install and drained out.
+    pub drained: u64,
+    /// Total packets completed under the old epoch over its lifetime.
+    pub completed: u64,
+    /// Per-shard breakdown (empty for unsharded engines).
+    pub shards: Vec<ShardSwap>,
+}
+
+/// The shared, swappable program slot every engine stage hangs off.
+///
+/// Reads (admission, epoch-keyed table resolution, settle) take the read
+/// lock; only [`install`](ProgramHandle::install) and
+/// [`retire`](ProgramHandle::retire) take the write lock. Admission
+/// increments the pin count *under* the read lock, so an install (which
+/// holds the write lock) can never miss a pin: after `install` returns,
+/// every packet is pinned either to the old epoch (counted in its
+/// `attempts`) or to the new one.
+#[derive(Debug)]
+pub struct ProgramHandle {
+    slots: RwLock<Slots>,
+}
+
+impl ProgramHandle {
+    /// Wrap `program` as the sole live epoch.
+    pub fn new(program: Program) -> Self {
+        Self {
+            slots: RwLock::new(Slots {
+                current: Arc::new(EpochState::new(program)),
+                prev: None,
+                retired: Vec::new(),
+            }),
+        }
+    }
+
+    /// The current epoch's state.
+    pub fn current(&self) -> Arc<EpochState> {
+        Arc::clone(&self.slots.read().unwrap().current)
+    }
+
+    /// The current epoch id.
+    pub fn epoch(&self) -> u64 {
+        self.slots.read().unwrap().current.epoch()
+    }
+
+    /// Pin one admission to the current epoch: increments its attempt
+    /// count and returns it. The caller must guarantee exactly one
+    /// matching [`finish`](ProgramHandle::finish) (packet delivered or
+    /// dropped) or [`abort`](ProgramHandle::abort) (admission failed).
+    pub fn admit_current(&self) -> Arc<EpochState> {
+        let slots = self.slots.read().unwrap();
+        slots.current.attempts.fetch_add(1, Ordering::AcqRel);
+        Arc::clone(&slots.current)
+    }
+
+    /// Release a pin without completing the packet — the admission failed
+    /// before the packet entered the graph.
+    pub fn abort(&self, state: &EpochState) {
+        state.settled.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Settle one packet under `epoch`: it was delivered or dropped. Pairs
+    /// 1:1 with [`admit_current`](ProgramHandle::admit_current).
+    pub fn finish(&self, epoch: u64) {
+        let slots = self.slots.read().unwrap();
+        let state = if slots.current.epoch() == epoch {
+            Some(&slots.current)
+        } else {
+            slots.prev.as_ref().filter(|p| p.epoch() == epoch)
+        };
+        match state {
+            Some(s) => {
+                s.completed.fetch_add(1, Ordering::AcqRel);
+                s.settled.fetch_add(1, Ordering::AcqRel);
+            }
+            None => debug_assert!(false, "finish({epoch}) matches no live epoch"),
+        }
+    }
+
+    /// The tables that classified packets of `epoch`, if that epoch is
+    /// still live.
+    pub fn tables_for(&self, epoch: u64) -> Option<Arc<GraphTables>> {
+        let slots = self.slots.read().unwrap();
+        if slots.current.epoch() == epoch {
+            return Some(slots.current.tables());
+        }
+        slots
+            .prev
+            .as_ref()
+            .filter(|p| p.epoch() == epoch)
+            .map(|p| p.tables())
+    }
+
+    /// Atomically swap `program` in as the new current epoch.
+    ///
+    /// Fails without touching the running program when a previous swap is
+    /// still draining or the compatibility diff rejects the candidate. On
+    /// success new admissions pin the new epoch immediately; the returned
+    /// [`InstalledSwap::old`] keeps draining until
+    /// [`retire`](ProgramHandle::retire).
+    pub fn install(&self, program: Program) -> Result<InstalledSwap, ReconfigError> {
+        let mut slots = self.slots.write().unwrap();
+        if let Some(prev) = &slots.prev {
+            if !prev.drained() {
+                return Err(ReconfigError::SwapInProgress {
+                    draining: prev.epoch(),
+                });
+            }
+            let tally = EpochTally {
+                epoch: prev.epoch(),
+                completed: prev.completed(),
+            };
+            slots.retired.push(tally);
+            slots.prev = None;
+        }
+        let update = ProgramUpdate::diff(slots.current.program(), &program)
+            .map_err(ReconfigError::Rejected)?;
+        let old = Arc::clone(&slots.current);
+        slots.current = Arc::new(EpochState::new(program));
+        slots.prev = Some(Arc::clone(&old));
+        Ok(InstalledSwap { update, old })
+    }
+
+    /// Retire the drained predecessor epoch into the tally history.
+    /// Returns its tally, or `None` when there is no drained predecessor.
+    pub fn retire(&self) -> Option<EpochTally> {
+        let mut slots = self.slots.write().unwrap();
+        let drained = slots.prev.as_ref().is_some_and(|p| p.drained());
+        if !drained {
+            return None;
+        }
+        let prev = slots.prev.take().unwrap();
+        let tally = EpochTally {
+            epoch: prev.epoch(),
+            completed: prev.completed(),
+        };
+        slots.retired.push(tally);
+        Some(tally)
+    }
+
+    /// Per-epoch completion tallies over the handle's lifetime — retired
+    /// epochs plus the still-live ones, sorted by epoch.
+    pub fn tallies(&self) -> Vec<EpochTally> {
+        let slots = self.slots.read().unwrap();
+        let mut out = slots.retired.clone();
+        if let Some(p) = &slots.prev {
+            out.push(EpochTally {
+                epoch: p.epoch(),
+                completed: p.completed(),
+            });
+        }
+        out.push(EpochTally {
+            epoch: slots.current.epoch(),
+            completed: slots.current.completed(),
+        });
+        out.sort_by_key(|t| t.epoch);
+        out
+    }
+}
+
+/// Most packets resolve under a handful of epochs, so the resolver keeps
+/// this many `(epoch, tables)` pairs before evicting the oldest.
+const RESOLVER_CACHE: usize = 4;
+
+/// A per-stage epoch→tables cache over a shared [`ProgramHandle`].
+///
+/// Stages resolve forwarding and merge tables by each packet's *stamped*
+/// epoch, not by whatever is current — that is what keeps a mid-swap
+/// packet on the tables that classified it. The cache makes the common
+/// case (same epoch as the last packet) two compares and no lock.
+#[derive(Debug)]
+pub struct TablesResolver {
+    handle: Arc<ProgramHandle>,
+    cache: Vec<(u64, Arc<GraphTables>)>,
+    newest: u64,
+}
+
+impl TablesResolver {
+    /// A resolver over `handle` with an empty cache.
+    pub fn new(handle: Arc<ProgramHandle>) -> Self {
+        Self {
+            handle,
+            cache: Vec::with_capacity(RESOLVER_CACHE),
+            newest: 0,
+        }
+    }
+
+    /// The shared handle this resolver reads.
+    pub fn handle(&self) -> &Arc<ProgramHandle> {
+        &self.handle
+    }
+
+    /// The tables for `epoch`. A packet stamped with a no-longer-live
+    /// epoch (possible only if an epoch retired while its packets were
+    /// still in flight, which the drain protocol prevents) falls back to
+    /// the current tables and counts an epoch conflict on `stats`;
+    /// resolving under a non-newest (draining) epoch counts a stale-epoch
+    /// observation.
+    pub fn get(&mut self, epoch: u64, stats: &StageStats) -> Arc<GraphTables> {
+        if epoch < self.newest {
+            stats.note_stale_epoch();
+        }
+        if let Some((_, t)) = self.cache.iter().find(|(e, _)| *e == epoch) {
+            return Arc::clone(t);
+        }
+        match self.handle.tables_for(epoch) {
+            Some(t) => {
+                self.newest = self.newest.max(epoch);
+                if self.cache.len() >= RESOLVER_CACHE {
+                    // Evict the oldest epoch — the least likely to recur.
+                    if let Some(i) = self
+                        .cache
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (e, _))| *e)
+                        .map(|(i, _)| i)
+                    {
+                        self.cache.swap_remove(i);
+                    }
+                }
+                self.cache.push((epoch, Arc::clone(&t)));
+                t
+            }
+            None => {
+                stats.note_epoch_conflict();
+                self.handle.current().tables()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfp_orchestrator::{compile, CompileOptions, Registry};
+    use nfp_policy::Policy;
+
+    fn program(chain: &[&str], mid: u32, epoch: u64) -> Program {
+        let g = compile(
+            &Policy::from_chain(chain.iter().copied()),
+            &Registry::paper_table2(),
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap()
+        .graph;
+        Program::compile(&g, mid).unwrap().with_epoch(epoch)
+    }
+
+    #[test]
+    fn admit_finish_drains() {
+        let h = ProgramHandle::new(program(&["Monitor", "Firewall"], 1, 0));
+        assert_eq!(h.epoch(), 0);
+        let e = h.admit_current();
+        assert_eq!(e.in_flight(), 1);
+        assert!(!e.drained());
+        h.finish(0);
+        assert!(e.drained());
+        assert_eq!(e.completed(), 1);
+        // Aborts settle without completing.
+        let e = h.admit_current();
+        h.abort(&e);
+        assert!(e.drained());
+        assert_eq!(e.completed(), 1);
+    }
+
+    #[test]
+    fn install_swaps_and_retires() {
+        let h = ProgramHandle::new(program(&["Monitor", "Firewall"], 1, 0));
+        let pinned = h.admit_current();
+        let swap = h.install(program(&["Monitor", "Firewall"], 1, 1)).unwrap();
+        assert_eq!(h.epoch(), 1);
+        assert_eq!(swap.old.epoch(), 0);
+        assert_eq!(swap.old.in_flight(), 1);
+        // Old epoch still resolves while draining.
+        assert!(h.tables_for(0).is_some());
+        assert!(h.retire().is_none()); // not drained yet
+        h.finish(pinned.epoch());
+        assert_eq!(
+            h.retire(),
+            Some(EpochTally {
+                epoch: 0,
+                completed: 1
+            })
+        );
+        assert!(h.tables_for(0).is_none());
+        let tallies = h.tallies();
+        assert_eq!(tallies.len(), 2);
+        assert_eq!(
+            tallies[0],
+            EpochTally {
+                epoch: 0,
+                completed: 1
+            }
+        );
+        assert_eq!(tallies[1].epoch, 1);
+    }
+
+    #[test]
+    fn second_swap_waits_for_drain() {
+        let h = ProgramHandle::new(program(&["Monitor", "Firewall"], 1, 0));
+        let _pinned = h.admit_current();
+        h.install(program(&["Monitor", "Firewall"], 1, 1)).unwrap();
+        assert_eq!(
+            h.install(program(&["Monitor", "Firewall"], 1, 2))
+                .unwrap_err(),
+            ReconfigError::SwapInProgress { draining: 0 }
+        );
+        h.finish(0);
+        // Drained predecessor is auto-retired by the next install.
+        h.install(program(&["Monitor", "Firewall"], 1, 2)).unwrap();
+        assert_eq!(h.epoch(), 2);
+        assert_eq!(h.tallies()[0].epoch, 0);
+    }
+
+    #[test]
+    fn incompatible_install_leaves_handle_untouched() {
+        let h = ProgramHandle::new(program(&["Monitor", "Firewall"], 1, 0));
+        let before = h.current();
+        let err = h
+            .install(program(&["Monitor", "Firewall"], 2, 1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ReconfigError::Rejected(UpdateRejection::MidChanged { .. })
+        ));
+        assert!(Arc::ptr_eq(&before, &h.current()));
+        assert_eq!(h.tallies().len(), 1);
+    }
+
+    #[test]
+    fn resolver_caches_and_falls_back() {
+        let h = Arc::new(ProgramHandle::new(program(&["Monitor", "Firewall"], 1, 0)));
+        let mut r = TablesResolver::new(Arc::clone(&h));
+        let stats = StageStats::new();
+        let t0 = r.get(0, &stats);
+        assert!(Arc::ptr_eq(&t0, &h.current().tables()));
+        h.install(program(&["Monitor", "Firewall"], 1, 3)).unwrap();
+        let t3 = r.get(3, &stats);
+        assert!(!Arc::ptr_eq(&t0, &t3));
+        // Resolving the draining epoch counts a stale observation.
+        assert_eq!(stats.snapshot().stale_epochs, 0);
+        let t0_again = r.get(0, &stats);
+        assert!(Arc::ptr_eq(&t0, &t0_again));
+        assert_eq!(stats.snapshot().stale_epochs, 1);
+        // An epoch nobody has counts a conflict and falls back to current.
+        let t9 = r.get(9, &stats);
+        assert!(Arc::ptr_eq(&t9, &t3));
+        assert_eq!(stats.snapshot().epoch_conflicts, 1);
+    }
+}

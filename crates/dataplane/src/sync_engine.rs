@@ -13,6 +13,7 @@ use crate::classifier::{AdmitError, Classifier};
 use crate::cores::{collector, AgentCore, MergerCore};
 use crate::runtime::{FailureKind, NfRuntime};
 use crate::stats::{StageSnapshot, StageStats};
+use crate::swap::{EpochReport, EpochTally, ProgramHandle, ReconfigError, TablesResolver};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::tables::Target;
 use nfp_orchestrator::Program;
@@ -20,6 +21,7 @@ use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What happened to a processed packet.
 #[derive(Debug)]
@@ -49,7 +51,11 @@ pub struct SyncEngine {
     /// running the same core keeps the reference path identical.
     agent: AgentCore,
     merger: MergerCore,
-    program: Program,
+    /// The swappable program slot; [`SyncEngine::reconfigure`] installs
+    /// successors into it between `process()` calls.
+    handle: Arc<ProgramHandle>,
+    /// Epoch-keyed table lookups for every stage dispatched inline.
+    resolver: TablesResolver,
     stats: StageStats,
     /// Virtual clock: one tick per `process()` call. Accumulating-table
     /// entries are stamped with it, and every entry still pending at the
@@ -88,18 +94,61 @@ impl SyncEngine {
             .zip(program.tables().nf_configs.iter().cloned())
             .map(|(nf, config)| NfRuntime::new(nf, config))
             .collect();
+        let handle = Arc::new(ProgramHandle::new(program));
         Self {
             pool: Arc::new(PacketPool::new(pool_size)),
-            classifier: Classifier::single(Arc::clone(program.tables())),
+            classifier: Classifier::live(Arc::clone(&handle)),
             runtimes,
             agent: AgentCore::new(1),
             merger: MergerCore::new(),
-            program,
+            resolver: TablesResolver::new(Arc::clone(&handle)),
+            handle,
             stats: StageStats::new(),
             tick: 0,
             delivered: 0,
             dropped: 0,
         }
+    }
+
+    /// The current program epoch.
+    pub fn epoch(&self) -> u64 {
+        self.handle.epoch()
+    }
+
+    /// Per-epoch completion tallies over the engine's lifetime, sorted by
+    /// epoch — every delivered or dropped packet counts under exactly one.
+    pub fn epochs(&self) -> Vec<EpochTally> {
+        self.handle.tallies()
+    }
+
+    /// Hot-swap to `program`: validate its footprint against the fixed
+    /// pool, run the orchestrator compatibility diff, and install it as
+    /// the new current epoch. Between `process()` calls no packet is in
+    /// flight, so the superseded epoch drains instantly and is retired
+    /// before this returns. Rejections leave the running engine untouched.
+    pub fn reconfigure(&mut self, program: Program) -> Result<EpochReport, ReconfigError> {
+        let slots = program.slots_per_packet();
+        if self.pool.capacity() < slots {
+            return Err(ReconfigError::PoolTooSmall {
+                pool_size: self.pool.capacity(),
+                required: slots,
+                max_in_flight: 1,
+                slots_per_packet: slots,
+            });
+        }
+        let started = Instant::now();
+        let swap = self.handle.install(program)?;
+        debug_assert!(swap.old.drained(), "sync engine is idle between packets");
+        self.handle.retire();
+        Ok(EpochReport {
+            from_epoch: swap.old.epoch(),
+            to_epoch: self.handle.epoch(),
+            update: swap.update,
+            swap_latency: started.elapsed(),
+            drained: 0,
+            completed: swap.old.completed(),
+            shards: Vec::new(),
+        })
     }
 
     /// Access an NF runtime (stats inspection).
@@ -143,11 +192,13 @@ impl SyncEngine {
         out
     }
 
-    /// Process one packet through the whole graph.
+    /// Process one packet through the whole graph. The packet is pinned to
+    /// the epoch current at admission and every stage resolves its tables
+    /// against that epoch; the pin settles exactly once before returning.
     pub fn process(&mut self, pkt: Packet) -> Result<ProcessOutcome, AdmitError> {
-        let tables = Arc::clone(self.program.tables());
         let mut sink = QueueSink::default();
         self.tick += 1;
+        let epoch = self.handle.epoch();
         self.classifier
             .admit(pkt, &self.pool, &mut sink, &self.stats)?;
         let mut output: Option<Packet> = None;
@@ -156,7 +207,17 @@ impl SyncEngine {
             while let Some((target, msg)) = sink.events.pop_front() {
                 match target {
                     Target::Nf(id) => {
-                        self.runtimes[id].handle(msg, &self.pool, &mut sink, &self.stats);
+                        // Resolve the NF's config by the packet's stamped
+                        // epoch — identical to the threaded NF threads.
+                        let e = self.pool.with(msg.r, |p| p.meta().epoch());
+                        let tables = self.resolver.get(e, &self.stats);
+                        self.runtimes[id].handle_with(
+                            &tables.nf_configs[id],
+                            msg,
+                            &self.pool,
+                            &mut sink,
+                            &self.stats,
+                        );
                     }
                     Target::Merger(_) => {
                         // The same route → offer → ordered-release path as
@@ -165,19 +226,23 @@ impl SyncEngine {
                         // always immediate.
                         let mut msg = msg;
                         let _instance =
-                            self.agent.route(&mut msg, &self.pool, &tables, &self.stats);
-                        if let Some(outcome) =
-                            self.merger
-                                .offer(msg, &self.pool, &tables, &self.stats, self.tick)
-                        {
+                            self.agent
+                                .route(&mut msg, &self.pool, &mut self.resolver, &self.stats);
+                        if let Some(outcome) = self.merger.offer(
+                            msg,
+                            &self.pool,
+                            &mut self.resolver,
+                            &self.stats,
+                            self.tick,
+                        ) {
                             let drops = self.agent.release(
                                 outcome,
                                 &self.pool,
-                                &tables,
+                                &mut self.resolver,
                                 &mut sink,
                                 &self.stats,
                             );
-                            if drops > 0 {
+                            if !drops.is_empty() {
                                 was_dropped = true;
                             }
                         }
@@ -194,17 +259,21 @@ impl SyncEngine {
             // so it has hit the zero-tick deadline: resolve it from the
             // copies that arrived. Partial forwards enqueue the merge
             // spec's next actions, so loop until expiry yields nothing.
-            let outcomes = self
-                .merger
-                .expire(self.tick, &self.pool, &tables, &self.stats);
+            let outcomes =
+                self.merger
+                    .expire(self.tick, &self.pool, &mut self.resolver, &self.stats);
             if outcomes.is_empty() {
                 break;
             }
             for outcome in outcomes {
-                let drops =
-                    self.agent
-                        .release(outcome, &self.pool, &tables, &mut sink, &self.stats);
-                if drops > 0 {
+                let drops = self.agent.release(
+                    outcome,
+                    &self.pool,
+                    &mut self.resolver,
+                    &mut sink,
+                    &self.stats,
+                );
+                if !drops.is_empty() {
                     was_dropped = true;
                 }
             }
@@ -214,6 +283,9 @@ impl SyncEngine {
             0,
             "a packet's copies must all merge or expire before process() returns"
         );
+        // The packet is finished (delivered or dropped): settle its epoch
+        // pin exactly once.
+        self.handle.finish(epoch);
         match output {
             Some(p) => {
                 self.delivered += 1;

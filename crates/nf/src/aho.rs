@@ -198,7 +198,7 @@ mod tests {
         let ac = AhoCorasick::new(&sigs);
         assert_eq!(ac.pattern_count(), 100);
         assert!(ac.fail_len() >= 100);
-        let payload = format!("junk SIG0042PATTERN junk");
+        let payload = "junk SIG0042PATTERN junk".to_string();
         let m = ac.find_all(payload.as_bytes());
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].pattern, 42);

@@ -216,98 +216,9 @@ impl NetworkFunction for Box<dyn NetworkFunction> {
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use nfp_packet::ether::{self, MacAddr};
-    use nfp_packet::ipv4::{self, Ipv4Addr, Ipv4Emit};
-    use nfp_packet::tcp::{self, TcpEmit};
-    use nfp_packet::udp;
-    use nfp_packet::Packet;
-
-    /// Build a valid Ethernet/IPv4/TCP frame for tests.
-    pub fn tcp_packet(
-        sip: Ipv4Addr,
-        dip: Ipv4Addr,
-        sport: u16,
-        dport: u16,
-        payload: &[u8],
-    ) -> Packet {
-        let ip_total = 20 + 20 + payload.len();
-        let mut f = vec![0u8; 14 + ip_total];
-        ether::emit(
-            &mut f,
-            MacAddr([2, 0, 0, 0, 0, 2]),
-            MacAddr([2, 0, 0, 0, 0, 1]),
-            ether::ETHERTYPE_IPV4,
-        )
-        .unwrap();
-        ipv4::emit(
-            &mut f[14..],
-            &Ipv4Emit {
-                src: sip,
-                dst: dip,
-                protocol: ipv4::PROTO_TCP,
-                total_len: ip_total as u16,
-                ttl: 64,
-                ident: 42,
-            },
-        )
-        .unwrap();
-        tcp::emit(
-            &mut f[34..],
-            &TcpEmit {
-                sport,
-                dport,
-                ..TcpEmit::default()
-            },
-        )
-        .unwrap();
-        f[54..].copy_from_slice(payload);
-        tcp::fill_checksum(&mut f[34..], sip, dip);
-        let mut p = Packet::from_bytes(&f).unwrap();
-        p.parse().unwrap();
-        p
-    }
-
-    /// Build a valid Ethernet/IPv4/UDP frame for tests.
-    pub fn udp_packet(
-        sip: Ipv4Addr,
-        dip: Ipv4Addr,
-        sport: u16,
-        dport: u16,
-        payload: &[u8],
-    ) -> Packet {
-        let ip_total = 20 + 8 + payload.len();
-        let mut f = vec![0u8; 14 + ip_total];
-        ether::emit(
-            &mut f,
-            MacAddr([2, 0, 0, 0, 0, 2]),
-            MacAddr([2, 0, 0, 0, 0, 1]),
-            ether::ETHERTYPE_IPV4,
-        )
-        .unwrap();
-        ipv4::emit(
-            &mut f[14..],
-            &Ipv4Emit {
-                src: sip,
-                dst: dip,
-                protocol: ipv4::PROTO_UDP,
-                total_len: ip_total as u16,
-                ttl: 64,
-                ident: 43,
-            },
-        )
-        .unwrap();
-        udp::emit(&mut f[34..], sport, dport, (8 + payload.len()) as u16).unwrap();
-        f[42..].copy_from_slice(payload);
-        udp::fill_checksum(&mut f[34..], sip, dip);
-        let mut p = Packet::from_bytes(&f).unwrap();
-        p.parse().unwrap();
-        p
-    }
-
-    /// Shorthand IPv4 address.
-    pub fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
-        Ipv4Addr::new(a, b, c, d)
-    }
+    //! Test-frame builders, delegating to the workspace-shared
+    //! [`nfp_packet::testutil`] emitters.
+    pub use nfp_packet::testutil::{ip, tcp_packet, udp_packet};
 }
 
 #[cfg(test)]

@@ -58,5 +58,5 @@ pub use census::{census, CensusReport};
 pub use compile::{compile, CompileError, CompileOptions, CompileWarning, Compiled};
 pub use deps::{DependencyTable, Parallelism};
 pub use graph::{NodeId, ParallelGroup, Segment, ServiceGraph};
-pub use program::{Program, ProgramError, Stage, WiringPlan};
+pub use program::{Program, ProgramError, ProgramUpdate, Stage, UpdateRejection, WiringPlan};
 pub use table2::Registry;

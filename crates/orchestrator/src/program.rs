@@ -118,6 +118,28 @@ impl WiringPlan {
         }
     }
 
+    /// True when `self` and `other` describe the same ring mesh: the same
+    /// stage set with the same edges, compared as sets (edge order within a
+    /// stage's target list is an artifact of table iteration, not
+    /// topology). Engines instantiate rings from the topology once at
+    /// startup, so only a topology-identical program can be hot-swapped
+    /// into a running engine.
+    pub fn same_topology(&self, other: &WiringPlan) -> bool {
+        fn same_edge_set(a: &[Stage], b: &[Stage]) -> bool {
+            // Target lists are deduplicated at construction, so set
+            // equality is length + containment.
+            a.len() == b.len() && a.iter().all(|s| b.contains(s))
+        }
+        same_edge_set(&self.classifier, &other.classifier)
+            && self.nfs.len() == other.nfs.len()
+            && self
+                .nfs
+                .iter()
+                .zip(&other.nfs)
+                .all(|(a, b)| same_edge_set(a, b))
+            && same_edge_set(&self.agent_next, &other.agent_next)
+    }
+
     /// The stages `from` delivers packet messages to, given `mergers`
     /// instances behind the agent. (Merger→agent *outcome* rings are typed
     /// separately and are not part of this mesh.)
@@ -270,6 +292,14 @@ pub struct Program {
     /// Worst-case pool slots one in-flight packet can occupy (original +
     /// fan-out copies + transient nil packets from drop-capable members).
     slots_per_packet: usize,
+    /// Monotonically increasing program version. Freshly sealed programs
+    /// start at epoch 0; the orchestrator stamps successors via
+    /// [`Program::with_epoch`] and engines track which epoch classified
+    /// each in-flight packet during a live swap.
+    epoch: u64,
+    /// NF type names by `NodeId` — the identity the compatibility check
+    /// compares (a hot swap must keep the same NF at every position).
+    nf_names: Arc<[String]>,
 }
 
 impl Program {
@@ -291,12 +321,38 @@ impl Program {
         let wiring = WiringPlan::from_tables(&tables);
         let writes = graph.nodes.iter().map(|n| n.profile.write_mask()).collect();
         let slots_per_packet = slots_per_packet(graph);
+        let nf_names = graph
+            .nodes
+            .iter()
+            .map(|n| n.name.as_str().to_owned())
+            .collect();
         Ok(Program {
             tables: Arc::new(tables),
             wiring,
             writes,
             slots_per_packet,
+            epoch: 0,
+            nf_names,
         })
+    }
+
+    /// This program's version id. Fresh seals are epoch 0.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The same program stamped with a new epoch id — how the orchestrator
+    /// versions a recompiled program before offering it to a running
+    /// engine. Epochs must increase monotonically per engine; the diff
+    /// check rejects anything else.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// NF type names by graph position (the identity a hot swap preserves).
+    pub fn nf_names(&self) -> &[String] {
+        &self.nf_names
     }
 
     /// The sealed tables (shared with classifiers and engine stages).
@@ -329,6 +385,181 @@ impl Program {
     /// closed loop can wedge on pool exhaustion.
     pub fn slots_per_packet(&self) -> usize {
         self.slots_per_packet
+    }
+}
+
+/// Why a candidate program cannot hot-swap over a running one. Every
+/// variant means the caller must cold-restart the engine (tear down rings
+/// and threads, rebuild from the new program) instead of reconfiguring it
+/// live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateRejection {
+    /// The candidate's epoch does not advance the running epoch — either a
+    /// replay of the current program or an out-of-order update.
+    StaleEpoch {
+        /// Epoch of the running program.
+        current: u64,
+        /// Epoch the candidate carries.
+        offered: u64,
+    },
+    /// The candidate serves a different match ID; in-flight packets are
+    /// stamped with the running MID and could never resolve against it.
+    MidChanged {
+        /// Running program's MID.
+        current: u32,
+        /// Candidate's MID.
+        offered: u32,
+    },
+    /// The candidate has a different number of NF positions — the engine's
+    /// NF threads and rings cannot be re-counted live.
+    NfCountChanged {
+        /// Running NF count.
+        current: usize,
+        /// Candidate NF count.
+        offered: usize,
+    },
+    /// A graph position is occupied by a different NF type — the engine
+    /// would need to construct new NF state mid-stream.
+    NfReplaced {
+        /// The position that changed.
+        node: usize,
+        /// NF type running there.
+        current: String,
+        /// NF type the candidate wants there.
+        offered: String,
+    },
+    /// The candidate's ring topology differs from the mesh the engine
+    /// instantiated at startup.
+    TopologyChanged,
+    /// The candidate needs more pool slots per in-flight packet than the
+    /// running program was provisioned for; admitting under it could wedge
+    /// the pool.
+    FootprintGrew {
+        /// Slots per packet the running engine provisioned.
+        current: usize,
+        /// Slots per packet the candidate requires.
+        offered: usize,
+    },
+}
+
+impl core::fmt::Display for UpdateRejection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            UpdateRejection::StaleEpoch { current, offered } => {
+                write!(f, "stale epoch {offered} (running epoch {current})")
+            }
+            UpdateRejection::MidChanged { current, offered } => {
+                write!(f, "MID changed {current} -> {offered}")
+            }
+            UpdateRejection::NfCountChanged { current, offered } => {
+                write!(f, "NF count changed {current} -> {offered}")
+            }
+            UpdateRejection::NfReplaced {
+                node,
+                current,
+                offered,
+            } => write!(f, "NF at position {node} replaced: {current} -> {offered}"),
+            UpdateRejection::TopologyChanged => write!(f, "ring topology changed"),
+            UpdateRejection::FootprintGrew { current, offered } => write!(
+                f,
+                "pool footprint grew: {current} -> {offered} slots per packet"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpdateRejection {}
+
+/// The orchestrator-side diff between a running program and a candidate:
+/// proof that the candidate is hot-swappable plus a summary of what
+/// actually changed (for operators and for engines deciding whether the
+/// swap is a no-op).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramUpdate {
+    /// Epoch of the running program.
+    pub from_epoch: u64,
+    /// Epoch of the candidate.
+    pub to_epoch: u64,
+    /// The classifier's entry actions changed.
+    pub entry_actions_changed: bool,
+    /// Graph positions whose runtime config (forwarding actions, access
+    /// mode, drop/failure policy) changed.
+    pub nfs_changed: Vec<usize>,
+    /// Any merge spec (membership, priorities, merge ops, next hops)
+    /// changed.
+    pub merge_specs_changed: bool,
+    /// Any per-position write mask changed.
+    pub writes_changed: bool,
+}
+
+impl ProgramUpdate {
+    /// Check whether `new` can replace `old` in a running engine. Returns
+    /// the diff when the swap is safe (same MID, same NF set, same ring
+    /// topology, no pool-footprint growth, strictly advancing epoch);
+    /// otherwise the structured reason a cold restart is required.
+    pub fn diff(old: &Program, new: &Program) -> Result<ProgramUpdate, UpdateRejection> {
+        if new.epoch() <= old.epoch() {
+            return Err(UpdateRejection::StaleEpoch {
+                current: old.epoch(),
+                offered: new.epoch(),
+            });
+        }
+        if new.mid() != old.mid() {
+            return Err(UpdateRejection::MidChanged {
+                current: old.mid(),
+                offered: new.mid(),
+            });
+        }
+        if new.nf_count() != old.nf_count() {
+            return Err(UpdateRejection::NfCountChanged {
+                current: old.nf_count(),
+                offered: new.nf_count(),
+            });
+        }
+        for (node, (a, b)) in old.nf_names().iter().zip(new.nf_names()).enumerate() {
+            if a != b {
+                return Err(UpdateRejection::NfReplaced {
+                    node,
+                    current: a.clone(),
+                    offered: b.clone(),
+                });
+            }
+        }
+        if !old.wiring().same_topology(new.wiring()) {
+            return Err(UpdateRejection::TopologyChanged);
+        }
+        if new.slots_per_packet() > old.slots_per_packet() {
+            return Err(UpdateRejection::FootprintGrew {
+                current: old.slots_per_packet(),
+                offered: new.slots_per_packet(),
+            });
+        }
+        let ot = old.tables();
+        let nt = new.tables();
+        Ok(ProgramUpdate {
+            from_epoch: old.epoch(),
+            to_epoch: new.epoch(),
+            entry_actions_changed: ot.entry_actions != nt.entry_actions,
+            nfs_changed: ot
+                .nf_configs
+                .iter()
+                .zip(&nt.nf_configs)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect(),
+            merge_specs_changed: ot.merge_specs != nt.merge_specs,
+            writes_changed: old.writes != new.writes,
+        })
+    }
+
+    /// True when the candidate is byte-identical policy-wise — swapping to
+    /// it only advances the epoch.
+    pub fn is_noop(&self) -> bool {
+        !self.entry_actions_changed
+            && self.nfs_changed.is_empty()
+            && !self.merge_specs_changed
+            && !self.writes_changed
     }
 }
 
@@ -602,5 +833,126 @@ mod tests {
         let g = graph(&["Monitor", "LoadBalancer"]); // one header-only copy
         let p = Program::compile(&g, 1).unwrap();
         assert_eq!(p.slots_per_packet(), 2);
+    }
+
+    /// Same chain compiled against a registry whose Firewall profile pins
+    /// the opposite failure policy — the canonical "policy edit" that must
+    /// hot-swap.
+    fn policy_edit(chain: &[&str], mid: u32) -> Program {
+        let mut reg = Registry::paper_table2();
+        let mut fw = reg.get("Firewall").unwrap().clone();
+        fw.failure = Some(crate::action::FailurePolicy::FailOpen);
+        reg.register(fw);
+        let g = compile(
+            &Policy::from_chain(chain.iter().copied()),
+            &reg,
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap()
+        .graph;
+        Program::compile(&g, mid).unwrap()
+    }
+
+    #[test]
+    fn policy_edit_is_hot_swappable() {
+        let old = Program::compile(&graph(&["Monitor", "Firewall"]), 1).unwrap();
+        let new = policy_edit(&["Monitor", "Firewall"], 1).with_epoch(1);
+        let upd = ProgramUpdate::diff(&old, &new).unwrap();
+        assert_eq!(upd.from_epoch, 0);
+        assert_eq!(upd.to_epoch, 1);
+        assert!(!upd.is_noop());
+        let fw = graph(&["Monitor", "Firewall"])
+            .node_by_name("Firewall")
+            .unwrap();
+        assert_eq!(upd.nfs_changed, vec![fw]);
+        assert!(!upd.entry_actions_changed);
+    }
+
+    #[test]
+    fn identical_recompile_is_noop_update() {
+        let old = Program::compile(&graph(&["Monitor", "Firewall"]), 1).unwrap();
+        let new = Program::compile(&graph(&["Monitor", "Firewall"]), 1)
+            .unwrap()
+            .with_epoch(7);
+        let upd = ProgramUpdate::diff(&old, &new).unwrap();
+        assert!(upd.is_noop());
+        assert_eq!(upd.to_epoch, 7);
+    }
+
+    #[test]
+    fn stale_epoch_rejected() {
+        let old = Program::compile(&graph(&["Monitor", "Firewall"]), 1)
+            .unwrap()
+            .with_epoch(3);
+        let new = Program::compile(&graph(&["Monitor", "Firewall"]), 1)
+            .unwrap()
+            .with_epoch(3);
+        assert_eq!(
+            ProgramUpdate::diff(&old, &new).unwrap_err(),
+            UpdateRejection::StaleEpoch {
+                current: 3,
+                offered: 3
+            }
+        );
+    }
+
+    #[test]
+    fn nf_set_changes_need_cold_restart() {
+        let old = Program::compile(&graph(&["Monitor", "Firewall"]), 1).unwrap();
+        // Different NF at position: replaced type.
+        let swapped = Program::compile(&graph(&["Monitor", "NAT"]), 1)
+            .unwrap()
+            .with_epoch(1);
+        assert!(matches!(
+            ProgramUpdate::diff(&old, &swapped).unwrap_err(),
+            UpdateRejection::NfReplaced { node: _, .. }
+        ));
+        // Different NF count.
+        let grown = Program::compile(&graph(&["Monitor", "Firewall", "NAT"]), 1)
+            .unwrap()
+            .with_epoch(1);
+        assert_eq!(
+            ProgramUpdate::diff(&old, &grown).unwrap_err(),
+            UpdateRejection::NfCountChanged {
+                current: 2,
+                offered: 3
+            }
+        );
+        // Different MID.
+        let other_mid = Program::compile(&graph(&["Monitor", "Firewall"]), 2)
+            .unwrap()
+            .with_epoch(1);
+        assert!(matches!(
+            ProgramUpdate::diff(&old, &other_mid).unwrap_err(),
+            UpdateRejection::MidChanged {
+                current: 1,
+                offered: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn topology_change_needs_cold_restart() {
+        // Monitor ∥ Firewall runs parallel (agent + merger edges); forcing
+        // a strict order compiles to a sequential chain — same NF set,
+        // different ring mesh.
+        let old = Program::compile(&graph(&["Monitor", "Firewall"]), 1).unwrap();
+        let sequential = compile(
+            &Policy::from_chain(["Monitor", "Firewall"]),
+            &Registry::paper_table2(),
+            &[],
+            &CompileOptions {
+                force_sequential: true,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap()
+        .graph;
+        let new = Program::compile(&sequential, 1).unwrap().with_epoch(1);
+        assert_eq!(
+            ProgramUpdate::diff(&old, &new).unwrap_err(),
+            UpdateRejection::TopologyChanged
+        );
     }
 }

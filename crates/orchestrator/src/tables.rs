@@ -85,7 +85,7 @@ pub struct MemberSpec {
 
 /// Merge specification for one parallel segment — the Classification
 /// Table's "Total Count" and "MOs" columns plus drop resolution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MergeSpec {
     /// Which parallel segment this spec serves.
     pub segment: usize,
@@ -131,7 +131,7 @@ pub enum DropBehavior {
 
 /// Per-NF runtime configuration — the slice of the global tables the
 /// chaining manager installs into one NF runtime.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NfConfig {
     /// Forwarding actions after the NF processes a packet.
     pub actions: Vec<FtAction>,
@@ -146,7 +146,7 @@ pub struct NfConfig {
 
 /// The complete table set for one service graph (one Classification Table
 /// entry plus the global forwarding table, pre-split per NF).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphTables {
     /// Match ID identifying this graph in packet metadata.
     pub mid: u32,

@@ -38,6 +38,8 @@ pub mod meta;
 pub mod packet;
 pub mod pool;
 pub mod tcp;
+#[cfg(any(test, feature = "test-util"))]
+pub mod testutil;
 pub mod udp;
 
 pub use field::{FieldId, FieldMask};
@@ -72,6 +74,10 @@ pub enum PacketError {
     /// The requested field does not exist in this packet (e.g. TCP ports on
     /// an ICMP packet).
     FieldUnavailable(field::FieldId),
+    /// The shared packet pool has no free slot for the requested
+    /// allocation; the caller decides whether to retry (backpressure) or
+    /// drop.
+    PoolExhausted,
 }
 
 impl core::fmt::Display for PacketError {
@@ -91,6 +97,7 @@ impl core::fmt::Display for PacketError {
                 "insufficient buffer capacity: requested {requested}, capacity {capacity}"
             ),
             PacketError::FieldUnavailable(id) => write!(f, "field {id:?} unavailable"),
+            PacketError::PoolExhausted => write!(f, "packet pool exhausted"),
         }
     }
 }

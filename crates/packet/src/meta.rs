@@ -11,6 +11,16 @@
 //! * **PID** identifies the packet within its flow so the merger can collect
 //!   all copies of the same packet.
 //! * **version** distinguishes copies of one packet (`v1` is the original).
+//!
+//! Besides the wire word, [`Metadata`] carries a host-side **epoch** sidecar:
+//! the id of the [`Program`](../../nfp_orchestrator) snapshot whose tables
+//! classified the packet. During a live reconfiguration two program epochs
+//! coexist, and every stage resolves its table lookups against the epoch
+//! stamped here, so a packet is classified, forwarded and merged under
+//! exactly one program version. The epoch never crosses the wire — the
+//! paper's 64-bit word stays exactly as Figure 5 specifies — so
+//! [`Metadata::to_raw`]/[`Metadata::from_raw`] cover only the packed word
+//! and a round trip resets the epoch to 0.
 
 /// Number of bits in the match ID.
 pub const MID_BITS: u32 = 20;
@@ -26,13 +36,16 @@ pub const PID_MAX: u64 = (1 << PID_BITS) - 1;
 /// Maximum representable version.
 pub const VERSION_MAX: u8 = (1 << VERSION_BITS) - 1;
 
-/// The packed 64-bit NFP metadata word.
+/// The packed 64-bit NFP metadata word plus the host-side epoch sidecar.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct Metadata(u64);
+pub struct Metadata {
+    word: u64,
+    epoch: u64,
+}
 
 impl Metadata {
-    /// Pack a metadata word. Values are masked to their field widths in
-    /// release builds and asserted in debug builds.
+    /// Pack a metadata word (epoch 0). Values are masked to their field
+    /// widths in release builds and asserted in debug builds.
     pub fn new(mid: u32, pid: u64, version: u8) -> Self {
         debug_assert!(mid <= MID_MAX, "MID overflows 20 bits");
         debug_assert!(pid <= PID_MAX, "PID overflows 40 bits");
@@ -40,40 +53,62 @@ impl Metadata {
         let mid = u64::from(mid & MID_MAX);
         let pid = pid & PID_MAX;
         let version = u64::from(version & VERSION_MAX);
-        Self((mid << (PID_BITS + VERSION_BITS)) | (pid << VERSION_BITS) | version)
+        Self {
+            word: (mid << (PID_BITS + VERSION_BITS)) | (pid << VERSION_BITS) | version,
+            epoch: 0,
+        }
     }
 
     /// The match ID: which service graph this packet follows.
     pub fn mid(self) -> u32 {
-        ((self.0 >> (PID_BITS + VERSION_BITS)) & u64::from(MID_MAX)) as u32
+        ((self.word >> (PID_BITS + VERSION_BITS)) & u64::from(MID_MAX)) as u32
     }
 
     /// The packet ID: immutable per-packet identity used by the merger and
     /// by the merger agent's load-balancing hash.
     pub fn pid(self) -> u64 {
-        (self.0 >> VERSION_BITS) & PID_MAX
+        (self.word >> VERSION_BITS) & PID_MAX
     }
 
     /// The copy version (v1 = original).
     pub fn version(self) -> u8 {
-        (self.0 & u64::from(VERSION_MAX)) as u8
+        (self.word & u64::from(VERSION_MAX)) as u8
+    }
+
+    /// The program epoch whose tables classified this packet (host-side
+    /// sidecar; 0 until the classifier stamps it).
+    pub fn epoch(self) -> u64 {
+        self.epoch
+    }
+
+    /// Same metadata tagged with the given program epoch — used by the
+    /// classifier when admitting a packet under the current program
+    /// snapshot.
+    pub fn with_epoch(self, epoch: u64) -> Self {
+        Self { epoch, ..self }
     }
 
     /// Same metadata with a different version — used when the runtime
-    /// executes a `copy(v1, v2)` action.
+    /// executes a `copy(v1, v2)` action. The epoch is preserved: copies of
+    /// a packet always belong to the epoch that admitted the original.
     pub fn with_version(self, version: u8) -> Self {
-        Self::new(self.mid(), self.pid(), version)
+        Self::new(self.mid(), self.pid(), version).with_epoch(self.epoch)
     }
 
     /// The raw 64-bit representation (what would sit in front of the packet
-    /// buffer on the wire between NFP modules).
+    /// buffer on the wire between NFP modules). The epoch sidecar is not
+    /// part of the wire word.
     pub fn to_raw(self) -> u64 {
-        self.0
+        self.word
     }
 
-    /// Rebuild from the raw representation.
+    /// Rebuild from the raw representation (epoch resets to 0: the epoch is
+    /// a host-side tag, never serialized).
     pub fn from_raw(raw: u64) -> Self {
-        Self(raw)
+        Self {
+            word: raw,
+            epoch: 0,
+        }
     }
 }
 
@@ -88,7 +123,11 @@ impl core::fmt::Display for Metadata {
             self.mid(),
             self.pid(),
             self.version()
-        )
+        )?;
+        if self.epoch != 0 {
+            write!(f, " e{}", self.epoch)?;
+        }
+        Ok(())
     }
 }
 
@@ -133,8 +172,22 @@ mod tests {
     }
 
     #[test]
+    fn epoch_rides_along_and_survives_reversioning() {
+        let m = Metadata::new(3, 9, VERSION_ORIGINAL).with_epoch(5);
+        assert_eq!(m.epoch(), 5);
+        // Copies inherit the admitting epoch.
+        let copy = m.with_version(2);
+        assert_eq!(copy.epoch(), 5);
+        assert_eq!(copy.version(), 2);
+        // The wire word is epoch-free: a raw round trip resets it.
+        assert_eq!(Metadata::from_raw(m.to_raw()).epoch(), 0);
+        assert_eq!(m.to_raw(), Metadata::new(3, 9, VERSION_ORIGINAL).to_raw());
+    }
+
+    #[test]
     fn display_is_informative() {
         let m = Metadata::new(3, 42, 1);
         assert_eq!(m.to_string(), "mid=3 pid=42 v1");
+        assert_eq!(m.with_epoch(2).to_string(), "mid=3 pid=42 v1 e2");
     }
 }

@@ -544,47 +544,17 @@ impl Packet {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use crate::ipv4::Ipv4Emit;
-    use crate::tcp::TcpEmit;
 
-    /// Build a valid Ethernet/IPv4/TCP frame with `payload_len` bytes.
+    /// Build a valid Ethernet/IPv4/TCP frame with `payload_len` bytes
+    /// (delegates to the shared [`crate::testutil`] builders).
     pub(crate) fn tcp_frame(payload_len: usize) -> Vec<u8> {
-        let ip_total = 20 + 20 + payload_len;
-        let mut f = vec![0u8; 14 + ip_total];
-        ether::emit(
-            &mut f,
-            MacAddr([2, 0, 0, 0, 0, 2]),
-            MacAddr([2, 0, 0, 0, 0, 1]),
-            ether::ETHERTYPE_IPV4,
+        crate::testutil::tcp_frame_bytes(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1234,
+            80,
+            &crate::testutil::patterned_payload(payload_len),
         )
-        .unwrap();
-        ipv4::emit(
-            &mut f[14..],
-            &Ipv4Emit {
-                src: Ipv4Addr::new(10, 0, 0, 1),
-                dst: Ipv4Addr::new(10, 0, 0, 2),
-                protocol: ipv4::PROTO_TCP,
-                total_len: ip_total as u16,
-                ttl: 64,
-                ident: 1,
-            },
-        )
-        .unwrap();
-        tcp::emit(
-            &mut f[34..],
-            &TcpEmit {
-                sport: 1234,
-                dport: 80,
-                ..TcpEmit::default()
-            },
-        )
-        .unwrap();
-        for (i, b) in f[54..].iter_mut().enumerate() {
-            *b = (i % 251) as u8;
-        }
-        let (sip, dip) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
-        tcp::fill_checksum(&mut f[34..], sip, dip);
-        f
     }
 
     #[test]

@@ -288,28 +288,19 @@ impl PacketPool {
     }
 
     /// Allocate a **header-only copy** (paper OP#2) of `r`, tagged with
-    /// `version`. Returns `None` on pool exhaustion.
-    pub fn header_only_copy(&self, r: PacketRef, version: u8) -> Option<Result<PacketRef>> {
-        let copied = self.with(r, |p| p.header_only_copy(version));
-        match copied {
-            Ok(c) => match self.insert(c) {
-                Ok(nr) => Some(Ok(nr)),
-                Err(_) => None,
-            },
-            Err(e) => Some(Err(e)),
-        }
+    /// `version`. Fails with [`PacketError::PoolExhausted`] when no free
+    /// slot is available — the caller decides between backpressure and
+    /// dropping.
+    pub fn header_only_copy(&self, r: PacketRef, version: u8) -> Result<PacketRef> {
+        let copied = self.with(r, |p| p.header_only_copy(version))?;
+        self.insert(copied).map_err(|_| PacketError::PoolExhausted)
     }
 
-    /// Allocate a full copy of `r`, tagged with `version`.
-    pub fn full_copy(&self, r: PacketRef, version: u8) -> Option<Result<PacketRef>> {
-        let copied = self.with(r, |p| p.full_copy(version));
-        match copied {
-            Ok(c) => match self.insert(c) {
-                Ok(nr) => Some(Ok(nr)),
-                Err(_) => None,
-            },
-            Err(e) => Some(Err(e)),
-        }
+    /// Allocate a full copy of `r`, tagged with `version`. Fails with
+    /// [`PacketError::PoolExhausted`] when no free slot is available.
+    pub fn full_copy(&self, r: PacketRef, version: u8) -> Result<PacketRef> {
+        let copied = self.with(r, |p| p.full_copy(version))?;
+        self.insert(copied).map_err(|_| PacketError::PoolExhausted)
     }
 }
 
@@ -401,7 +392,7 @@ mod tests {
     fn header_only_copy_through_pool() {
         let pool = PacketPool::new(2);
         let r = pool.insert(tcp_packet()).unwrap();
-        let c = pool.header_only_copy(r, 2).unwrap().unwrap();
+        let c = pool.header_only_copy(r, 2).unwrap();
         pool.with(c, |p| {
             assert!(p.is_header_only());
             assert_eq!(p.meta().version(), 2);
@@ -411,10 +402,10 @@ mod tests {
     }
 
     #[test]
-    fn copy_on_exhausted_pool_returns_none() {
+    fn copy_on_exhausted_pool_reports_exhaustion() {
         let pool = PacketPool::new(1);
         let r = pool.insert(tcp_packet()).unwrap();
-        assert!(pool.full_copy(r, 2).is_none());
+        assert_eq!(pool.full_copy(r, 2), Err(PacketError::PoolExhausted));
         pool.release(r);
     }
 

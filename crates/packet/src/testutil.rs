@@ -1,0 +1,150 @@
+//! Shared test-frame builders (feature `test-util`).
+//!
+//! Every crate in the workspace needs valid Ethernet/IPv4/TCP-or-UDP frames
+//! for its tests; this module is the single hand-rolled emitter they all
+//! delegate to, so a header-layout change is made in exactly one place.
+//! It is compiled only for this crate's own tests or when a dependent
+//! enables the `test-util` feature (test harnesses and the traffic
+//! generator do; datapath crates never should).
+
+use crate::ether::{self, MacAddr};
+use crate::ipv4::{self, Ipv4Addr, Ipv4Emit};
+use crate::tcp::{self, TcpEmit};
+use crate::udp;
+use crate::Packet;
+
+/// Ethernet + IPv4 + TCP header bytes in the frames built here.
+pub const TCP_HEADERS_LEN: usize = 14 + 20 + 20;
+/// Ethernet + IPv4 + UDP header bytes in the frames built here.
+pub const UDP_HEADERS_LEN: usize = 14 + 20 + 8;
+
+/// A deterministic payload pattern of `len` bytes (the classic mod-251
+/// ramp), for tests that only care about payload length.
+pub fn patterned_payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i % 251) as u8).collect()
+}
+
+/// Build a checksum-valid Ethernet/IPv4/TCP frame as raw bytes.
+pub fn tcp_frame_bytes(
+    sip: Ipv4Addr,
+    dip: Ipv4Addr,
+    sport: u16,
+    dport: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let ip_total = 20 + 20 + payload.len();
+    let mut f = vec![0u8; 14 + ip_total];
+    ether::emit(
+        &mut f,
+        MacAddr([0x02, 0, 0, 0, 0, 0x02]),
+        MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+        ether::ETHERTYPE_IPV4,
+    )
+    .expect("frame fits");
+    ipv4::emit(
+        &mut f[14..],
+        &Ipv4Emit {
+            src: sip,
+            dst: dip,
+            protocol: ipv4::PROTO_TCP,
+            total_len: ip_total as u16,
+            ttl: 64,
+            ident: 0,
+        },
+    )
+    .expect("ip fits");
+    tcp::emit(
+        &mut f[34..],
+        &TcpEmit {
+            sport,
+            dport,
+            ..TcpEmit::default()
+        },
+    )
+    .expect("tcp fits");
+    f[TCP_HEADERS_LEN..].copy_from_slice(payload);
+    tcp::fill_checksum(&mut f[34..], sip, dip);
+    f
+}
+
+/// Build a checksum-valid Ethernet/IPv4/UDP frame as raw bytes.
+pub fn udp_frame_bytes(
+    sip: Ipv4Addr,
+    dip: Ipv4Addr,
+    sport: u16,
+    dport: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let ip_total = 20 + 8 + payload.len();
+    let mut f = vec![0u8; 14 + ip_total];
+    ether::emit(
+        &mut f,
+        MacAddr([0x02, 0, 0, 0, 0, 0x02]),
+        MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+        ether::ETHERTYPE_IPV4,
+    )
+    .expect("frame fits");
+    ipv4::emit(
+        &mut f[14..],
+        &Ipv4Emit {
+            src: sip,
+            dst: dip,
+            protocol: ipv4::PROTO_UDP,
+            total_len: ip_total as u16,
+            ttl: 64,
+            ident: 0,
+        },
+    )
+    .expect("ip fits");
+    udp::emit(&mut f[34..], sport, dport, (8 + payload.len()) as u16).expect("udp fits");
+    f[UDP_HEADERS_LEN..].copy_from_slice(payload);
+    udp::fill_checksum(&mut f[34..], sip, dip);
+    f
+}
+
+/// Shorthand IPv4 address.
+pub fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+    Ipv4Addr::new(a, b, c, d)
+}
+
+/// Build a parsed TCP [`Packet`] (valid checksums, layers resolved).
+pub fn tcp_packet(sip: Ipv4Addr, dip: Ipv4Addr, sport: u16, dport: u16, payload: &[u8]) -> Packet {
+    let mut p =
+        Packet::from_bytes(&tcp_frame_bytes(sip, dip, sport, dport, payload)).expect("frame fits");
+    p.parse().expect("self-built frame parses");
+    p
+}
+
+/// Build a parsed UDP [`Packet`].
+pub fn udp_packet(sip: Ipv4Addr, dip: Ipv4Addr, sport: u16, dport: u16, payload: &[u8]) -> Packet {
+    let mut p =
+        Packet::from_bytes(&udp_frame_bytes(sip, dip, sport, dport, payload)).expect("frame fits");
+    p.parse().expect("self-built frame parses");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_frames_parse_with_expected_layout() {
+        let p = tcp_packet(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1234,
+            80,
+            &patterned_payload(32),
+        );
+        assert_eq!(p.payload().unwrap().len(), 32);
+        assert_eq!(p.dport().unwrap(), 80);
+        let u = udp_packet(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            53,
+            53,
+            b"hello",
+        );
+        assert_eq!(u.payload().unwrap(), b"hello");
+    }
+}

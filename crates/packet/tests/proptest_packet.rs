@@ -3,10 +3,9 @@
 //! metadata packing over arbitrary inputs.
 
 use nfp_packet::checksum::checksum;
-use nfp_packet::ether::{self, MacAddr};
-use nfp_packet::ipv4::{self, Ipv4Addr, Ipv4Emit};
+use nfp_packet::ipv4::{self, Ipv4Addr};
 use nfp_packet::meta::{Metadata, MID_MAX, PID_MAX, VERSION_MAX};
-use nfp_packet::tcp::{self, TcpEmit};
+use nfp_packet::tcp;
 use nfp_packet::{FieldId, FieldMask, Packet};
 use proptest::prelude::*;
 
@@ -19,43 +18,13 @@ fn frame_strategy() -> impl Strategy<Value = Vec<u8>> {
         proptest::collection::vec(any::<u8>(), 0..1200),
     )
         .prop_map(|(sip, dip, sport, dport, payload)| {
-            let ip_total = 40 + payload.len();
-            let mut f = vec![0u8; 14 + ip_total];
-            ether::emit(
-                &mut f,
-                MacAddr([2, 0, 0, 0, 0, 2]),
-                MacAddr([2, 0, 0, 0, 0, 1]),
-                ether::ETHERTYPE_IPV4,
-            )
-            .unwrap();
-            ipv4::emit(
-                &mut f[14..],
-                &Ipv4Emit {
-                    src: Ipv4Addr::from_u32(sip),
-                    dst: Ipv4Addr::from_u32(dip),
-                    protocol: ipv4::PROTO_TCP,
-                    total_len: ip_total as u16,
-                    ttl: 64,
-                    ident: 7,
-                },
-            )
-            .unwrap();
-            tcp::emit(
-                &mut f[34..],
-                &TcpEmit {
-                    sport,
-                    dport,
-                    ..TcpEmit::default()
-                },
-            )
-            .unwrap();
-            f[54..].copy_from_slice(&payload);
-            tcp::fill_checksum(
-                &mut f[34..],
+            nfp_packet::testutil::tcp_frame_bytes(
                 Ipv4Addr::from_u32(sip),
                 Ipv4Addr::from_u32(dip),
-            );
-            f
+                sport,
+                dport,
+                &payload,
+            )
         })
 }
 

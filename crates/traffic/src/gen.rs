@@ -1,9 +1,7 @@
 //! Flow-structured packet synthesis.
 
 use crate::sizes::SizeDistribution;
-use nfp_packet::ether::{self, MacAddr};
-use nfp_packet::ipv4::{self, Ipv4Addr, Ipv4Emit};
-use nfp_packet::tcp::{self, TcpEmit};
+use nfp_packet::ipv4::Ipv4Addr;
 use nfp_packet::Packet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -105,7 +103,8 @@ impl TrafficGenerator {
     }
 }
 
-/// Build a complete, checksum-valid Ethernet/IPv4/TCP frame.
+/// Build a complete, checksum-valid Ethernet/IPv4/TCP frame (delegates to
+/// the workspace-shared [`nfp_packet::testutil`] emitter).
 pub fn build_tcp_frame(
     sip: Ipv4Addr,
     dip: Ipv4Addr,
@@ -113,41 +112,7 @@ pub fn build_tcp_frame(
     dport: u16,
     payload: &[u8],
 ) -> Packet {
-    let ip_total = 20 + 20 + payload.len();
-    let mut f = vec![0u8; 14 + ip_total];
-    ether::emit(
-        &mut f,
-        MacAddr([0x02, 0, 0, 0, 0, 0x02]),
-        MacAddr([0x02, 0, 0, 0, 0, 0x01]),
-        ether::ETHERTYPE_IPV4,
-    )
-    .expect("frame fits");
-    ipv4::emit(
-        &mut f[14..],
-        &Ipv4Emit {
-            src: sip,
-            dst: dip,
-            protocol: ipv4::PROTO_TCP,
-            total_len: ip_total as u16,
-            ttl: 64,
-            ident: 0,
-        },
-    )
-    .expect("ip fits");
-    tcp::emit(
-        &mut f[34..],
-        &TcpEmit {
-            sport,
-            dport,
-            ..TcpEmit::default()
-        },
-    )
-    .expect("tcp fits");
-    f[54..].copy_from_slice(payload);
-    tcp::fill_checksum(&mut f[34..], sip, dip);
-    let mut p = Packet::from_bytes(&f).expect("frame within capacity");
-    p.parse().expect("self-built frame parses");
-    p
+    nfp_packet::testutil::tcp_packet(sip, dip, sport, dport, payload)
 }
 
 #[cfg(test)]

@@ -314,10 +314,7 @@ fn watchdog_fails_stalled_sequential_nf() {
 // packet exactly once, quiesces with an empty accumulating table, and
 // leaks nothing.
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn random_failures_never_leak_or_miscount(

@@ -84,10 +84,7 @@ fn packet_strategy() -> impl Strategy<Value = Packet> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 48 })]
 
     #[test]
     fn compiled_graphs_are_structurally_sound(chain in chain_strategy()) {

@@ -78,10 +78,7 @@ fn traffic(n: usize, flows: usize, deny_stride: usize, malicious: bool) -> Vec<P
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 256,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 256 })]
 
     #[test]
     fn sharded_engine_equals_per_shard_sync_reference(
