@@ -6,6 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nfp_bench::setups::{compile_chain, fixed_traffic};
 use nfp_dataplane::ring;
+use nfp_dataplane::telemetry::{LatencyHistogram, Telemetry, TelemetryConfig};
 use nfp_nf::aes::Aes128;
 use nfp_nf::aho::AhoCorasick;
 use nfp_nf::lpm::LpmTable;
@@ -115,6 +116,37 @@ fn bench_alg1(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    use nfp_orchestrator::Stage;
+    // The zero-sampling hot path: telemetry constructed but fully off.
+    // `clock` must not touch the monotonic clock and `record` must no-op —
+    // this is what every engine stage pays when telemetry is disabled.
+    let off = Telemetry::off();
+    c.bench_function("telemetry_disabled_clock_record", |b| {
+        b.iter(|| {
+            let t0 = black_box(&off).clock();
+            off.record(black_box(Stage::Classifier), t0);
+        })
+    });
+    // The enabled path: a real Instant::now pair plus one relaxed
+    // fetch_add chain into the log2 histogram.
+    let on = Telemetry::new(TelemetryConfig::default(), 2, 1);
+    c.bench_function("telemetry_histogram_clock_record", |b| {
+        b.iter(|| {
+            let t0 = black_box(&on).clock();
+            on.record(black_box(Stage::Classifier), t0);
+        })
+    });
+    let hist = LatencyHistogram::new();
+    c.bench_function("latency_histogram_record_ns", |b| {
+        let mut ns = 0u64;
+        b.iter(|| {
+            ns = ns.wrapping_add(977);
+            hist.record_ns(black_box(ns & 0xffff));
+        })
+    });
+}
+
 fn bench_compile(c: &mut Criterion) {
     c.bench_function("compile_north_south_chain", |b| {
         b.iter(|| black_box(compile_chain(&["VPN", "Monitor", "Firewall", "LB"])))
@@ -124,6 +156,6 @@ fn bench_compile(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_ring, bench_pool, bench_checksum, bench_lpm, bench_aho, bench_aes, bench_alg1, bench_compile
+    targets = bench_ring, bench_pool, bench_checksum, bench_lpm, bench_aho, bench_aes, bench_telemetry, bench_alg1, bench_compile
 }
 criterion_main!(micro);

@@ -16,6 +16,7 @@
 //! Usage: `cargo run --release --bin reconfig [packets]`
 
 use nfp_bench::setups::{fixed_traffic, make_nf};
+use nfp_bench::stage_latency_json;
 use nfp_dataplane::engine::{Engine, EngineConfig};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::{compile, CompileOptions, Compiled, FailurePolicy, Program, Registry};
@@ -187,7 +188,17 @@ fn main() {
         json,
         "  \"live_swap_us\": {{\"mean\": {live_mean:.2}, \"p50\": {live_p50:.2}, \"max\": {live_max:.2}}},"
     );
-    let _ = writeln!(json, "  \"final_epoch\": {}", stormed.epoch);
+    let _ = writeln!(json, "  \"final_epoch\": {},", stormed.epoch);
+    let _ = writeln!(
+        json,
+        "  \"baseline_stage_latency_ns\": {},",
+        stage_latency_json(&baseline.telemetry)
+    );
+    let _ = writeln!(
+        json,
+        "  \"storm_stage_latency_ns\": {}",
+        stage_latency_json(&stormed.telemetry)
+    );
     json.push_str("}\n");
 
     std::fs::create_dir_all("results").expect("results dir");

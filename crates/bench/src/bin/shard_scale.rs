@@ -13,6 +13,7 @@
 //! Usage: `cargo run --release --bin shard_scale [packets]`
 
 use nfp_bench::setups::{compile_chain, fixed_traffic, make_nf};
+use nfp_bench::stage_latency_json;
 use nfp_dataplane::engine::EngineConfig;
 use nfp_dataplane::shard::ShardedEngine;
 use nfp_nf::NetworkFunction;
@@ -25,6 +26,7 @@ struct Row {
     elapsed_s: f64,
     pps: f64,
     speedup: f64,
+    stage_latency: String,
 }
 
 fn main() {
@@ -88,6 +90,7 @@ fn main() {
             elapsed_s: report.elapsed.as_secs_f64(),
             pps,
             speedup,
+            stage_latency: stage_latency_json(&report.telemetry),
         });
     }
 
@@ -102,8 +105,9 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"shards\": {}, \"delivered\": {}, \"dropped\": {}, \
-             \"elapsed_s\": {:.6}, \"pps\": {:.1}, \"speedup_vs_1\": {:.3}}}{comma}",
-            r.shards, r.delivered, r.dropped, r.elapsed_s, r.pps, r.speedup
+             \"elapsed_s\": {:.6}, \"pps\": {:.1}, \"speedup_vs_1\": {:.3}, \
+             \"stage_latency_ns\": {}}}{comma}",
+            r.shards, r.delivered, r.dropped, r.elapsed_s, r.pps, r.speedup, r.stage_latency
         );
     }
     let _ = writeln!(json, "  ]");

@@ -19,6 +19,35 @@ pub mod table;
 
 pub use calibrate::Calibration;
 
+/// Render a [`nfp_dataplane::TelemetrySnapshot`]'s per-stage latency
+/// quantiles as a compact JSON object — `{"classifier": {"count": …,
+/// "p50_ns": …, "p99_ns": …}, …}` — for embedding in `BENCH_*.json`.
+/// Stages that recorded nothing are skipped.
+pub fn stage_latency_json(snap: &nfp_dataplane::TelemetrySnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    let mut first = true;
+    for st in &snap.stages {
+        if st.hist.count == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+            st.label,
+            st.hist.count,
+            st.hist.p50_ns(),
+            st.hist.p99_ns()
+        );
+    }
+    out.push('}');
+    out
+}
+
 /// 10GbE line rate in packets/second for a given frame size (8B preamble +
 /// 12B inter-frame gap per frame on the wire).
 pub fn line_rate_pps(frame_bytes: usize) -> f64 {

@@ -7,6 +7,10 @@
 //!             [--sequential]     …without parallelization (baseline)
 //!             [--no-dirty-reuse] …with OP#1 disabled
 //!             [--tables]         …and print the generated runtime tables
+//! nfp telemetry <policy-file>     run synthetic traffic through the graph
+//!             [--packets=N]      …N packets (default 1000)
+//!             [--trace-every=N]  …trace-sample every Nth packet (default 100)
+//!             [--prometheus]     …emit Prometheus text instead of JSON
 //! ```
 //!
 //! Policies use the paper's §3 syntax (see `examples/policy_playground.rs`);
@@ -42,6 +46,27 @@ fn main() -> ExitCode {
                 None => usage("compile needs a policy file"),
             }
         }
+        Some("telemetry") => {
+            let files: Vec<&str> = args[1..]
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .collect();
+            let flag = |name: &str, default: u64| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(name).and_then(|v| v.parse().ok()))
+                    .unwrap_or(default)
+            };
+            match files.first() {
+                Some(path) => cmd_telemetry(
+                    path,
+                    flag("--packets=", 1000),
+                    flag("--trace-every=", 100),
+                    args.iter().any(|a| a == "--prometheus"),
+                ),
+                None => usage("telemetry needs a policy file"),
+            }
+        }
         Some("--help") | Some("-h") | None => usage(""),
         Some(other) => usage(&format!("unknown command `{other}`")),
     }
@@ -53,7 +78,8 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage:\n  nfp census [--uniform]\n  nfp check <policy-file>\n  \
-         nfp compile <policy-file> [--sequential] [--no-dirty-reuse] [--tables]"
+         nfp compile <policy-file> [--sequential] [--no-dirty-reuse] [--tables]\n  \
+         nfp telemetry <policy-file> [--packets=N] [--trace-every=N] [--prometheus]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -107,6 +133,90 @@ fn cmd_check(path: &str) -> ExitCode {
         }
         ExitCode::from(1)
     }
+}
+
+/// Instantiate a concrete NF for a Table 2 type name (the same set the
+/// cross-crate property tests replay).
+fn instantiate(name: &str) -> Option<Box<dyn NetworkFunction>> {
+    use nfp_core::nf::extra;
+    use nfp_core::nf::*;
+    Some(match name {
+        "Monitor" => Box::new(monitor::Monitor::new(name)),
+        "Firewall" => Box::new(firewall::Firewall::with_synthetic_acl(name, 100)),
+        "LoadBalancer" => Box::new(lb::LoadBalancer::with_uniform_backends(name, 4)),
+        "IDS" | "NIDS" => Box::new(ids::Ids::with_synthetic_signatures(
+            name,
+            50,
+            ids::IdsMode::Inline,
+        )),
+        "VPN" => Box::new(vpn::Vpn::new(name, [1; 16], 5, vpn::VpnMode::Encapsulate)),
+        "Proxy" => Box::new(extra::Proxy::new(
+            name,
+            nfp_core::packet::ipv4::Ipv4Addr::new(10, 0, 0, 99),
+            nfp_core::packet::ipv4::Ipv4Addr::new(10, 50, 0, 1),
+        )),
+        "Compression" => Box::new(extra::Compression::new(
+            name,
+            extra::CompressionMode::Compress,
+        )),
+        "Gateway" => Box::new(extra::Gateway::new(name)),
+        "Caching" => Box::new(extra::Caching::new(name, 64)),
+        _ => return None,
+    })
+}
+
+fn cmd_telemetry(path: &str, packets: u64, trace_every: u64, prometheus: bool) -> ExitCode {
+    let policy = match read_policy(path) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let compiled = match compile(&policy, &Registry::paper_table2(), &[], &Default::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let program = match compiled.program(1) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("program seal error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut nfs = Vec::new();
+    for node in &compiled.graph.nodes {
+        match instantiate(node.name.as_str()) {
+            Some(nf) => nfs.push(nf),
+            None => {
+                eprintln!("error: no runnable implementation for NF `{}`", node.name);
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let mut engine = SyncEngine::new(program, nfs, 256);
+    engine.set_telemetry(TelemetryConfig {
+        histograms: true,
+        trace_every,
+        trace_capacity: 4096,
+    });
+    for i in 0..packets {
+        let pkt = nfp_core::traffic::gen::build_tcp_frame(
+            nfp_core::packet::ipv4::Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+            nfp_core::packet::ipv4::Ipv4Addr::new(10, 99, 0, 1),
+            (1024 + (i % 1000)) as u16,
+            443,
+            b"telemetry probe",
+        );
+        let _ = engine.process(pkt);
+    }
+    let snap = engine.telemetry();
+    if prometheus {
+        print!("{}", snap.to_prometheus());
+    } else {
+        print!("{}", snap.to_json());
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_compile(path: &str, sequential: bool, no_dirty_reuse: bool, show_tables: bool) -> ExitCode {

@@ -61,8 +61,8 @@ pub use nfp_traffic as traffic;
 pub mod prelude {
     pub use nfp_baseline::{OnvmPipeline, RunToCompletion};
     pub use nfp_dataplane::{
-        Engine, EngineConfig, EngineError, EngineReport, FailureKind, NfFailure, ShardedEngine,
-        SyncEngine,
+        Engine, EngineConfig, EngineError, EngineReport, FailureKind, NfFailure, PacketTrace,
+        ShardedEngine, SyncEngine, TelemetryConfig, TelemetrySnapshot, TraceHop,
     };
     pub use nfp_nf::{NetworkFunction, PacketView, Verdict};
     pub use nfp_orchestrator::{

@@ -9,7 +9,9 @@
 use crate::actions::{self, Deliver, VersionMap};
 use crate::stats::{DropCause, StageStats};
 use crate::swap::ProgramHandle;
+use crate::telemetry::Telemetry;
 use nfp_orchestrator::tables::GraphTables;
+use nfp_orchestrator::Stage;
 use nfp_packet::ipv4::Ipv4Addr;
 use nfp_packet::meta::{Metadata, PID_MAX, VERSION_ORIGINAL};
 use nfp_packet::pool::PacketPool;
@@ -167,10 +169,44 @@ impl Classifier {
     /// graph's entry actions against `sink`.
     pub fn admit(
         &mut self,
+        pkt: Packet,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+    ) -> Result<Arc<GraphTables>, AdmitError> {
+        self.admit_observed(pkt, pool, sink, stats, None)
+    }
+
+    /// [`Classifier::admit`] with telemetry: times the admission into the
+    /// classifier histogram, stamps every
+    /// [`trace_every`](crate::telemetry::TelemetryConfig::trace_every)-th
+    /// packet `traced` (by PID, so pool-backpressure retries sample the
+    /// same packets) and records its first trace hop.
+    pub fn admit_observed(
+        &mut self,
+        pkt: Packet,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+        tele: Option<&Telemetry>,
+    ) -> Result<Arc<GraphTables>, AdmitError> {
+        let t0 = tele.and_then(|t| t.clock());
+        let res = self.admit_inner(pkt, pool, sink, stats, tele);
+        if res.is_ok() {
+            if let Some(t) = tele {
+                t.record(Stage::Classifier, t0);
+            }
+        }
+        res
+    }
+
+    fn admit_inner(
+        &mut self,
         mut pkt: Packet,
         pool: &PacketPool,
         sink: &mut impl Deliver,
         stats: &StageStats,
+        tele: Option<&Telemetry>,
     ) -> Result<Arc<GraphTables>, AdmitError> {
         if pkt.parse().is_err() {
             self.rejected += 1;
@@ -184,7 +220,15 @@ impl Classifier {
             // the packet (already counted at this stage) or retries, and
             // a retry re-pins.
             let pinned = handle.admit_current();
-            let res = self.admit_tables(pkt, pool, sink, stats, pinned.tables(), pinned.epoch());
+            let res = self.admit_tables(
+                pkt,
+                pool,
+                sink,
+                stats,
+                pinned.tables(),
+                pinned.epoch(),
+                tele,
+            );
             if res.is_err() {
                 handle.abort(&pinned);
             }
@@ -201,11 +245,12 @@ impl Classifier {
             stats.note_drop(DropCause::AdmitRejected);
             return Err(AdmitError::NoMatch);
         };
-        self.admit_tables(pkt, pool, sink, stats, entry.tables, 0)
+        self.admit_tables(pkt, pool, sink, stats, entry.tables, 0, tele)
     }
 
     /// Shared tail of admission: tag metadata, pool the packet, launch
     /// entry actions. `pkt` is already parsed.
+    #[allow(clippy::too_many_arguments)]
     fn admit_tables(
         &mut self,
         mut pkt: Packet,
@@ -214,11 +259,21 @@ impl Classifier {
         stats: &StageStats,
         tables: Arc<GraphTables>,
         epoch: u64,
+        tele: Option<&Telemetry>,
     ) -> Result<Arc<GraphTables>, AdmitError> {
         // The PID only advances on success, so retried packets (pool
         // backpressure) keep a dense injection-order numbering.
         let pid = self.next_pid;
-        pkt.set_meta(Metadata::new(tables.mid, pid, VERSION_ORIGINAL).with_epoch(epoch));
+        // Sampling keys off the PID (dense on success), so a retried
+        // packet keeps its sampling decision across attempts.
+        let traced = tele.is_some_and(|t| {
+            let n = t.trace_every();
+            n > 0 && pid.is_multiple_of(n)
+        });
+        let meta = Metadata::new(tables.mid, pid, VERSION_ORIGINAL)
+            .with_epoch(epoch)
+            .with_traced(traced);
+        pkt.set_meta(meta);
         let r = match pool.insert(pkt) {
             Ok(r) => r,
             Err(_) => {
@@ -228,6 +283,11 @@ impl Classifier {
                 return Err(AdmitError::PoolExhausted);
             }
         };
+        // The first hop is recorded before entry actions run: a sink may
+        // flush mid-execute, and the NF hop must never precede this one.
+        if let Some(t) = tele {
+            t.hop_if_traced(Stage::Classifier, meta, false);
+        }
         let mut versions = VersionMap::single(VERSION_ORIGINAL, r);
         match actions::execute(&tables.entry_actions, pool, &mut versions, sink, stats) {
             Ok(()) => {
@@ -243,6 +303,12 @@ impl Classifier {
                 // own and let the caller retry once downstream drains.
                 for owned in versions.refs() {
                     pool.release(owned);
+                }
+                if traced {
+                    if let Some(t) = tele {
+                        // The retry will re-record the classifier hop.
+                        t.retract_classifier_hop(pid);
+                    }
                 }
                 stats.note_backpressure();
                 Err(AdmitError::PoolExhausted)

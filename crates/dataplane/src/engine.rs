@@ -33,6 +33,7 @@ use crate::ring::{self, Consumer, Producer};
 use crate::runtime::{FailureKind, NfRuntime};
 use crate::stats::{EngineStats, StageStats};
 use crate::swap::{EpochReport, EpochTally, ProgramHandle, ReconfigError, TablesResolver};
+use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
 use nfp_orchestrator::{FailurePolicy, Program, Stage};
@@ -73,6 +74,10 @@ pub struct EngineConfig {
     /// How long the engine may make zero global progress before the
     /// watchdog declares a busy, heartbeat-silent NF stalled and fails it.
     pub stall_timeout: Duration,
+    /// Packet-path telemetry: per-stage latency histograms and trace
+    /// sampling (see [`crate::telemetry`]). Histograms are on by default;
+    /// tracing is off until `telemetry.trace_every > 0`.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -85,6 +90,7 @@ impl Default for EngineConfig {
             keep_packets: false,
             merge_deadline: Duration::from_secs(1),
             stall_timeout: Duration::from_secs(2),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -211,6 +217,10 @@ pub struct EngineReport {
     /// [`ProgramHandle::tallies`]). Every delivered or dropped packet is
     /// attributed to exactly one epoch.
     pub epochs: Vec<EpochTally>,
+    /// Packet-path telemetry for this run: per-stage latency histograms
+    /// (p50/p90/p99/max via [`TelemetrySnapshot::stage`]) and sampled
+    /// trace timelines. Empty histograms when telemetry is disabled.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl EngineReport {
@@ -573,6 +583,9 @@ impl Engine {
         let agent_stats = StageStats::new();
         let merger_stats: Vec<StageStats> = (0..n_mergers).map(|_| StageStats::new()).collect();
         let collector_stats = StageStats::new();
+        // Shared telemetry recorder, borrowed by every stage thread like
+        // the stats above.
+        let telemetry = Telemetry::new(self.config.telemetry.clone(), n_nfs, n_mergers);
 
         // Instantiate the program's wiring plan: one SPSC ring per
         // (producer stage, consumer stage) edge.
@@ -703,6 +716,7 @@ impl Engine {
             let quiesce_ref = &quiesce;
             let dropped_ref = &dropped;
             let cstats = &classifier_stats;
+            let tele = &telemetry;
             scope.spawn(move |_| {
                 let mut classifier = Classifier::live(handle_c);
                 let mut batch: Vec<Packet> = Vec::new();
@@ -719,11 +733,12 @@ impl Engine {
                     }
                     for pkt in batch.drain(..) {
                         loop {
-                            match classifier.admit(
+                            match classifier.admit_observed(
                                 pkt.clone(),
                                 &pool_c,
                                 &mut classifier_sink,
                                 cstats,
+                                Some(tele),
                             ) {
                                 Ok(_) => break,
                                 Err(AdmitError::PoolExhausted) => {
@@ -771,6 +786,7 @@ impl Engine {
                 let hb = &heartbeats[i];
                 let busy_flag = &nf_busy[i];
                 let failed_flag = &nf_failed[i];
+                let tele = &telemetry;
                 nf_handles.push(scope.spawn(move |_| {
                     let mut resolver = TablesResolver::new(Arc::clone(&handle_n));
                     let mut batch: Vec<Msg> = Vec::new();
@@ -798,7 +814,10 @@ impl Engine {
                                     let tables = resolver.get(epoch, nstats);
                                     let cfg = &tables.nf_configs[i];
                                     let before = rt.dropped + rt.errors + rt.policy_drops;
+                                    tele.trace_ref(Stage::Nf(i), &pool_n, msg.r);
+                                    let t0 = tele.clock();
                                     rt.handle_with(cfg, msg, &pool_n, &mut sink, nstats);
+                                    tele.record(Stage::Nf(i), t0);
                                     let after = rt.dropped + rt.errors + rt.policy_drops;
                                     if matches!(cfg.on_drop, DropBehavior::Discard)
                                         && after > before
@@ -836,6 +855,7 @@ impl Engine {
             let pool_a = Arc::clone(&pool);
             let handle_a = Arc::clone(&handle);
             let astats = &agent_stats;
+            let tele = &telemetry;
             scope.spawn(move |_| {
                 let mut resolver = TablesResolver::new(Arc::clone(&handle_a));
                 let mut core = AgentCore::new(n_mergers);
@@ -853,7 +873,10 @@ impl Engine {
                             }
                             progress = true;
                             for mut msg in batch.drain(..) {
+                                tele.trace_ref(Stage::Agent, &pool_a, msg.r);
+                                let t0 = tele.clock();
                                 let instance = core.route(&mut msg, &pool_a, &mut resolver, astats);
+                                tele.record(Stage::Agent, t0);
                                 agent_sink.send(Stage::Merger(instance), msg);
                             }
                         }
@@ -906,6 +929,7 @@ impl Engine {
                 let pool_m = Arc::clone(&pool);
                 let handle_m = Arc::clone(&handle);
                 let mstats = &merger_stats[m];
+                let tele = &telemetry;
                 scope.spawn(move |_| {
                     let mut resolver = TablesResolver::new(handle_m);
                     let mut core = MergerCore::new();
@@ -923,9 +947,12 @@ impl Engine {
                                 progress = true;
                                 let now_ms = started.elapsed().as_millis() as u64;
                                 for msg in batch.drain(..) {
-                                    if let Some(o) =
-                                        core.offer(msg, &pool_m, &mut resolver, mstats, now_ms)
-                                    {
+                                    tele.trace_ref(Stage::Merger(m), &pool_m, msg.r);
+                                    let t0 = tele.clock();
+                                    let outcome =
+                                        core.offer(msg, &pool_m, &mut resolver, mstats, now_ms);
+                                    tele.record(Stage::Merger(m), t0);
+                                    if let Some(o) = outcome {
                                         outcomes.push(o);
                                     }
                                 }
@@ -981,6 +1008,7 @@ impl Engine {
             let handle_o = Arc::clone(&handle);
             let delivered_ref = &delivered;
             let ostats = &collector_stats;
+            let tele = &telemetry;
             let collector_handle = scope.spawn(move |_| {
                 let mut outputs: Vec<(u64, Instant, Option<Packet>)> = Vec::new();
                 let mut batch: Vec<Msg> = Vec::new();
@@ -995,7 +1023,10 @@ impl Engine {
                             }
                             progress = true;
                             for msg in batch.drain(..) {
+                                let t0 = tele.clock();
                                 let pkt = collector::collect(msg, &pool_o, ostats);
+                                tele.record(Stage::Collector, t0);
+                                tele.hop_if_traced(Stage::Collector, pkt.meta(), pkt.is_nil());
                                 let pid = pkt.meta().pid();
                                 // Delivery settles the packet against the
                                 // epoch that classified it.
@@ -1132,6 +1163,7 @@ impl Engine {
             pool_in_use: pool.in_use(),
             epoch: handle.epoch(),
             epochs: handle.tallies(),
+            telemetry: telemetry.snapshot(),
         };
         (report, report_latency)
     }

@@ -38,6 +38,10 @@
 //! * [`shard`] — RSS-style flow sharding: a 5-tuple hash front-end over N
 //!   full engine replicas for multi-core scale-out, per-flow FIFO
 //!   preserved.
+//! * [`telemetry`] — packet-path telemetry: lock-free per-stage log₂
+//!   latency histograms (p50/p90/p99/max per stage on every report) and
+//!   sampled per-packet trace timelines, exportable as JSON or
+//!   Prometheus text via [`telemetry::TelemetrySnapshot`].
 
 #![warn(missing_docs)]
 
@@ -52,6 +56,7 @@ pub mod shard;
 pub mod stats;
 pub mod swap;
 pub mod sync_engine;
+pub mod telemetry;
 
 pub use classifier::Classifier;
 pub use engine::{Engine, EngineConfig, EngineController, EngineError, EngineReport, NfFailure};
@@ -62,3 +67,6 @@ pub use swap::{
     EpochReport, EpochState, EpochTally, ProgramHandle, ReconfigError, ShardSwap, TablesResolver,
 };
 pub use sync_engine::SyncEngine;
+pub use telemetry::{
+    LatencyHistogram, PacketTrace, Telemetry, TelemetryConfig, TelemetrySnapshot, TraceHop,
+};

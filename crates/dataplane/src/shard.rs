@@ -19,6 +19,7 @@
 use crate::engine::{Engine, EngineConfig, EngineController, EngineError, EngineReport};
 use crate::stats::EngineStats;
 use crate::swap::{EpochReport, EpochTally, ReconfigError, ShardSwap};
+use crate::telemetry::TelemetrySnapshot;
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::Program;
 use nfp_packet::Packet;
@@ -175,7 +176,13 @@ impl ShardedEngine {
         let mut pool_in_use = 0;
         let mut epoch = 0;
         let mut epochs: Vec<EpochTally> = Vec::new();
-        for (report, recorder) in &mut results {
+        let mut telemetry = TelemetrySnapshot::empty();
+        for (shard, (report, recorder)) in results.iter_mut().enumerate() {
+            // Tag each shard's trace hops before folding: PIDs are dense
+            // per shard, so the shard index keeps fleet-wide traces from
+            // colliding.
+            report.telemetry.tag_shard(shard as u32);
+            telemetry.merge(&report.telemetry);
             injected += report.injected;
             delivered += report.delivered;
             dropped += report.dropped;
@@ -206,6 +213,7 @@ impl ShardedEngine {
             pool_in_use,
             epoch,
             epochs,
+            telemetry,
         }
     }
 

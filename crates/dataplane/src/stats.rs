@@ -16,6 +16,22 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Atomically raise `slot` to at least `value` with a compare-and-swap
+/// max loop. A plain `store` would let two concurrent drainers race —
+/// the smaller observation could land last and erase the true peak; the
+/// CAS loop only ever moves the value up. Used for every "keep the
+/// maximum" cell (ring high-water marks, histogram maxima).
+#[inline]
+pub fn atomic_max(slot: &AtomicU64, value: u64) {
+    let mut current = slot.load(Ordering::Relaxed);
+    while current < value {
+        match slot.compare_exchange_weak(current, value, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
 /// Why a stage dropped a packet. Every drop in the engine is attributed to
 /// exactly one cause; there is no silent-loss path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,9 +129,11 @@ impl StageStats {
         self.backpressure.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record an observed receive-ring occupancy (keeps the maximum).
+    /// Record an observed receive-ring occupancy (keeps the maximum via a
+    /// compare-and-swap loop, so concurrent drainers can never regress
+    /// the high-water mark).
     pub fn note_occupancy(&self, n: usize) {
-        self.ring_high_water.fetch_max(n as u64, Ordering::Relaxed);
+        atomic_max(&self.ring_high_water, n as u64);
     }
 
     /// Count one misrouted reference (no ring to the target stage).
@@ -410,6 +428,46 @@ mod tests {
         assert_eq!(left.nfs[0].packets_in, 10);
         assert_eq!(left.mergers.len(), 1);
         assert_eq!(left.total_drops(), 4);
+    }
+
+    #[test]
+    fn ring_high_water_survives_two_thread_hammer() {
+        // Regression: the high-water mark must be a monotone max under
+        // concurrent drainers. Two threads interleave ascending and
+        // descending occupancy observations; a racy plain store could
+        // leave a smaller value in place, the CAS max loop cannot.
+        let s = StageStats::new();
+        const TOP: usize = 10_000;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for n in 0..=TOP {
+                    s.note_occupancy(n);
+                }
+            });
+            scope.spawn(|| {
+                for n in (0..TOP).rev() {
+                    s.note_occupancy(n);
+                }
+            });
+        });
+        assert_eq!(s.snapshot().ring_high_water, TOP as u64);
+
+        // The helper alone, hammered on one cell from two threads.
+        let cell = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for offset in [0u64, 1] {
+                let cell = &cell;
+                scope.spawn(move || {
+                    for v in (offset..2 * TOP as u64).step_by(2) {
+                        atomic_max(cell, v);
+                    }
+                    for v in (0..TOP as u64).rev() {
+                        atomic_max(cell, v);
+                    }
+                });
+            }
+        });
+        assert_eq!(cell.load(Ordering::Relaxed), 2 * TOP as u64 - 1);
     }
 
     #[test]

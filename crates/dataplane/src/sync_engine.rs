@@ -14,9 +14,10 @@ use crate::cores::{collector, AgentCore, MergerCore};
 use crate::runtime::{FailureKind, NfRuntime};
 use crate::stats::{StageSnapshot, StageStats};
 use crate::swap::{EpochReport, EpochTally, ProgramHandle, ReconfigError, TablesResolver};
+use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::tables::Target;
-use nfp_orchestrator::Program;
+use nfp_orchestrator::{Program, Stage};
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use std::collections::VecDeque;
@@ -57,6 +58,10 @@ pub struct SyncEngine {
     /// Epoch-keyed table lookups for every stage dispatched inline.
     resolver: TablesResolver,
     stats: StageStats,
+    /// Per-stage latency histograms and trace sampling, recorded at the
+    /// same points as the threaded engine's stage threads (the sync
+    /// engine's one merger instance records as `merger0`).
+    telemetry: Telemetry,
     /// Virtual clock: one tick per `process()` call. Accumulating-table
     /// entries are stamped with it, and every entry still pending at the
     /// end of the call that created it is expired — the sync engine's
@@ -89,6 +94,7 @@ impl SyncEngine {
             program.nf_count(),
             "one NF instance per graph node"
         );
+        let n_nfs = nfs.len();
         let runtimes = nfs
             .into_iter()
             .zip(program.tables().nf_configs.iter().cloned())
@@ -96,6 +102,7 @@ impl SyncEngine {
             .collect();
         let handle = Arc::new(ProgramHandle::new(program));
         Self {
+            telemetry: Telemetry::new(TelemetryConfig::default(), n_nfs, 1),
             pool: Arc::new(PacketPool::new(pool_size)),
             classifier: Classifier::live(Arc::clone(&handle)),
             runtimes,
@@ -175,6 +182,17 @@ impl SyncEngine {
         self.stats.snapshot()
     }
 
+    /// Replace the telemetry configuration, resetting the recorder (the
+    /// number of NF and merger histograms is preserved).
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = Telemetry::new(config, self.runtimes.len(), 1);
+    }
+
+    /// Snapshot of the per-stage latency histograms and recorded traces.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
     /// Process a batch of packets, collecting delivered outputs in order.
     /// Admit rejects and drops both count toward `dropped`.
     pub fn process_batch(&mut self, pkts: Vec<Packet>) -> Vec<Packet> {
@@ -199,8 +217,13 @@ impl SyncEngine {
         let mut sink = QueueSink::default();
         self.tick += 1;
         let epoch = self.handle.epoch();
-        self.classifier
-            .admit(pkt, &self.pool, &mut sink, &self.stats)?;
+        self.classifier.admit_observed(
+            pkt,
+            &self.pool,
+            &mut sink,
+            &self.stats,
+            Some(&self.telemetry),
+        )?;
         let mut output: Option<Packet> = None;
         let mut was_dropped = false;
         loop {
@@ -211,6 +234,8 @@ impl SyncEngine {
                         // epoch — identical to the threaded NF threads.
                         let e = self.pool.with(msg.r, |p| p.meta().epoch());
                         let tables = self.resolver.get(e, &self.stats);
+                        self.telemetry.trace_ref(Stage::Nf(id), &self.pool, msg.r);
+                        let t0 = self.telemetry.clock();
                         self.runtimes[id].handle_with(
                             &tables.nf_configs[id],
                             msg,
@@ -218,6 +243,7 @@ impl SyncEngine {
                             &mut sink,
                             &self.stats,
                         );
+                        self.telemetry.record(Stage::Nf(id), t0);
                     }
                     Target::Merger(_) => {
                         // The same route → offer → ordered-release path as
@@ -225,16 +251,24 @@ impl SyncEngine {
                         // instance and FIFO dispatch, release order is
                         // always immediate.
                         let mut msg = msg;
+                        self.telemetry.trace_ref(Stage::Agent, &self.pool, msg.r);
+                        let t0 = self.telemetry.clock();
                         let _instance =
                             self.agent
                                 .route(&mut msg, &self.pool, &mut self.resolver, &self.stats);
-                        if let Some(outcome) = self.merger.offer(
+                        self.telemetry.record(Stage::Agent, t0);
+                        self.telemetry
+                            .trace_ref(Stage::Merger(0), &self.pool, msg.r);
+                        let t0 = self.telemetry.clock();
+                        let offered = self.merger.offer(
                             msg,
                             &self.pool,
                             &mut self.resolver,
                             &self.stats,
                             self.tick,
-                        ) {
+                        );
+                        self.telemetry.record(Stage::Merger(0), t0);
+                        if let Some(outcome) = offered {
                             let drops = self.agent.release(
                                 outcome,
                                 &self.pool,
@@ -248,7 +282,11 @@ impl SyncEngine {
                         }
                     }
                     Target::Output => {
+                        let t0 = self.telemetry.clock();
                         let pkt = collector::collect(msg, &self.pool, &self.stats);
+                        self.telemetry.record(Stage::Collector, t0);
+                        self.telemetry
+                            .hop_if_traced(Stage::Collector, pkt.meta(), pkt.is_nil());
                         debug_assert!(output.is_none(), "one output per packet");
                         output = Some(pkt);
                     }

@@ -12,15 +12,21 @@
 //!   all copies of the same packet.
 //! * **version** distinguishes copies of one packet (`v1` is the original).
 //!
-//! Besides the wire word, [`Metadata`] carries a host-side **epoch** sidecar:
-//! the id of the [`Program`](../../nfp_orchestrator) snapshot whose tables
-//! classified the packet. During a live reconfiguration two program epochs
-//! coexist, and every stage resolves its table lookups against the epoch
-//! stamped here, so a packet is classified, forwarded and merged under
-//! exactly one program version. The epoch never crosses the wire — the
-//! paper's 64-bit word stays exactly as Figure 5 specifies — so
-//! [`Metadata::to_raw`]/[`Metadata::from_raw`] cover only the packed word
-//! and a round trip resets the epoch to 0.
+//! Besides the wire word, [`Metadata`] carries two host-side sidecars:
+//!
+//! * **epoch** — the id of the [`Program`](../../nfp_orchestrator) snapshot
+//!   whose tables classified the packet. During a live reconfiguration two
+//!   program epochs coexist, and every stage resolves its table lookups
+//!   against the epoch stamped here, so a packet is classified, forwarded
+//!   and merged under exactly one program version.
+//! * **traced** — set by the classifier on every Nth admitted packet when
+//!   trace sampling is enabled; stages append a timeline hop for packets
+//!   (and their copies and nils, which inherit the flag) carrying it.
+//!
+//! Neither sidecar crosses the wire — the paper's 64-bit word stays exactly
+//! as Figure 5 specifies — so [`Metadata::to_raw`]/[`Metadata::from_raw`]
+//! cover only the packed word and a round trip resets epoch to 0 and
+//! traced to false.
 
 /// Number of bits in the match ID.
 pub const MID_BITS: u32 = 20;
@@ -36,11 +42,13 @@ pub const PID_MAX: u64 = (1 << PID_BITS) - 1;
 /// Maximum representable version.
 pub const VERSION_MAX: u8 = (1 << VERSION_BITS) - 1;
 
-/// The packed 64-bit NFP metadata word plus the host-side epoch sidecar.
+/// The packed 64-bit NFP metadata word plus the host-side epoch and trace
+/// sidecars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Metadata {
     word: u64,
     epoch: u64,
+    traced: bool,
 }
 
 impl Metadata {
@@ -56,6 +64,7 @@ impl Metadata {
         Self {
             word: (mid << (PID_BITS + VERSION_BITS)) | (pid << VERSION_BITS) | version,
             epoch: 0,
+            traced: false,
         }
     }
 
@@ -88,11 +97,28 @@ impl Metadata {
         Self { epoch, ..self }
     }
 
+    /// Whether this packet was selected for path tracing by the classifier
+    /// (host-side sidecar; copies and nils inherit it with the rest of the
+    /// metadata, so a sampled packet's whole fan-out is traced).
+    pub fn traced(self) -> bool {
+        self.traced
+    }
+
+    /// Same metadata with the trace-sampling flag set to `traced` — used
+    /// by the classifier on every Nth admission.
+    pub fn with_traced(self, traced: bool) -> Self {
+        Self { traced, ..self }
+    }
+
     /// Same metadata with a different version — used when the runtime
-    /// executes a `copy(v1, v2)` action. The epoch is preserved: copies of
-    /// a packet always belong to the epoch that admitted the original.
+    /// executes a `copy(v1, v2)` action. The epoch and trace sidecars are
+    /// preserved: copies of a packet always belong to the epoch that
+    /// admitted the original, and a traced packet's copies stay traced.
     pub fn with_version(self, version: u8) -> Self {
-        Self::new(self.mid(), self.pid(), version).with_epoch(self.epoch)
+        Self {
+            word: Self::new(self.mid(), self.pid(), version).word,
+            ..self
+        }
     }
 
     /// The raw 64-bit representation (what would sit in front of the packet
@@ -102,12 +128,13 @@ impl Metadata {
         self.word
     }
 
-    /// Rebuild from the raw representation (epoch resets to 0: the epoch is
-    /// a host-side tag, never serialized).
+    /// Rebuild from the raw representation (epoch resets to 0 and traced
+    /// to false: the sidecars are host-side tags, never serialized).
     pub fn from_raw(raw: u64) -> Self {
         Self {
             word: raw,
             epoch: 0,
+            traced: false,
         }
     }
 }
@@ -182,6 +209,25 @@ mod tests {
         // The wire word is epoch-free: a raw round trip resets it.
         assert_eq!(Metadata::from_raw(m.to_raw()).epoch(), 0);
         assert_eq!(m.to_raw(), Metadata::new(3, 9, VERSION_ORIGINAL).to_raw());
+    }
+
+    #[test]
+    fn traced_rides_along_and_survives_reversioning() {
+        let m = Metadata::new(4, 11, VERSION_ORIGINAL)
+            .with_epoch(3)
+            .with_traced(true);
+        assert!(m.traced());
+        // Copies keep both sidecars.
+        let copy = m.with_version(2);
+        assert!(copy.traced());
+        assert_eq!(copy.epoch(), 3);
+        // The wire word is sidecar-free.
+        assert!(!Metadata::from_raw(m.to_raw()).traced());
+        assert_eq!(m.to_raw(), Metadata::new(4, 11, VERSION_ORIGINAL).to_raw());
+        // The flag can be cleared without touching identity.
+        let off = m.with_traced(false);
+        assert!(!off.traced());
+        assert_eq!(off.pid(), 11);
     }
 
     #[test]
