@@ -103,8 +103,10 @@ impl OnvmPipeline {
             let dropped_ref = &dropped;
             let delivered_ref = &delivered;
 
-            // The centralized switch: serializes ALL hops.
-            scope.spawn(|_| {
+            // The centralized switch: serializes ALL hops. Moves its ring
+            // endpoints in: a ring half is single-owner (`!Sync`) since
+            // the consumer/producer index caches landed.
+            scope.spawn(move |_| {
                 let push = |msg: OnvmMsg, tx: &ring::Producer<OnvmMsg>| {
                     ring::push_blocking(tx, msg);
                 };

@@ -147,6 +147,59 @@ fn bench_telemetry(c: &mut Criterion) {
     });
 }
 
+fn bench_stage_pass(c: &mut Criterion) {
+    use nfp_dataplane::actions::Msg;
+    use nfp_dataplane::cores::collector;
+    use nfp_dataplane::stats::StageStats;
+    use nfp_orchestrator::Stage;
+
+    // The refactor's core claim in miniature: pushing a 32-packet burst
+    // through a stage in one pass (one stats update, one timestamp pair)
+    // vs the pre-refactor per-packet pass (32 of each).
+    // Packets cycle pool → collect → back into the pool each iteration,
+    // so both variants pay the same insert cost and differ only in the
+    // per-item vs per-burst collect path.
+    let pool = PacketPool::new(64);
+    let stats = StageStats::new();
+    let mut pkts = fixed_traffic(32, 200);
+    let mut msgs: Vec<Msg> = Vec::with_capacity(32);
+    let mut out = Vec::with_capacity(32);
+    c.bench_function("collector_pass_32_per_packet", |b| {
+        b.iter(|| {
+            msgs.extend(pkts.drain(..).map(|p| Msg::plain(pool.insert(p).unwrap())));
+            for msg in msgs.drain(..) {
+                out.push(collector::collect(black_box(msg), &pool, &stats));
+            }
+            pkts.append(&mut out);
+        })
+    });
+    c.bench_function("collector_pass_32_burst", |b| {
+        b.iter(|| {
+            msgs.extend(pkts.drain(..).map(|p| Msg::plain(pool.insert(p).unwrap())));
+            collector::collect_burst(black_box(&msgs), &pool, &stats, &mut out);
+            msgs.clear();
+            pkts.append(&mut out);
+        })
+    });
+
+    // Telemetry per stage pass: 32 scalar records vs one split record.
+    let tele = Telemetry::new(TelemetryConfig::default(), 2, 1);
+    c.bench_function("telemetry_pass_32_per_packet", |b| {
+        b.iter(|| {
+            for _ in 0..32 {
+                let t0 = tele.clock();
+                tele.record(black_box(Stage::Nf(0)), t0);
+            }
+        })
+    });
+    c.bench_function("telemetry_pass_32_burst_split", |b| {
+        b.iter(|| {
+            let t0 = tele.clock();
+            tele.record_split(black_box(Stage::Nf(0)), t0, 32);
+        })
+    });
+}
+
 fn bench_compile(c: &mut Criterion) {
     c.bench_function("compile_north_south_chain", |b| {
         b.iter(|| black_box(compile_chain(&["VPN", "Monitor", "Firewall", "LB"])))
@@ -156,6 +209,6 @@ fn bench_compile(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(200));
-    targets = bench_ring, bench_pool, bench_checksum, bench_lpm, bench_aho, bench_aes, bench_telemetry, bench_alg1, bench_compile
+    targets = bench_ring, bench_pool, bench_checksum, bench_lpm, bench_aho, bench_aes, bench_telemetry, bench_stage_pass, bench_alg1, bench_compile
 }
 criterion_main!(micro);

@@ -100,6 +100,19 @@ pub enum AdmitError {
     ActionFailed,
 }
 
+/// Outcome of one [`Classifier::admit_burst`] pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AdmitBatch {
+    /// Packets admitted into their graph this pass.
+    pub admitted: u64,
+    /// Packets terminally rejected (unparseable, unmatched, or failed
+    /// entry actions) and consumed this pass.
+    pub rejected: u64,
+    /// The pass stopped early on pool exhaustion; the stalled packet is
+    /// still at the front of the pending queue for retry.
+    pub stalled: bool,
+}
+
 /// The classifier: first-match CT lookup, metadata tagging, entry-action
 /// launch.
 ///
@@ -198,6 +211,47 @@ impl Classifier {
             }
         }
         res
+    }
+
+    /// Burst admission: admit packets from the front of `pending` until
+    /// it drains or the pool backpressures, with the telemetry clock
+    /// amortized to one pair per burst ([`Telemetry::record_split`] keeps
+    /// the histogram count at exactly one per admitted packet).
+    ///
+    /// On pool exhaustion the stalled packet stays at the front of
+    /// `pending` — FIFO admission order (and therefore dense PID
+    /// numbering) is preserved across retries. Terminally rejected
+    /// packets are consumed and counted in the returned batch.
+    pub fn admit_burst(
+        &mut self,
+        pending: &mut std::collections::VecDeque<Packet>,
+        pool: &PacketPool,
+        sink: &mut impl Deliver,
+        stats: &StageStats,
+        tele: Option<&Telemetry>,
+    ) -> AdmitBatch {
+        let t0 = tele.and_then(|t| t.clock());
+        let mut out = AdmitBatch::default();
+        while let Some(pkt) = pending.front() {
+            match self.admit_inner(pkt.clone(), pool, sink, stats, tele) {
+                Ok(_) => {
+                    pending.pop_front();
+                    out.admitted += 1;
+                }
+                Err(AdmitError::PoolExhausted) => {
+                    out.stalled = true;
+                    break;
+                }
+                Err(_) => {
+                    pending.pop_front();
+                    out.rejected += 1;
+                }
+            }
+        }
+        if let Some(t) = tele {
+            t.record_split(Stage::Classifier, t0, out.admitted);
+        }
+        out
     }
 
     fn admit_inner(

@@ -1,33 +1,44 @@
 //! The multi-threaded NFP engine.
 //!
-//! Mirrors the paper's deployment (Figure 3): a classifier thread pulls
-//! packets from the input ring, each NF runs on its own thread (the
+//! Mirrors the paper's deployment (Figure 3): a classifier stage pulls
+//! packets from the input ring, each NF runs its own stage core (the
 //! paper's one-container-per-core), merger-bound traffic flows through a
-//! **merger agent** thread that load-balances by PID hash onto N merger
-//! instance threads, and merged/finished packets reach a collector.
+//! **merger agent** that load-balances by PID hash onto N merger
+//! instances, and merged/finished packets reach a collector.
 //!
 //! The engine executes a sealed [`Program`]: the ring mesh is instantiated
 //! straight from the program's [`nfp_orchestrator::WiringPlan`], and each
-//! thread drives the corresponding stage core from [`crate::cores`] — the
+//! stage drives the corresponding core from [`crate::cores`] — the
 //! same cores the deterministic [`crate::sync_engine`] dispatches inline,
 //! so the two engines cannot drift semantically. This module owns only the
-//! *executor*: threads, SPSC rings ([`crate::ring`]), burst batching,
+//! *executor*: stage tasks, SPSC rings ([`crate::ring`]), burst batching,
 //! backpressure and stop conditions.
 //!
-//! All inter-thread edges are SPSC rings; every (producer stage → consumer
-//! stage) pair gets its own ring. Threads drain and emit in **bursts**
-//! (`pop_burst`/`push_burst`): one atomic publish per burst instead of one
-//! per packet. Merge-order sequencing (§4.3 result correctness) lives in
-//! [`crate::cores::AgentCore`]; the agent thread merely keeps it fed and
-//! never blocks on a full ring (sends spill to an overflow stash, bounded
-//! by the in-flight window), which keeps the ring mesh deadlock-free.
+//! **Burst-driven stage cores.** Every stage is a [`crate::exec::StageCore`]
+//! whose `pass` drains a full burst (`pop_burst`), processes the whole
+//! slice, then pushes downstream (`push_burst`): one atomic publish, one
+//! telemetry clock pair and one stats update per burst instead of one per
+//! packet. No stage ever blocks mid-pass — sends that hit a full ring
+//! spill to a per-target overflow stash (`StashSink`, bounded by the
+//! closed-loop in-flight window), which keeps the mesh deadlock-free even
+//! when several stages share one thread.
 //!
-//! Threads busy-poll with `yield_now` when idle, so the engine is
-//! functional (if not representative of multi-core latency) even on a
-//! single-core host — see DESIGN.md on virtual-time experiments.
+//! **Core-budgeted threading.** Stage tasks are packed onto at most
+//! [`EngineConfig::core_budget`] OS threads ([`crate::exec::plan_groups`])
+//! in pipeline order, optionally pinned ([`EngineConfig::pin_cpus`]). One
+//! engine no longer costs `stages` threads: on a small host (or a many-
+//! shard deployment) the whole pipeline coalesces onto a few
+//! run-to-completion threads instead of oversubscribing the cores.
+//!
+//! **Adaptive idling.** Idle stages back off spin → yield → park
+//! ([`EngineConfig::idle_policy`]); parked threads are woken through the
+//! engine's [`crate::exec::WakeHub`] whenever any stage (or the injector)
+//! makes progress, so an idle engine burns no core while a late burst
+//! still gets service immediately. Merge-order sequencing (§4.3 result
+//! correctness) lives in [`crate::cores::AgentCore`], unchanged.
 
 use crate::actions::{Deliver, Msg};
-use crate::classifier::{AdmitError, Classifier};
+use crate::classifier::Classifier;
 use crate::cores::{collector, AgentCore, MergerCore, Outcome};
 use crate::ring::{self, Consumer, Producer};
 use crate::runtime::{FailureKind, NfRuntime};
@@ -42,7 +53,7 @@ use nfp_packet::Packet;
 use nfp_traffic::{LatencyRecorder, LatencySummary};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Burst size for ring drains and emissions (the DPDK sweet spot).
@@ -78,6 +89,22 @@ pub struct EngineConfig {
     /// sampling (see [`crate::telemetry`]). Histograms are on by default;
     /// tracing is off until `telemetry.trace_every > 0`.
     pub telemetry: TelemetryConfig,
+    /// Maximum OS threads this engine may spawn for its stage tasks.
+    /// Stages are coalesced onto `min(core_budget, stages)` threads in
+    /// pipeline order ([`crate::exec::plan_pipeline_groups`]); budgets
+    /// ≥ 2 keep the NF section and the merge section on separate
+    /// threads so merge deadlines stay enforceable while an NF blocks.
+    /// Defaults to the host's available parallelism, floored at 2 for
+    /// exactly that reason; must be non-zero.
+    pub core_budget: usize,
+    /// CPUs to pin the stage threads to, round-robin by group index.
+    /// Empty (the default) disables pinning. Every listed CPU must be
+    /// below [`host_parallelism`](crate::exec::host_parallelism).
+    pub pin_cpus: Vec<usize>,
+    /// What an idle stage thread does when a scheduling pass makes no
+    /// progress — see [`IdlePolicy`](crate::exec::IdlePolicy). The
+    /// default backs off spin → yield → park.
+    pub idle_policy: crate::exec::IdlePolicy,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +118,9 @@ impl Default for EngineConfig {
             merge_deadline: Duration::from_secs(1),
             stall_timeout: Duration::from_secs(2),
             telemetry: TelemetryConfig::default(),
+            core_budget: crate::exec::host_parallelism().max(2),
+            pin_cpus: Vec::new(),
+            idle_policy: crate::exec::IdlePolicy::default(),
         }
     }
 }
@@ -134,6 +164,19 @@ pub enum EngineError {
         /// Target stage with no ring from `from`.
         to: Stage,
     },
+    /// `core_budget` was zero — the engine would have no thread to run
+    /// its stages on.
+    ZeroCoreBudget,
+    /// A `pin_cpus` entry names a CPU the host does not have.
+    PinCpuOutOfRange {
+        /// The offending CPU index.
+        cpu: usize,
+        /// CPUs actually available on this host.
+        host: usize,
+    },
+    /// The idle policy's `park_timeout` was zero: a parked thread could
+    /// miss non-notifying progress (pool releases) forever.
+    ZeroParkTimeout,
 }
 
 impl core::fmt::Display for EngineError {
@@ -161,6 +204,15 @@ impl core::fmt::Display for EngineError {
                     f,
                     "tables emit {from:?} → {to:?} but the wiring plan has no such ring"
                 )
+            }
+            EngineError::ZeroCoreBudget => {
+                write!(f, "core_budget must be at least 1")
+            }
+            EngineError::PinCpuOutOfRange { cpu, host } => {
+                write!(f, "pin_cpus names cpu {cpu} but the host has {host}")
+            }
+            EngineError::ZeroParkTimeout => {
+                write!(f, "idle_policy park_timeout must be non-zero")
             }
         }
     }
@@ -237,48 +289,69 @@ impl EngineReport {
     }
 }
 
-/// Flush `buf` into `p` as bursts, waiting out full rings. The wait is
-/// lossless by design — dropping a mid-graph reference would leak a pool
-/// slot and leave a merge waiting forever — and the ring mesh is
-/// deadlock-free (the collector always drains, the agent never blocks), so
-/// the wait always terminates. Stalls longer than [`RETRY_LIMIT`] retries
-/// are recorded as one backpressure event.
-fn flush_burst(p: &Producer<Msg>, buf: &mut Vec<Msg>, stats: &StageStats) {
-    let mut off = 0;
-    let mut attempts = 0u32;
-    while off < buf.len() {
-        let n = p.push_burst(&buf[off..]);
-        off += n;
-        if n == 0 {
-            attempts += 1;
-            if attempts == RETRY_LIMIT {
-                stats.note_backpressure();
-            }
-            std::thread::yield_now();
-        }
-    }
-    buf.clear();
+/// One per-target output queue of a [`StashSink`]: the ring producer plus
+/// an overflow buffer drained from `off` (so a partial burst push does not
+/// shift the remainder).
+struct TargetQueue {
+    to: Stage,
+    p: Producer<Msg>,
+    buf: Vec<Msg>,
+    off: usize,
+    attempts: u32,
 }
 
-/// A sink mapping abstract targets onto this stage's ring producers,
-/// buffering messages per target stage and flushing them as bursts.
+/// Every stage's sink: maps abstract targets onto this stage's ring
+/// producers, buffers messages per target and pushes them as bursts —
+/// and **never blocks**. When a ring stays full the messages simply wait
+/// in the per-target buffer (bounded in practice by the closed-loop
+/// in-flight window) until the next [`StashSink::pump`]. Not blocking is
+/// what makes stage coalescing safe: the consumer that would relieve the
+/// full ring may be scheduled on this very thread, after this stage's
+/// pass returns.
 ///
 /// A message for a stage with no ring is *misrouted*: the wiring plan is
 /// validated against the tables at [`Engine::new`], so this cannot happen
 /// for a sealed program, but the fallback still releases the reference and
 /// accounts the packet (instead of panicking the stage thread) so the
 /// closed loop terminates even if an invariant is ever violated.
-struct BurstSink<'a> {
-    out: HashMap<Stage, (Producer<Msg>, Vec<Msg>)>,
+struct StashSink<'a> {
+    out: Vec<TargetQueue>,
     stats: &'a StageStats,
     pool: &'a PacketPool,
     dropped: &'a AtomicU64,
     handle: &'a ProgramHandle,
 }
 
-impl BurstSink<'_> {
+impl<'a> StashSink<'a> {
+    fn new(
+        targets: Vec<(Stage, Producer<Msg>)>,
+        stats: &'a StageStats,
+        pool: &'a PacketPool,
+        dropped: &'a AtomicU64,
+        handle: &'a ProgramHandle,
+    ) -> Self {
+        StashSink {
+            out: targets
+                .into_iter()
+                .map(|(to, p)| TargetQueue {
+                    to,
+                    p,
+                    buf: Vec::new(),
+                    off: 0,
+                    attempts: 0,
+                })
+                .collect(),
+            stats,
+            pool,
+            dropped,
+            handle,
+        }
+    }
+
     fn send(&mut self, stage: Stage, msg: Msg) {
-        let Some((p, buf)) = self.out.get_mut(&stage) else {
+        // Linear scan: a stage has at most a handful of targets, and the
+        // Vec avoids hashing a Stage per message.
+        let Some(q) = self.out.iter_mut().find(|q| q.to == stage) else {
             // Settle the packet against its stamped epoch before the
             // reference is released (the slot may be reused immediately).
             let epoch = self.pool.with(msg.r, |p| p.meta().epoch());
@@ -288,89 +361,464 @@ impl BurstSink<'_> {
             self.dropped.fetch_add(1, Ordering::Release);
             return;
         };
-        buf.push(msg);
-        if buf.len() >= BURST {
-            flush_burst(p, buf, self.stats);
+        q.buf.push(msg);
+        if q.buf.len() - q.off >= BURST {
+            Self::flush_queue(q, self.stats);
         }
     }
 
-    /// Flush every per-target buffer (call at the end of a drain round).
-    fn flush(&mut self) {
-        for (p, buf) in self.out.values_mut() {
-            if !buf.is_empty() {
-                flush_burst(p, buf, self.stats);
-            }
+    /// One non-blocking burst push for `q`; returns true on any progress.
+    /// A ring that stays full for [`RETRY_LIMIT`] consecutive attempts is
+    /// recorded as one backpressure event.
+    fn flush_queue(q: &mut TargetQueue, stats: &StageStats) -> bool {
+        if q.off >= q.buf.len() {
+            return false;
         }
-    }
-}
-
-impl Deliver for BurstSink<'_> {
-    fn deliver(&mut self, target: Target, msg: Msg) {
-        self.send(Stage::of(target), msg);
-    }
-
-    fn flush_hint(&mut self) {
-        self.flush();
-    }
-}
-
-/// The agent's sink: like [`BurstSink`] but **never blocks** — when a ring
-/// stays full, messages wait in a per-target overflow stash (bounded in
-/// practice by the closed-loop in-flight window) that [`AgentSink::pump`]
-/// retries every loop iteration. The agent must never block because every
-/// other stage may be blocked on *it* draining its inbound rings.
-struct AgentSink<'a> {
-    out: HashMap<Stage, (Producer<Msg>, VecDeque<Msg>)>,
-    stats: &'a StageStats,
-    pool: &'a PacketPool,
-    dropped: &'a AtomicU64,
-    handle: &'a ProgramHandle,
-}
-
-impl AgentSink<'_> {
-    fn send(&mut self, stage: Stage, msg: Msg) {
-        let Some((p, stash)) = self.out.get_mut(&stage) else {
-            // Misroute fallback — see [`BurstSink::send`].
-            let epoch = self.pool.with(msg.r, |p| p.meta().epoch());
-            self.pool.release(msg.r);
-            self.stats.note_misroute();
-            self.handle.finish(epoch);
-            self.dropped.fetch_add(1, Ordering::Release);
-            return;
-        };
-        if stash.is_empty() {
-            if let Err(back) = p.push(msg) {
-                self.stats.note_backpressure();
-                stash.push_back(back);
+        let n = q.p.push_burst(&q.buf[q.off..]);
+        q.off += n;
+        if q.off >= q.buf.len() {
+            q.buf.clear();
+            q.off = 0;
+        }
+        if n == 0 {
+            q.attempts += 1;
+            if q.attempts == RETRY_LIMIT {
+                stats.note_backpressure();
             }
+            false
         } else {
-            // Preserve per-target FIFO: new messages queue behind the stash.
-            stash.push_back(msg);
+            q.attempts = 0;
+            true
         }
     }
 
-    /// Retry stashed sends; returns true when every stash is empty.
+    /// Retry every per-target buffer; returns true on any progress.
     fn pump(&mut self) -> bool {
-        let mut all_empty = true;
-        for (p, stash) in self.out.values_mut() {
-            while let Some(msg) = stash.pop_front() {
-                if let Err(back) = p.push(msg) {
-                    stash.push_front(back);
-                    all_empty = false;
-                    break;
-                }
-            }
+        let mut progress = false;
+        for q in &mut self.out {
+            progress |= Self::flush_queue(q, self.stats);
         }
-        all_empty
+        progress
+    }
+
+    /// Nothing buffered anywhere (quiesce condition).
+    fn all_empty(&self) -> bool {
+        self.out.iter().all(|q| q.off >= q.buf.len())
     }
 }
 
-impl Deliver for AgentSink<'_> {
+impl Deliver for StashSink<'_> {
     fn deliver(&mut self, target: Target, msg: Msg) {
         // `Target::Merger` routes back through the agent itself (the
         // Agent→Agent self-ring): a next-segment copy needs its own
         // sequence assignment and instance pick.
         self.send(Stage::of(target), msg);
+    }
+
+    fn flush_hint(&mut self) {
+        self.pump();
+    }
+}
+
+/// Classifier stage task: drains the injection ring into a pending queue
+/// and admits it in bursts, in live mode — each admission is pinned to
+/// the then-current epoch. A pool-exhausted admission leaves the packet
+/// at the front of the queue for the next pass (FIFO and dense-PID order
+/// preserved) instead of blocking the thread.
+struct ClassifierTask<'a> {
+    classifier: Classifier,
+    inject_rx: Consumer<Packet>,
+    pending: VecDeque<Packet>,
+    scratch: Vec<Packet>,
+    sink: StashSink<'a>,
+    pool: Arc<PacketPool>,
+    stats: &'a StageStats,
+    tele: &'a Telemetry,
+    stop: &'a AtomicBool,
+    dropped: &'a AtomicU64,
+}
+
+impl crate::exec::StageCore for ClassifierTask<'_> {
+    fn pass(&mut self) -> bool {
+        self.stats.note_occupancy(self.inject_rx.len());
+        let mut progress = false;
+        if self.pending.len() < BURST {
+            self.scratch.clear();
+            if self.inject_rx.pop_burst(&mut self.scratch, BURST) > 0 {
+                progress = true;
+                self.pending.extend(self.scratch.drain(..));
+            }
+        }
+        if !self.pending.is_empty() {
+            let batch = self.classifier.admit_burst(
+                &mut self.pending,
+                &self.pool,
+                &mut self.sink,
+                self.stats,
+                Some(self.tele),
+            );
+            // Malformed / unmatched packets are finished here, and the
+            // closed loop must account for them.
+            if batch.rejected > 0 {
+                self.dropped.fetch_add(batch.rejected, Ordering::Release);
+            }
+            progress |= batch.admitted > 0 || batch.rejected > 0;
+        }
+        progress |= self.sink.pump();
+        progress
+    }
+
+    fn ready(&self) -> bool {
+        !self.inject_rx.is_empty() || !self.pending.is_empty() || !self.sink.all_empty()
+    }
+
+    fn done(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+            && self.inject_rx.is_empty()
+            && self.pending.is_empty()
+            && self.sink.all_empty()
+    }
+}
+
+/// Hand-back slot for an NF runtime: the stage thread parks the runtime
+/// here at `finish` so the engine can harvest failure reports.
+type RtSlot = Mutex<Option<NfRuntime<Box<dyn NetworkFunction>>>>;
+
+/// One delivered packet: pid, collection timestamp, optional payload.
+type OutputRow = (u64, Instant, Option<Packet>);
+
+/// NF stage task: drives one NF runtime core. Each pass bumps the
+/// watchdog heartbeat and honors a stall verdict before touching more
+/// traffic; the busy flag brackets time spent inside the NF so the
+/// watchdog only ever blames an NF that is actually holding a packet.
+struct NfTask<'a> {
+    i: usize,
+    rt: Option<NfRuntime<Box<dyn NetworkFunction>>>,
+    rxs: Vec<Consumer<Msg>>,
+    sink: StashSink<'a>,
+    resolver: TablesResolver,
+    batch: Vec<Msg>,
+    pool: Arc<PacketPool>,
+    handle: Arc<ProgramHandle>,
+    stats: &'a StageStats,
+    tele: &'a Telemetry,
+    hb: &'a AtomicU64,
+    busy: &'a AtomicBool,
+    failed: &'a AtomicBool,
+    quiesce: &'a AtomicBool,
+    dropped: &'a AtomicU64,
+    slot: &'a RtSlot,
+}
+
+impl crate::exec::StageCore for NfTask<'_> {
+    fn pass(&mut self) -> bool {
+        self.hb.fetch_add(1, Ordering::Relaxed);
+        let rt = self.rt.as_mut().expect("runtime present until finish");
+        if self.failed.load(Ordering::Acquire) {
+            rt.force_fail(FailureKind::Stalled);
+        }
+        let mut progress = false;
+        for rx in &self.rxs {
+            self.stats.note_occupancy(rx.len());
+            self.batch.clear();
+            if rx.pop_burst(&mut self.batch, BURST) == 0 {
+                continue;
+            }
+            progress = true;
+            self.busy.store(true, Ordering::Release);
+            let t0 = self.tele.clock();
+            let n = self.batch.len() as u64;
+            for msg in self.batch.drain(..) {
+                // Resolve this packet's NF config by its stamped epoch, so
+                // a mid-swap packet is processed under the policy that
+                // classified it.
+                let epoch = self.pool.with(msg.r, |p| p.meta().epoch());
+                let tables = self.resolver.get(epoch, self.stats);
+                let cfg = &tables.nf_configs[self.i];
+                let before = rt.dropped + rt.errors + rt.policy_drops;
+                self.tele.trace_ref(Stage::Nf(self.i), &self.pool, msg.r);
+                rt.handle_with(cfg, msg, &self.pool, &mut self.sink, self.stats);
+                let after = rt.dropped + rt.errors + rt.policy_drops;
+                if matches!(cfg.on_drop, DropBehavior::Discard) && after > before {
+                    // A silent discard finishes the packet right here:
+                    // settle it against its epoch (≤ 1 drop per message
+                    // by construction).
+                    for _ in 0..(after - before) {
+                        self.handle.finish(epoch);
+                    }
+                    self.dropped.fetch_add(after - before, Ordering::Release);
+                }
+            }
+            self.tele.record_split(Stage::Nf(self.i), t0, n);
+            self.busy.store(false, Ordering::Release);
+        }
+        progress |= self.sink.pump();
+        progress
+    }
+
+    fn ready(&self) -> bool {
+        self.rxs.iter().any(|r| !r.is_empty()) || !self.sink.all_empty()
+    }
+
+    fn done(&self) -> bool {
+        self.quiesce.load(Ordering::Acquire)
+            && self.rxs.iter().all(|r| r.is_empty())
+            && self.sink.all_empty()
+    }
+
+    fn finish(&mut self) {
+        // Hand the runtime back for rerun and failure harvesting.
+        *self.slot.lock().unwrap() = self.rt.take();
+    }
+}
+
+/// Merger agent stage task: drives the agent/sequencer core — PID-hash
+/// routing (§5.3), dense sequence assignment and in-order outcome
+/// release.
+struct AgentTask<'a> {
+    core: AgentCore,
+    rxs: Vec<Consumer<Msg>>,
+    outcome_rxs: Vec<Consumer<Outcome>>,
+    sink: StashSink<'a>,
+    resolver: TablesResolver,
+    batch: Vec<Msg>,
+    obatch: Vec<Outcome>,
+    picks: Vec<usize>,
+    pool: Arc<PacketPool>,
+    handle: Arc<ProgramHandle>,
+    stats: &'a StageStats,
+    tele: &'a Telemetry,
+    quiesce: &'a AtomicBool,
+    dropped: &'a AtomicU64,
+}
+
+impl crate::exec::StageCore for AgentTask<'_> {
+    fn pass(&mut self) -> bool {
+        let mut progress = false;
+        // 1. Route inbound copies/nils, stamping sequence numbers.
+        for rx in &self.rxs {
+            self.stats.note_occupancy(rx.len());
+            self.batch.clear();
+            if rx.pop_burst(&mut self.batch, BURST) == 0 {
+                continue;
+            }
+            progress = true;
+            for msg in self.batch.iter() {
+                self.tele.trace_ref(Stage::Agent, &self.pool, msg.r);
+            }
+            let t0 = self.tele.clock();
+            self.picks.clear();
+            self.core.route_burst(
+                &mut self.batch,
+                &self.pool,
+                &mut self.resolver,
+                self.stats,
+                &mut self.picks,
+            );
+            self.tele
+                .record_split(Stage::Agent, t0, self.batch.len() as u64);
+            for (msg, &pick) in self.batch.drain(..).zip(self.picks.iter()) {
+                self.sink.send(Stage::Merger(pick), msg);
+            }
+        }
+        // 2. Release merge outcomes in sequence order. Each merge-resolved
+        // drop settles against the epoch that classified the packet.
+        for orx in &self.outcome_rxs {
+            self.obatch.clear();
+            if orx.pop_burst(&mut self.obatch, BURST) == 0 {
+                continue;
+            }
+            progress = true;
+            for o in self.obatch.drain(..) {
+                let drops = self.core.release(
+                    o,
+                    &self.pool,
+                    &mut self.resolver,
+                    &mut self.sink,
+                    self.stats,
+                );
+                for epoch in drops {
+                    self.handle.finish(epoch);
+                    self.dropped.fetch_add(1, Ordering::Release);
+                }
+            }
+        }
+        // 3. Retry stalled sends — the agent never blocks.
+        progress |= self.sink.pump();
+        progress
+    }
+
+    fn ready(&self) -> bool {
+        self.rxs.iter().any(|r| !r.is_empty())
+            || self.outcome_rxs.iter().any(|r| !r.is_empty())
+            || !self.sink.all_empty()
+    }
+
+    fn done(&self) -> bool {
+        self.quiesce.load(Ordering::Acquire)
+            && self.rxs.iter().all(|r| r.is_empty())
+            && self.outcome_rxs.iter().all(|r| r.is_empty())
+            && self.sink.all_empty()
+    }
+}
+
+/// Merger instance stage task: accumulate → merge → return outcomes to
+/// the agent. The outcome push is non-blocking (stash with a drain
+/// offset), and the deadline pass runs even on otherwise idle passes so a
+/// wedged merge cannot outlive its deadline just because traffic stopped.
+struct MergerTask<'a> {
+    m: usize,
+    core: MergerCore,
+    rxs: Vec<Consumer<Msg>>,
+    outcome_tx: Producer<Outcome>,
+    outcomes: Vec<Outcome>,
+    out_off: usize,
+    out_attempts: u32,
+    resolver: TablesResolver,
+    batch: Vec<Msg>,
+    pool: Arc<PacketPool>,
+    stats: &'a StageStats,
+    tele: &'a Telemetry,
+    quiesce: &'a AtomicBool,
+    started: Instant,
+    merge_deadline_ms: u64,
+}
+
+impl crate::exec::StageCore for MergerTask<'_> {
+    fn pass(&mut self) -> bool {
+        let mut progress = false;
+        for rx in &self.rxs {
+            self.stats.note_occupancy(rx.len());
+            self.batch.clear();
+            if rx.pop_burst(&mut self.batch, BURST) == 0 {
+                continue;
+            }
+            progress = true;
+            for msg in self.batch.iter() {
+                self.tele
+                    .trace_ref(Stage::Merger(self.m), &self.pool, msg.r);
+            }
+            let now_ms = self.started.elapsed().as_millis() as u64;
+            let t0 = self.tele.clock();
+            self.core.offer_burst(
+                &self.batch,
+                &self.pool,
+                &mut self.resolver,
+                self.stats,
+                now_ms,
+                &mut self.outcomes,
+            );
+            self.tele
+                .record_split(Stage::Merger(self.m), t0, self.batch.len() as u64);
+        }
+        // Deadline pass: resolve entries whose siblings stopped coming (a
+        // failed NF never sends its copy).
+        if self.core.pending_len() > 0 {
+            if let Some(cutoff) =
+                (self.started.elapsed().as_millis() as u64).checked_sub(self.merge_deadline_ms)
+            {
+                let expired = self
+                    .core
+                    .expire(cutoff, &self.pool, &mut self.resolver, self.stats);
+                if !expired.is_empty() {
+                    progress = true;
+                    self.outcomes.extend(expired);
+                }
+            }
+        }
+        // Return outcomes as a non-blocking burst; the agent always
+        // drains, so the stash is bounded by the in-flight window.
+        if self.out_off < self.outcomes.len() {
+            let n = self.outcome_tx.push_burst(&self.outcomes[self.out_off..]);
+            self.out_off += n;
+            if self.out_off >= self.outcomes.len() {
+                self.outcomes.clear();
+                self.out_off = 0;
+            }
+            if n == 0 {
+                self.out_attempts += 1;
+                if self.out_attempts == RETRY_LIMIT {
+                    self.stats.note_backpressure();
+                }
+            } else {
+                self.out_attempts = 0;
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    fn ready(&self) -> bool {
+        self.rxs.iter().any(|r| !r.is_empty()) || self.out_off < self.outcomes.len()
+    }
+
+    fn done(&self) -> bool {
+        self.quiesce.load(Ordering::Acquire)
+            && self.rxs.iter().all(|r| r.is_empty())
+            && self.out_off >= self.outcomes.len()
+    }
+}
+
+/// Collector stage task: take finished packets out of the pool in bursts,
+/// timestamp, count — and hand the outputs back through a shared slot at
+/// finish.
+struct CollectorTask<'a> {
+    rxs: Vec<Consumer<Msg>>,
+    batch: Vec<Msg>,
+    pkts: Vec<Packet>,
+    outputs: Vec<OutputRow>,
+    pool: Arc<PacketPool>,
+    handle: Arc<ProgramHandle>,
+    stats: &'a StageStats,
+    tele: &'a Telemetry,
+    quiesce: &'a AtomicBool,
+    delivered: &'a AtomicU64,
+    keep_packets: bool,
+    slot: &'a Mutex<Vec<OutputRow>>,
+}
+
+impl crate::exec::StageCore for CollectorTask<'_> {
+    fn pass(&mut self) -> bool {
+        let mut progress = false;
+        for rx in &self.rxs {
+            self.stats.note_occupancy(rx.len());
+            self.batch.clear();
+            if rx.pop_burst(&mut self.batch, BURST) == 0 {
+                continue;
+            }
+            progress = true;
+            let t0 = self.tele.clock();
+            self.pkts.clear();
+            collector::collect_burst(&self.batch, &self.pool, self.stats, &mut self.pkts);
+            self.tele
+                .record_split(Stage::Collector, t0, self.batch.len() as u64);
+            let t_out = Instant::now();
+            let n = self.pkts.len() as u64;
+            for pkt in self.pkts.drain(..) {
+                self.tele
+                    .hop_if_traced(Stage::Collector, pkt.meta(), pkt.is_nil());
+                let pid = pkt.meta().pid();
+                // Delivery settles the packet against the epoch that
+                // classified it.
+                self.handle.finish(pkt.meta().epoch());
+                self.outputs
+                    .push((pid, t_out, self.keep_packets.then_some(pkt)));
+            }
+            self.delivered.fetch_add(n, Ordering::Release);
+        }
+        progress
+    }
+
+    fn ready(&self) -> bool {
+        self.rxs.iter().any(|r| !r.is_empty())
+    }
+
+    fn done(&self) -> bool {
+        self.quiesce.load(Ordering::Acquire) && self.rxs.iter().all(|r| r.is_empty())
+    }
+
+    fn finish(&mut self) {
+        *self.slot.lock().unwrap() = std::mem::take(&mut self.outputs);
     }
 }
 
@@ -460,6 +908,7 @@ impl EngineController {
         let swap = self.handle.install(program)?;
         let drained = swap.old.in_flight();
         let deadline = started + self.drain_timeout;
+        let mut spins = 0u32;
         while !swap.old.drained() {
             if Instant::now() >= deadline {
                 return Err(ReconfigError::DrainTimeout {
@@ -467,7 +916,14 @@ impl EngineController {
                     in_flight: swap.old.in_flight(),
                 });
             }
-            std::thread::yield_now();
+            // Back off: drains take packet-scale time, not cycle-scale,
+            // and this controller thread must not steal the engine's core.
+            spins += 1;
+            if spins < 16 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
         }
         self.handle.retire();
         Ok(EpochReport {
@@ -509,6 +965,18 @@ impl Engine {
         }
         if config.mergers == 0 {
             return Err(EngineError::NoMergers);
+        }
+        if config.core_budget == 0 {
+            return Err(EngineError::ZeroCoreBudget);
+        }
+        let host = crate::exec::host_parallelism();
+        if let Some(&cpu) = config.pin_cpus.iter().find(|&&cpu| cpu >= host) {
+            return Err(EngineError::PinCpuOutOfRange { cpu, host });
+        }
+        if let crate::exec::IdlePolicy::Backoff { park_timeout, .. } = config.idle_policy {
+            if park_timeout.is_zero() {
+                return Err(EngineError::ZeroParkTimeout);
+            }
         }
         validate_wiring(&program, config.mergers)?;
         let slots = program.slots_per_packet();
@@ -647,38 +1115,31 @@ impl Engine {
         let stall_timeout = self.config.stall_timeout;
         let merge_deadline_ms = self.config.merge_deadline.as_millis() as u64;
 
-        let mut classifier_sink = BurstSink {
-            out: producers_from(Stage::Classifier, &mut producers)
-                .into_iter()
-                .map(|(to, p)| (to, (p, Vec::new())))
-                .collect(),
-            stats: &classifier_stats,
-            pool: pool.as_ref(),
-            dropped: &dropped,
-            handle: handle.as_ref(),
-        };
-        let mut nf_sinks: Vec<BurstSink> = (0..n_nfs)
-            .map(|i| BurstSink {
-                out: producers_from(Stage::Nf(i), &mut producers)
-                    .into_iter()
-                    .map(|(to, p)| (to, (p, Vec::new())))
-                    .collect(),
-                stats: &nf_stats[i],
-                pool: pool.as_ref(),
-                dropped: &dropped,
-                handle: handle.as_ref(),
+        let classifier_sink = StashSink::new(
+            producers_from(Stage::Classifier, &mut producers),
+            &classifier_stats,
+            pool.as_ref(),
+            &dropped,
+            handle.as_ref(),
+        );
+        let mut nf_sinks: Vec<StashSink> = (0..n_nfs)
+            .map(|i| {
+                StashSink::new(
+                    producers_from(Stage::Nf(i), &mut producers),
+                    &nf_stats[i],
+                    pool.as_ref(),
+                    &dropped,
+                    handle.as_ref(),
+                )
             })
             .collect();
-        let mut agent_sink = AgentSink {
-            out: producers_from(Stage::Agent, &mut producers)
-                .into_iter()
-                .map(|(to, p)| (to, (p, VecDeque::new())))
-                .collect(),
-            stats: &agent_stats,
-            pool: pool.as_ref(),
-            dropped: &dropped,
-            handle: handle.as_ref(),
-        };
+        let agent_sink = StashSink::new(
+            producers_from(Stage::Agent, &mut producers),
+            &agent_stats,
+            pool.as_ref(),
+            &dropped,
+            handle.as_ref(),
+        );
         let mut nf_rx: Vec<Vec<Consumer<Msg>>> = (0..n_nfs)
             .map(|i| consumers.remove(&Stage::Nf(i)).unwrap_or_default())
             .collect();
@@ -700,359 +1161,131 @@ impl Engine {
             .map(|(nf, cfg)| NfRuntime::new(nf, cfg))
             .collect();
 
+        // Threading model: pack the stage tasks onto at most `core_budget`
+        // threads, coalescing in pipeline order, with a shared wake hub
+        // for adaptive idling. Result hand-back goes through slots the
+        // tasks fill at finish.
+        let hub = crate::exec::WakeHub::new();
+        let idle_policy = self.config.idle_policy;
+        let core_budget = self.config.core_budget.max(1);
+        let pin_cpus = self.config.pin_cpus.clone();
+        let rt_slots: Vec<RtSlot> = (0..n_nfs).map(|_| Mutex::new(None)).collect();
+        let outputs_slot: Mutex<Vec<OutputRow>> = Mutex::new(Vec::new());
+
         let mut report_latency = LatencyRecorder::with_capacity(packets.len());
         let mut report_packets = Vec::new();
         let mut nf_failures: Vec<NfFailure> = Vec::new();
         let started = Instant::now();
 
-        crossbeam::thread::scope(|scope| {
-            // Classifier thread: drains the injection ring in bursts and
-            // drives the classifier core in live mode — each admission is
-            // pinned to the then-current epoch (failed admissions are
-            // aborted inside the classifier, so a retry re-pins).
-            let pool_c = Arc::clone(&pool);
-            let handle_c = Arc::clone(&handle);
-            let stop_ref = &stop;
-            let quiesce_ref = &quiesce;
-            let dropped_ref = &dropped;
-            let cstats = &classifier_stats;
-            let tele = &telemetry;
-            scope.spawn(move |_| {
-                let mut classifier = Classifier::live(handle_c);
-                let mut batch: Vec<Packet> = Vec::new();
-                loop {
-                    cstats.note_occupancy(inject_rx.len());
-                    batch.clear();
-                    if inject_rx.pop_burst(&mut batch, BURST) == 0 {
-                        classifier_sink.flush();
-                        if stop_ref.load(Ordering::Acquire) && inject_rx.is_empty() {
-                            break;
-                        }
-                        std::thread::yield_now();
-                        continue;
-                    }
-                    for pkt in batch.drain(..) {
-                        loop {
-                            match classifier.admit_observed(
-                                pkt.clone(),
-                                &pool_c,
-                                &mut classifier_sink,
-                                cstats,
-                                Some(tele),
-                            ) {
-                                Ok(_) => break,
-                                Err(AdmitError::PoolExhausted) => {
-                                    // Let the mergers drain; flushing keeps
-                                    // downstream fed while we wait.
-                                    classifier_sink.flush();
-                                    std::thread::yield_now();
-                                }
-                                Err(_) => {
-                                    // Malformed / unmatched: the packet is
-                                    // finished here, and the closed loop
-                                    // must account for it.
-                                    dropped_ref.fetch_add(1, Ordering::Release);
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                    classifier_sink.flush();
-                }
-            });
+        // Stage tasks in pipeline order; contiguous grouping then keeps
+        // producer→consumer pairs together when coalescing.
+        let mut tasks: Vec<Box<dyn crate::exec::StageCore + '_>> =
+            Vec::with_capacity(3 + n_nfs + n_mergers);
+        tasks.push(Box::new(ClassifierTask {
+            classifier: Classifier::live(Arc::clone(&handle)),
+            inject_rx,
+            pending: VecDeque::new(),
+            scratch: Vec::new(),
+            sink: classifier_sink,
+            pool: Arc::clone(&pool),
+            stats: &classifier_stats,
+            tele: &telemetry,
+            stop: &stop,
+            dropped: &dropped,
+        }));
+        for (i, (rt, sink)) in runtimes.drain(..).zip(nf_sinks.drain(..)).enumerate() {
+            tasks.push(Box::new(NfTask {
+                i,
+                rt: Some(rt),
+                rxs: std::mem::take(&mut nf_rx[i]),
+                sink,
+                resolver: TablesResolver::new(Arc::clone(&handle)),
+                batch: Vec::new(),
+                pool: Arc::clone(&pool),
+                handle: Arc::clone(&handle),
+                stats: &nf_stats[i],
+                tele: &telemetry,
+                hb: &heartbeats[i],
+                busy: &nf_busy[i],
+                failed: &nf_failed[i],
+                quiesce: &quiesce,
+                dropped: &dropped,
+                slot: &rt_slots[i],
+            }));
+        }
+        tasks.push(Box::new(AgentTask {
+            core: AgentCore::new(n_mergers),
+            rxs: agent_rx,
+            outcome_rxs,
+            sink: agent_sink,
+            resolver: TablesResolver::new(Arc::clone(&handle)),
+            batch: Vec::new(),
+            obatch: Vec::new(),
+            picks: Vec::new(),
+            pool: Arc::clone(&pool),
+            handle: Arc::clone(&handle),
+            stats: &agent_stats,
+            tele: &telemetry,
+            quiesce: &quiesce,
+            dropped: &dropped,
+        }));
+        for (m, outcome_tx) in outcome_txs.drain(..).enumerate() {
+            tasks.push(Box::new(MergerTask {
+                m,
+                core: MergerCore::new(),
+                rxs: std::mem::take(&mut merger_rx[m]),
+                outcome_tx,
+                outcomes: Vec::new(),
+                out_off: 0,
+                out_attempts: 0,
+                resolver: TablesResolver::new(Arc::clone(&handle)),
+                batch: Vec::new(),
+                pool: Arc::clone(&pool),
+                stats: &merger_stats[m],
+                tele: &telemetry,
+                quiesce: &quiesce,
+                started,
+                merge_deadline_ms,
+            }));
+        }
+        tasks.push(Box::new(CollectorTask {
+            rxs: collector_rx,
+            batch: Vec::new(),
+            pkts: Vec::new(),
+            outputs: Vec::new(),
+            pool: Arc::clone(&pool),
+            handle: Arc::clone(&handle),
+            stats: &collector_stats,
+            tele: &telemetry,
+            quiesce: &quiesce,
+            delivered: &delivered,
+            keep_packets,
+            slot: &outputs_slot,
+        }));
+        // Front section: classifier + NFs. Back section: agent + mergers
+        // + collector. Budgets ≥ 2 never mix the sections, so a blocking
+        // NF cannot starve merge-deadline enforcement.
+        let groups = crate::exec::plan_pipeline_groups(1 + n_nfs, 2 + n_mergers, core_budget);
 
-            // NF threads: each drives its NF runtime core (and returns it
-            // so the engine can be rerun and NF stats inspected). Each
-            // loop iteration bumps the thread's heartbeat and honors a
-            // watchdog stall verdict before touching more traffic; the
-            // busy flag brackets time spent inside the NF so the watchdog
-            // only ever blames an NF that is actually holding a packet.
-            let mut nf_handles = Vec::new();
-            for (i, mut rt) in runtimes.drain(..).enumerate() {
-                let rxs = std::mem::take(&mut nf_rx[i]);
-                let mut sink = std::mem::replace(
-                    &mut nf_sinks[i],
-                    BurstSink {
-                        out: HashMap::new(),
-                        stats: &nf_stats[i],
-                        pool: pool.as_ref(),
-                        dropped: &dropped,
-                        handle: handle.as_ref(),
-                    },
-                );
-                let pool_n = Arc::clone(&pool);
-                let handle_n = Arc::clone(&handle);
-                let nstats = &nf_stats[i];
-                let hb = &heartbeats[i];
-                let busy_flag = &nf_busy[i];
-                let failed_flag = &nf_failed[i];
-                let tele = &telemetry;
-                nf_handles.push(scope.spawn(move |_| {
-                    let mut resolver = TablesResolver::new(Arc::clone(&handle_n));
-                    let mut batch: Vec<Msg> = Vec::new();
-                    loop {
-                        hb.fetch_add(1, Ordering::Relaxed);
-                        if failed_flag.load(Ordering::Acquire) {
-                            rt.force_fail(FailureKind::Stalled);
-                        }
-                        let mut progress = false;
-                        for rx in &rxs {
-                            nstats.note_occupancy(rx.len());
-                            loop {
-                                batch.clear();
-                                if rx.pop_burst(&mut batch, BURST) == 0 {
-                                    break;
-                                }
-                                progress = true;
-                                busy_flag.store(true, Ordering::Release);
-                                for msg in batch.drain(..) {
-                                    // Resolve this packet's NF config by
-                                    // its stamped epoch, so a mid-swap
-                                    // packet is processed under the policy
-                                    // that classified it.
-                                    let epoch = pool_n.with(msg.r, |p| p.meta().epoch());
-                                    let tables = resolver.get(epoch, nstats);
-                                    let cfg = &tables.nf_configs[i];
-                                    let before = rt.dropped + rt.errors + rt.policy_drops;
-                                    tele.trace_ref(Stage::Nf(i), &pool_n, msg.r);
-                                    let t0 = tele.clock();
-                                    rt.handle_with(cfg, msg, &pool_n, &mut sink, nstats);
-                                    tele.record(Stage::Nf(i), t0);
-                                    let after = rt.dropped + rt.errors + rt.policy_drops;
-                                    if matches!(cfg.on_drop, DropBehavior::Discard)
-                                        && after > before
-                                    {
-                                        // A silent discard finishes the
-                                        // packet right here: settle it
-                                        // against its epoch (≤ 1 drop per
-                                        // message by construction).
-                                        for _ in 0..(after - before) {
-                                            handle_n.finish(epoch);
-                                        }
-                                        dropped_ref.fetch_add(after - before, Ordering::Release);
-                                    }
-                                }
-                                busy_flag.store(false, Ordering::Release);
-                            }
-                        }
-                        sink.flush();
-                        if !progress {
-                            if quiesce_ref.load(Ordering::Acquire)
-                                && rxs.iter().all(|r| r.is_empty())
-                            {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                    }
-                    rt
+        crossbeam::thread::scope(|scope| {
+            // One thread per group, each round-robining its stage tasks.
+            let mut group_handles = Vec::with_capacity(groups.len());
+            let mut task_iter = tasks.into_iter();
+            for (g, range) in groups.iter().enumerate() {
+                let mut cores: Vec<Box<dyn crate::exec::StageCore + '_>> =
+                    task_iter.by_ref().take(range.len()).collect();
+                let hub_ref = &hub;
+                let pin = (!pin_cpus.is_empty()).then(|| pin_cpus[g % pin_cpus.len()]);
+                group_handles.push(scope.spawn(move |_| {
+                    crate::exec::drive(&mut cores, hub_ref, idle_policy, pin);
                 }));
             }
 
-            // Merger agent thread: drives the agent/sequencer core —
-            // PID-hash routing (§5.3), dense sequence assignment and
-            // in-order outcome release.
-            let pool_a = Arc::clone(&pool);
-            let handle_a = Arc::clone(&handle);
-            let astats = &agent_stats;
-            let tele = &telemetry;
-            scope.spawn(move |_| {
-                let mut resolver = TablesResolver::new(Arc::clone(&handle_a));
-                let mut core = AgentCore::new(n_mergers);
-                let mut batch: Vec<Msg> = Vec::new();
-                let mut obatch: Vec<Outcome> = Vec::new();
-                loop {
-                    let mut progress = false;
-                    // 1. Route inbound copies/nils, stamping sequence numbers.
-                    for rx in &agent_rx {
-                        astats.note_occupancy(rx.len());
-                        loop {
-                            batch.clear();
-                            if rx.pop_burst(&mut batch, BURST) == 0 {
-                                break;
-                            }
-                            progress = true;
-                            for mut msg in batch.drain(..) {
-                                tele.trace_ref(Stage::Agent, &pool_a, msg.r);
-                                let t0 = tele.clock();
-                                let instance = core.route(&mut msg, &pool_a, &mut resolver, astats);
-                                tele.record(Stage::Agent, t0);
-                                agent_sink.send(Stage::Merger(instance), msg);
-                            }
-                        }
-                    }
-                    // 2. Release merge outcomes in sequence order. Each
-                    // merge-resolved drop settles against the epoch that
-                    // classified the packet.
-                    for orx in &outcome_rxs {
-                        loop {
-                            obatch.clear();
-                            if orx.pop_burst(&mut obatch, BURST) == 0 {
-                                break;
-                            }
-                            progress = true;
-                            for o in obatch.drain(..) {
-                                let drops = core.release(
-                                    o,
-                                    &pool_a,
-                                    &mut resolver,
-                                    &mut agent_sink,
-                                    astats,
-                                );
-                                for epoch in drops {
-                                    handle_a.finish(epoch);
-                                    dropped_ref.fetch_add(1, Ordering::Release);
-                                }
-                            }
-                        }
-                    }
-                    // 3. Retry stalled sends — the agent never blocks.
-                    let stashes_empty = agent_sink.pump();
-                    if !progress {
-                        if quiesce_ref.load(Ordering::Acquire)
-                            && stashes_empty
-                            && agent_rx.iter().all(|r| r.is_empty())
-                            && outcome_rxs.iter().all(|r| r.is_empty())
-                        {
-                            break;
-                        }
-                        std::thread::yield_now();
-                    }
-                }
-            });
-
-            // Merger instance threads: each drives a merger core in
-            // parallel, returning outcomes to the agent for ordered
-            // release.
-            for (m, outcome_tx) in outcome_txs.drain(..).enumerate() {
-                let rxs = std::mem::take(&mut merger_rx[m]);
-                let pool_m = Arc::clone(&pool);
-                let handle_m = Arc::clone(&handle);
-                let mstats = &merger_stats[m];
-                let tele = &telemetry;
-                scope.spawn(move |_| {
-                    let mut resolver = TablesResolver::new(handle_m);
-                    let mut core = MergerCore::new();
-                    let mut batch: Vec<Msg> = Vec::new();
-                    let mut outcomes: Vec<Outcome> = Vec::new();
-                    loop {
-                        let mut progress = false;
-                        for rx in &rxs {
-                            mstats.note_occupancy(rx.len());
-                            loop {
-                                batch.clear();
-                                if rx.pop_burst(&mut batch, BURST) == 0 {
-                                    break;
-                                }
-                                progress = true;
-                                let now_ms = started.elapsed().as_millis() as u64;
-                                for msg in batch.drain(..) {
-                                    tele.trace_ref(Stage::Merger(m), &pool_m, msg.r);
-                                    let t0 = tele.clock();
-                                    let outcome =
-                                        core.offer(msg, &pool_m, &mut resolver, mstats, now_ms);
-                                    tele.record(Stage::Merger(m), t0);
-                                    if let Some(o) = outcome {
-                                        outcomes.push(o);
-                                    }
-                                }
-                            }
-                        }
-                        // Deadline pass: resolve entries whose siblings
-                        // stopped coming (a failed NF never sends its
-                        // copy). Runs on idle iterations too, so a wedged
-                        // merge cannot outlive its deadline just because
-                        // traffic stopped.
-                        if core.pending_len() > 0 {
-                            if let Some(cutoff) = (started.elapsed().as_millis() as u64)
-                                .checked_sub(merge_deadline_ms)
-                            {
-                                let expired = core.expire(cutoff, &pool_m, &mut resolver, mstats);
-                                if !expired.is_empty() {
-                                    progress = true;
-                                    outcomes.extend(expired);
-                                }
-                            }
-                        }
-                        // Return outcomes as a burst; the agent always
-                        // drains, so the wait is bounded.
-                        let mut off = 0;
-                        let mut attempts = 0u32;
-                        while off < outcomes.len() {
-                            let n = outcome_tx.push_burst(&outcomes[off..]);
-                            off += n;
-                            if n == 0 {
-                                attempts += 1;
-                                if attempts == RETRY_LIMIT {
-                                    mstats.note_backpressure();
-                                }
-                                std::thread::yield_now();
-                            }
-                        }
-                        outcomes.clear();
-                        if !progress {
-                            if quiesce_ref.load(Ordering::Acquire)
-                                && rxs.iter().all(|r| r.is_empty())
-                            {
-                                break;
-                            }
-                            std::thread::yield_now();
-                        }
-                    }
-                });
-            }
-
-            // Collector thread: drives the collector core in bursts,
-            // timestamps, counts.
-            let pool_o = Arc::clone(&pool);
-            let handle_o = Arc::clone(&handle);
-            let delivered_ref = &delivered;
-            let ostats = &collector_stats;
-            let tele = &telemetry;
-            let collector_handle = scope.spawn(move |_| {
-                let mut outputs: Vec<(u64, Instant, Option<Packet>)> = Vec::new();
-                let mut batch: Vec<Msg> = Vec::new();
-                loop {
-                    let mut progress = false;
-                    for rx in &collector_rx {
-                        ostats.note_occupancy(rx.len());
-                        loop {
-                            batch.clear();
-                            if rx.pop_burst(&mut batch, BURST) == 0 {
-                                break;
-                            }
-                            progress = true;
-                            for msg in batch.drain(..) {
-                                let t0 = tele.clock();
-                                let pkt = collector::collect(msg, &pool_o, ostats);
-                                tele.record(Stage::Collector, t0);
-                                tele.hop_if_traced(Stage::Collector, pkt.meta(), pkt.is_nil());
-                                let pid = pkt.meta().pid();
-                                // Delivery settles the packet against the
-                                // epoch that classified it.
-                                handle_o.finish(pkt.meta().epoch());
-                                outputs.push((pid, Instant::now(), keep_packets.then_some(pkt)));
-                                delivered_ref.fetch_add(1, Ordering::Release);
-                            }
-                        }
-                    }
-                    if !progress {
-                        if quiesce_ref.load(Ordering::Acquire)
-                            && collector_rx.iter().all(|r| r.is_empty())
-                        {
-                            break;
-                        }
-                        std::thread::yield_now();
-                    }
-                }
-                outputs
-            });
-
-            // Cooperative stall watchdog, polled from this thread's spin
+            // Cooperative stall watchdog, polled from this thread's wait
             // loops: when the whole engine makes no progress for
             // `stall_timeout` while some NF sits busy with a static
             // heartbeat, that NF is holding the pipeline hostage — hand
-            // down a failed verdict so its thread force-fails the runtime
+            // down a failed verdict so its task force-fails the runtime
             // the next time the NF yields control back (an NF that never
             // returns at all is unrecoverable; see DESIGN.md).
             let mut wd_total: (u64, Instant) = (0, Instant::now());
@@ -1081,39 +1314,62 @@ impl Engine {
                 }
             };
 
-            // Closed-loop injection on this thread.
+            // Closed-loop injection on this thread, idling adaptively
+            // like the stages (the bounded park keeps the watchdog
+            // running; any stage progress notifies the hub and wakes us).
+            let mut idler = crate::exec::Idler::new(&hub, idle_policy);
+            let finished = || delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire);
             let mut inject_times: Vec<Instant> = Vec::with_capacity(packets.len());
             for pkt in packets {
-                while (inject_times.len() as u64).saturating_sub(
-                    delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire),
-                ) >= max_in_flight as u64
+                while (inject_times.len() as u64).saturating_sub(finished()) >= max_in_flight as u64
                 {
                     check_stall();
-                    std::thread::yield_now();
+                    idler.idle(|| {
+                        (inject_times.len() as u64).saturating_sub(finished())
+                            < max_in_flight as u64
+                    });
                 }
                 inject_times.push(Instant::now());
-                ring::push_blocking(&inject_tx, pkt);
+                let mut item = pkt;
+                loop {
+                    match inject_tx.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            check_stall();
+                            idler.idle(|| false);
+                        }
+                    }
+                }
+                idler.reset();
+                // The classifier may be parked; its work predicate cannot
+                // see the push without a generation bump.
+                hub.notify();
             }
             // Wait for completion, then stop injection.
-            while delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire)
-                < injected_total
-            {
+            while finished() < injected_total {
                 check_stall();
-                std::thread::yield_now();
+                idler.idle(|| finished() >= injected_total);
             }
             stop.store(true, Ordering::Release);
+            hub.notify();
             // Every packet is accounted, but straggler copies of
             // deadline-expired merges may still be in flight toward their
             // tombstones. Hold the worker stages until the pool is empty —
             // only then is it safe to let them exit without leaking.
             while pool.in_use() > 0 {
                 check_stall();
-                std::thread::yield_now();
+                idler.idle(|| pool.in_use() == 0);
             }
             quiesce.store(true, Ordering::Release);
+            hub.notify();
             drop(inject_tx);
 
-            let outputs = collector_handle.join().expect("collector thread");
+            for h in group_handles {
+                h.join().expect("engine stage group");
+            }
+
+            let outputs = std::mem::take(&mut *outputs_slot.lock().unwrap());
             for (pid, t_out, pkt) in outputs {
                 if let Some(t_in) = inject_times.get(pid as usize) {
                     report_latency.record(t_out.duration_since(*t_in));
@@ -1124,8 +1380,8 @@ impl Engine {
             }
             // Recover the NFs for subsequent runs, harvesting failure
             // records on the way out.
-            for (i, h) in nf_handles.into_iter().enumerate() {
-                let rt = h.join().expect("nf thread");
+            for (i, slot) in rt_slots.iter().enumerate() {
+                let rt = slot.lock().unwrap().take().expect("nf runtime returned");
                 let failure = rt.failure().cloned();
                 let policy = rt.failure_policy();
                 let (bypassed, policy_drops) = (rt.bypassed, rt.policy_drops);
@@ -1400,5 +1656,117 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("16"));
+    }
+
+    #[test]
+    fn threading_misconfigurations_rejected_up_front() {
+        let reg = Registry::paper_table2();
+        let compiled = compile(
+            &Policy::from_chain(["Monitor", "Firewall"]),
+            &reg,
+            &[],
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let program = compiled.program(1).unwrap();
+        let nfs = || -> Vec<Box<dyn NetworkFunction>> {
+            vec![
+                Box::new(Monitor::new("Monitor")),
+                Box::new(Firewall::with_synthetic_acl("Firewall", 100)),
+            ]
+        };
+        // A zero core budget leaves no thread to run stages on.
+        let err = Engine::new(
+            program.clone(),
+            nfs(),
+            EngineConfig {
+                core_budget: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err, EngineError::ZeroCoreBudget);
+        assert!(err.to_string().contains("core_budget"));
+        // Pinning to a CPU the host does not have is rejected with both
+        // sides of the comparison in the error.
+        let host = crate::exec::host_parallelism();
+        let err = Engine::new(
+            program.clone(),
+            nfs(),
+            EngineConfig {
+                pin_cpus: vec![0, host + 7],
+                ..EngineConfig::default()
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::PinCpuOutOfRange {
+                cpu: host + 7,
+                host
+            }
+        );
+        // A zero park timeout could sleep through non-notifying progress.
+        let err = Engine::new(
+            program.clone(),
+            nfs(),
+            EngineConfig {
+                idle_policy: crate::exec::IdlePolicy::Backoff {
+                    spin: 4,
+                    yields: 4,
+                    park_timeout: Duration::ZERO,
+                },
+                ..EngineConfig::default()
+            },
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err, EngineError::ZeroParkTimeout);
+        // The pure-spin policy has no park and needs no timeout.
+        assert!(Engine::new(
+            program,
+            nfs(),
+            EngineConfig {
+                idle_policy: crate::exec::IdlePolicy::Spin,
+                ..EngineConfig::default()
+            },
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn coalesced_single_thread_engine_delivers_everything() {
+        // The whole pipeline on one thread: every stage shares a core and
+        // no send may block, or this test deadlocks.
+        let mut e = build(
+            &["Monitor", "Firewall"],
+            EngineConfig {
+                keep_packets: true,
+                max_in_flight: 8,
+                core_budget: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let report = e.run(traffic(150));
+        assert_eq!(report.delivered, 150);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.pool_in_use, 0);
+    }
+
+    #[test]
+    fn spin_policy_engine_still_works() {
+        let mut e = build(
+            &["Monitor", "Firewall"],
+            EngineConfig {
+                max_in_flight: 8,
+                idle_policy: crate::exec::IdlePolicy::Spin,
+                core_budget: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let report = e.run(traffic(60));
+        assert_eq!(report.delivered, 60);
     }
 }

@@ -27,9 +27,13 @@
 //! * [`sync_engine`] — a deterministic single-threaded executor driving
 //!   the cores from one FIFO queue; the reference for correctness tests
 //!   (paper §6.4's replay experiment) and property tests.
-//! * [`engine`] — the multi-threaded engine: one thread per NF (the
-//!   paper's one-container-per-core), a classifier thread, a merger agent
-//!   and N merger instances, wired with SPSC rings.
+//! * [`engine`] — the multi-threaded engine: burst-driven stage cores for
+//!   the classifier, NFs, merger agent, N merger instances and collector,
+//!   wired with SPSC rings and scheduled onto a bounded set of threads.
+//! * [`exec`] — the threading model: core budgets and stage coalescing
+//!   ([`exec::plan_groups`]), the spin→yield→park idle strategy
+//!   ([`exec::IdlePolicy`], [`exec::WakeHub`]), optional core pinning,
+//!   and the [`exec::CachePadded`] false-sharing guard.
 //! * [`swap`] — epoch-based live reconfiguration: the swappable
 //!   [`swap::ProgramHandle`] every stage hangs off, per-packet epoch
 //!   pinning, drain/retire accounting, and the per-stage
@@ -49,6 +53,7 @@ pub mod actions;
 pub mod classifier;
 pub mod cores;
 pub mod engine;
+pub mod exec;
 pub mod merger;
 pub mod ring;
 pub mod runtime;
@@ -60,6 +65,7 @@ pub mod telemetry;
 
 pub use classifier::Classifier;
 pub use engine::{Engine, EngineConfig, EngineController, EngineError, EngineReport, NfFailure};
+pub use exec::{host_parallelism, IdlePolicy, WakeHub};
 pub use runtime::FailureKind;
 pub use shard::ShardedEngine;
 pub use stats::{EngineStats, StageStats};

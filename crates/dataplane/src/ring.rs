@@ -8,7 +8,8 @@
 //! the classic DPDK-style point-to-point queue, which needs no CAS loops,
 //! only acquire/release loads and stores.
 
-use core::cell::UnsafeCell;
+use crate::exec::CachePadded;
+use core::cell::{Cell, UnsafeCell};
 use core::mem::MaybeUninit;
 use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -17,9 +18,11 @@ struct Shared<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
     mask: usize,
     /// Next slot the producer writes (only the producer mutates).
-    tail: AtomicUsize,
+    /// Cache-padded so producer-side tail stores never false-share with
+    /// consumer-side head stores.
+    tail: CachePadded<AtomicUsize>,
     /// Next slot the consumer reads (only the consumer mutates).
-    head: AtomicUsize,
+    head: CachePadded<AtomicUsize>,
 }
 
 // SAFETY: only the single Producer writes slots between head and tail, and
@@ -32,11 +35,17 @@ unsafe impl<T: Send> Sync for Shared<T> {}
 /// The producing half of an SPSC ring.
 pub struct Producer<T> {
     shared: Arc<Shared<T>>,
+    /// Local view of the consumer's head, refreshed only when the ring
+    /// looks full — most pushes touch zero consumer-owned cache lines.
+    head_cache: Cell<usize>,
 }
 
 /// The consuming half of an SPSC ring.
 pub struct Consumer<T> {
     shared: Arc<Shared<T>>,
+    /// Local view of the producer's tail, refreshed only when the cached
+    /// view cannot satisfy the pop.
+    tail_cache: Cell<usize>,
 }
 
 /// Create an SPSC ring with capacity rounded up to a power of two
@@ -49,14 +58,18 @@ pub fn channel<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let shared = Arc::new(Shared {
         buf,
         mask: cap - 1,
-        tail: AtomicUsize::new(0),
-        head: AtomicUsize::new(0),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        head: CachePadded::new(AtomicUsize::new(0)),
     });
     (
         Producer {
             shared: Arc::clone(&shared),
+            head_cache: Cell::new(0),
         },
-        Consumer { shared },
+        Consumer {
+            shared,
+            tail_cache: Cell::new(0),
+        },
     )
 }
 
@@ -66,9 +79,13 @@ impl<T: Send> Producer<T> {
     pub fn push(&self, item: T) -> Result<(), T> {
         let s = &*self.shared;
         let tail = s.tail.load(Ordering::Relaxed);
-        let head = s.head.load(Ordering::Acquire);
+        let mut head = self.head_cache.get();
         if tail.wrapping_sub(head) > s.mask {
-            return Err(item);
+            head = s.head.load(Ordering::Acquire);
+            self.head_cache.set(head);
+            if tail.wrapping_sub(head) > s.mask {
+                return Err(item);
+            }
         }
         // SAFETY: this slot is strictly between head and tail+1, so the
         // consumer will not touch it until we publish via the tail store.
@@ -90,8 +107,13 @@ impl<T: Send> Producer<T> {
     {
         let s = &*self.shared;
         let tail = s.tail.load(Ordering::Relaxed);
-        let head = s.head.load(Ordering::Acquire);
-        let free = s.mask + 1 - tail.wrapping_sub(head);
+        let mut head = self.head_cache.get();
+        let mut free = s.mask + 1 - tail.wrapping_sub(head);
+        if free < items.len() {
+            head = s.head.load(Ordering::Acquire);
+            self.head_cache.set(head);
+            free = s.mask + 1 - tail.wrapping_sub(head);
+        }
         let n = items.len().min(free);
         if n == 0 {
             return 0;
@@ -148,9 +170,13 @@ impl<T: Send> Consumer<T> {
     pub fn pop(&self) -> Option<T> {
         let s = &*self.shared;
         let head = s.head.load(Ordering::Relaxed);
-        let tail = s.tail.load(Ordering::Acquire);
+        let mut tail = self.tail_cache.get();
         if head == tail {
-            return None;
+            tail = s.tail.load(Ordering::Acquire);
+            self.tail_cache.set(tail);
+            if head == tail {
+                return None;
+            }
         }
         // SAFETY: head < tail, so the producer published this slot and will
         // not reuse it until we advance head.
@@ -164,7 +190,11 @@ impl<T: Send> Consumer<T> {
     pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
         let s = &*self.shared;
         let head = s.head.load(Ordering::Relaxed);
-        let tail = s.tail.load(Ordering::Acquire);
+        let mut tail = self.tail_cache.get();
+        if tail.wrapping_sub(head) < max {
+            tail = s.tail.load(Ordering::Acquire);
+            self.tail_cache.set(tail);
+        }
         let n = tail.wrapping_sub(head).min(max);
         if n == 0 {
             return 0;

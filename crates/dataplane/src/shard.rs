@@ -74,7 +74,10 @@ impl ShardedEngine {
     /// `config.pool_size` is the *total* pool budget, partitioned evenly
     /// across shards — a partition too small for the in-flight window
     /// fails with [`EngineError::PoolTooSmall`], exactly as a lone engine
-    /// would.
+    /// would. `config.core_budget` is likewise the *fleet* budget: each
+    /// replica gets an even share (at least one thread), so `shards ×
+    /// stages` threads can never be spawned against a smaller host — the
+    /// oversubscription that used to invert 4-shard throughput.
     pub fn new(
         program: &Program,
         make_nfs: impl Fn() -> Vec<Box<dyn NetworkFunction>>,
@@ -82,8 +85,14 @@ impl ShardedEngine {
         shards: usize,
     ) -> Result<ShardedEngine, EngineError> {
         assert!(shards >= 1, "at least one shard");
+        if config.core_budget == 0 {
+            // Validate the fleet-level knob here: the per-shard division
+            // below floors at 1 and would otherwise mask the bad config.
+            return Err(EngineError::ZeroCoreBudget);
+        }
         let shard_config = EngineConfig {
             pool_size: config.pool_size / shards,
+            core_budget: (config.core_budget / shards).max(1),
             ..config.clone()
         };
         let engines = (0..shards)
@@ -335,6 +344,41 @@ mod tests {
         // Merged stage counters still balance across the fleet.
         assert_eq!(report.stats.classifier.packets_in, 120);
         assert_eq!(report.stats.collector.packets_out, 120);
+    }
+
+    #[test]
+    fn fleet_core_budget_divides_and_validates() {
+        let program = firewall_program();
+        // Zero fleet budget is rejected up front, not masked by the
+        // per-shard floor of one.
+        let err = ShardedEngine::new(
+            &program,
+            nfs,
+            &EngineConfig {
+                core_budget: 0,
+                ..EngineConfig::default()
+            },
+            2,
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert!(matches!(err, EngineError::ZeroCoreBudget));
+        // A fleet budget smaller than the shard count still builds: each
+        // replica coalesces onto its single thread.
+        let mut sharded = ShardedEngine::new(
+            &program,
+            nfs,
+            &EngineConfig {
+                core_budget: 2,
+                max_in_flight: 8,
+                ..EngineConfig::default()
+            },
+            3,
+        )
+        .unwrap();
+        let report = sharded.run(traffic(90, 9));
+        assert_eq!(report.delivered + report.dropped, 90);
+        assert_eq!(report.pool_in_use, 0);
     }
 
     #[test]

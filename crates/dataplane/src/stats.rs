@@ -56,7 +56,12 @@ pub enum DropCause {
 }
 
 /// Atomic counters for one pipeline stage.
+///
+/// Aligned to a cache line: stage stats live in arrays (one entry per NF
+/// or merger) and are hammered from different threads, so adjacent
+/// entries must never share a line.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct StageStats {
     /// Messages (packet references) entering the stage.
     pub packets_in: AtomicU64,

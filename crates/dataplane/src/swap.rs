@@ -244,6 +244,7 @@ impl ProgramHandle {
     }
 
     /// The current epoch id.
+    #[inline]
     pub fn epoch(&self) -> u64 {
         self.slots.read().unwrap().current.epoch()
     }
@@ -266,6 +267,7 @@ impl ProgramHandle {
 
     /// Settle one packet under `epoch`: it was delivered or dropped. Pairs
     /// 1:1 with [`admit_current`](ProgramHandle::admit_current).
+    #[inline]
     pub fn finish(&self, epoch: u64) {
         let slots = self.slots.read().unwrap();
         let state = if slots.current.epoch() == epoch {
@@ -401,6 +403,7 @@ impl TablesResolver {
     /// the current tables and counts an epoch conflict on `stats`;
     /// resolving under a non-newest (draining) epoch counts a stale-epoch
     /// observation.
+    #[inline]
     pub fn get(&mut self, epoch: u64, stats: &StageStats) -> Arc<GraphTables> {
         if epoch < self.newest {
             stats.note_stale_epoch();

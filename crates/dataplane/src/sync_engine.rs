@@ -72,6 +72,9 @@ pub struct SyncEngine {
     pub delivered: u64,
     /// Packets dropped.
     pub dropped: u64,
+    /// Event-queue allocation reused across `process()` calls (the queue
+    /// itself always drains before a call returns).
+    scratch: VecDeque<(Target, Msg)>,
 }
 
 #[derive(Default)]
@@ -114,6 +117,7 @@ impl SyncEngine {
             tick: 0,
             delivered: 0,
             dropped: 0,
+            scratch: VecDeque::new(),
         }
     }
 
@@ -214,16 +218,21 @@ impl SyncEngine {
     /// the epoch current at admission and every stage resolves its tables
     /// against that epoch; the pin settles exactly once before returning.
     pub fn process(&mut self, pkt: Packet) -> Result<ProcessOutcome, AdmitError> {
-        let mut sink = QueueSink::default();
+        let mut sink = QueueSink {
+            events: std::mem::take(&mut self.scratch),
+        };
         self.tick += 1;
         let epoch = self.handle.epoch();
-        self.classifier.admit_observed(
+        if let Err(e) = self.classifier.admit_observed(
             pkt,
             &self.pool,
             &mut sink,
             &self.stats,
             Some(&self.telemetry),
-        )?;
+        ) {
+            self.scratch = sink.events;
+            return Err(e);
+        }
         let mut output: Option<Packet> = None;
         let mut was_dropped = false;
         loop {
@@ -322,7 +331,9 @@ impl SyncEngine {
             "a packet's copies must all merge or expire before process() returns"
         );
         // The packet is finished (delivered or dropped): settle its epoch
-        // pin exactly once.
+        // pin exactly once, and keep the drained queue's allocation for
+        // the next call.
+        self.scratch = sink.events;
         self.handle.finish(epoch);
         match output {
             Some(p) => {

@@ -65,7 +65,12 @@ fn bucket_upper(i: usize) -> u64 {
 /// A lock-free log₂ latency histogram: relaxed atomic bucket counters
 /// plus count/sum/max, recordable from any stage thread and snapshot-able
 /// without stopping the engine.
+///
+/// Cache-line aligned: per-stage histograms sit side by side in vectors
+/// (one per NF, one per merger) and are written from different threads;
+/// the alignment keeps one stage's counters off its neighbour's line.
 #[derive(Debug)]
+#[repr(align(64))]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
@@ -107,6 +112,23 @@ impl LatencyHistogram {
         if let Some(t0) = t0 {
             self.record_ns(t0.elapsed().as_nanos() as u64);
         }
+    }
+
+    /// Record `n` observations that together took `total_ns`, using the
+    /// burst's mean as the representative sample. This is the
+    /// burst-amortized path: one clock pair per burst instead of one per
+    /// packet, with the observation **count** (what the sync/threaded
+    /// differential harness compares) exactly preserved.
+    #[inline]
+    pub fn record_split(&self, total_ns: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mean = total_ns / n;
+        self.buckets[bucket_of(mean)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum_ns.fetch_add(total_ns, Ordering::Relaxed);
+        atomic_max(&self.max_ns, mean);
     }
 
     /// Plain-value snapshot.
@@ -350,6 +372,16 @@ impl Telemetry {
     pub fn record(&self, stage: Stage, t0: Option<Instant>) {
         if let (Some(t0), Some(h)) = (t0, self.hist(stage)) {
             h.record_ns(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Burst-amortized form of [`Telemetry::record`]: one elapsed-time
+    /// measurement split across the `n` packets of a burst. Histogram
+    /// counts advance by exactly `n`, as if each packet were recorded.
+    #[inline]
+    pub fn record_split(&self, stage: Stage, t0: Option<Instant>, n: u64) {
+        if let (Some(t0), Some(h)) = (t0, self.hist(stage)) {
+            h.record_split(t0.elapsed().as_nanos() as u64, n);
         }
     }
 
@@ -673,6 +705,20 @@ mod tests {
         assert!(s.p50_ns() <= s.p90_ns() && s.p90_ns() <= s.p99_ns());
         // Empty histogram quantiles are 0.
         assert_eq!(HistogramSnapshot::default().p99_ns(), 0);
+    }
+
+    #[test]
+    fn record_split_preserves_counts_and_totals() {
+        let h = LatencyHistogram::new();
+        h.record_split(3200, 32); // a 32-packet burst, mean 100 ns
+        h.record_split(0, 0); // empty burst is a no-op
+        let s = h.snapshot();
+        assert_eq!(s.count, 32, "one count per packet of the burst");
+        assert_eq!(s.sum_ns, 3200);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 32);
+        // All 32 land in the mean's bucket.
+        assert_eq!(s.buckets[bucket_of(100)], 32);
     }
 
     #[test]

@@ -58,6 +58,10 @@ impl PacketRef {
     }
 }
 
+// Cache-line aligned: neighbouring slots are retained/released from
+// different stage threads, and an unaligned header would let slot i's
+// refcount false-share with slot i±1's.
+#[repr(align(64))]
 struct Slot {
     /// 0 = free; otherwise the number of logical owners.
     refcount: AtomicU32,

@@ -10,10 +10,12 @@
 //! never any per-flow byte.
 
 use nfp_core::prelude::*;
+use nfp_dataplane::exec::IdlePolicy;
 use nfp_dataplane::shard::{partition_by_flow, ShardedEngine};
 use nfp_dataplane::sync_engine::{ProcessOutcome, SyncEngine};
 use nfp_packet::ipv4::Ipv4Addr;
 use proptest::prelude::*;
+use std::time::Duration;
 
 /// Deterministic NFs only — replayable against the sync reference.
 const NFS: [&str; 6] = [
@@ -89,6 +91,8 @@ proptest! {
         deny_stride in 0usize..3,
         malicious in any::<bool>(),
         mergers in 1usize..=2,
+        core_budget in 1usize..=4,
+        aggressive_park in any::<bool>(),
     ) {
         let compiled = compile(
             &Policy::from_chain(chain.iter().copied()),
@@ -110,6 +114,21 @@ proptest! {
                 max_in_flight: 4,
                 mergers,
                 pool_size: shards * 64,
+                // Exercise the whole coalescing spectrum — from every
+                // shard fully coalesced onto one thread up to the
+                // pipeline-split plan — and both idle extremes: an
+                // almost-immediately-parking backoff stresses the wakeup
+                // protocol, pure spin reproduces the pre-refactor loop.
+                core_budget: core_budget * shards,
+                idle_policy: if aggressive_park {
+                    IdlePolicy::Backoff {
+                        spin: 1,
+                        yields: 1,
+                        park_timeout: Duration::from_millis(5),
+                    }
+                } else {
+                    IdlePolicy::Spin
+                },
                 ..EngineConfig::default()
             },
             shards,

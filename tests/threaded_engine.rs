@@ -203,3 +203,64 @@ fn engine_rerun_accumulates() {
     assert_eq!(r1.injected + r2.injected, 100);
     assert_eq!(r1.delivered + r1.dropped + r2.delivered + r2.dropped, 100);
 }
+
+/// A parked engine must stay live: with an idle policy that parks almost
+/// immediately and a long park timeout, a mid-run stall sends every
+/// downstream stage thread to sleep — and the late burst the stalled NF
+/// finally emits must still wake them and be delivered in full. A lost
+/// wakeup here shows up as a multi-second run (every ring crossing waits
+/// out a full park timeout) or a hang.
+#[test]
+fn parked_engine_wakes_for_late_burst() {
+    use nfp_core::nf::chaos::StallOnce;
+    use nfp_dataplane::exec::IdlePolicy;
+    use std::time::Duration;
+
+    let chain = ["Monitor", "Firewall"];
+    let (compiled, program) = build(&chain);
+    let nfs: Vec<Box<dyn NetworkFunction>> = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|n| {
+            if n.name.as_str() == "Firewall" {
+                Box::new(StallOnce::new(
+                    nfp_core::nf::firewall::Firewall::with_synthetic_acl("Firewall", 100),
+                    20,
+                    Duration::from_millis(80),
+                )) as Box<dyn NetworkFunction>
+            } else {
+                make(n.name.as_str())
+            }
+        })
+        .collect();
+    let mut engine = Engine::new(
+        program,
+        nfs,
+        EngineConfig {
+            max_in_flight: 8,
+            // Park after two no-progress passes, for up to a second — far
+            // longer than the stall, so delivery depends on the wakeup
+            // protocol rather than the timeout.
+            idle_policy: IdlePolicy::Backoff {
+                spin: 1,
+                yields: 1,
+                park_timeout: Duration::from_secs(1),
+            },
+            // Two threads: the stalled NF blocks the front section while
+            // the back section (agent, merger, collector) goes idle.
+            core_budget: 2,
+            stall_timeout: Duration::from_secs(30),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let report = engine.run(traffic(120));
+    assert_eq!(report.delivered + report.dropped, 120);
+    assert_eq!(report.pool_in_use, 0);
+    assert!(
+        report.elapsed < Duration::from_secs(5),
+        "late-burst delivery took {:?}: parked threads likely missed a wakeup",
+        report.elapsed
+    );
+}
