@@ -15,6 +15,7 @@
 
 pub mod calibrate;
 pub mod setups;
+pub mod soak;
 pub mod table;
 
 pub use calibrate::Calibration;

@@ -1,0 +1,503 @@
+//! Continuous invariant auditing for adversarial soak runs.
+//!
+//! The soak harness (ROADMAP item 5) needs to check the engine's safety
+//! properties *while* hostile traffic and chaos events are in flight,
+//! not just from the final [`crate::engine::EngineReport`]. Three pieces:
+//!
+//! * [`EngineProbe`] — a registration point an engine run publishes its
+//!   live gauges through ([`EngineConfig::probe`]). Each run (each shard
+//!   of a [`crate::shard::ShardedEngine`]) registers its own
+//!   [`ProbeGauges`] slot; [`EngineProbe::sample`] aggregates every slot
+//!   into one consistent-enough [`ProbeSample`], so one auditor covers a
+//!   whole fleet.
+//! * [`spawn_auditor`] — a sampling thread that polls the probe on an
+//!   interval and records violations of the *live* invariants: finished
+//!   counts never exceed injected, never regress, pool occupancy stays
+//!   within the closed-loop window budget, and packet-level progress
+//!   keeps advancing while work is pending (no wedged engine).
+//! * [`InvariantReport`] — the end-of-run verdict over the four soak
+//!   invariants (pool census, exact accounting, no stale epochs, no
+//!   wedge), combining the final counters with everything the live
+//!   auditor saw.
+//!
+//! The accounting identity audited here is the paper-§5 discipline the
+//! whole engine is built around: every injected packet is settled exactly
+//! once as delivered, dropped, or rejected, and rejected packets (which
+//! never pin a program epoch) are exactly the gap between the epoch
+//! tallies and the delivered+dropped total.
+//!
+//! [`EngineConfig::probe`]: crate::engine::EngineConfig::probe
+
+use crate::engine::EngineReport;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Live counters one engine run publishes while it executes. All loads
+/// and stores are relaxed: the auditor tolerates torn cross-field reads
+/// (each field is individually consistent and monotone where it matters).
+#[derive(Debug, Default)]
+pub struct ProbeGauges {
+    /// Packets handed to the engine so far.
+    pub injected: AtomicU64,
+    /// Packets settled as delivered so far.
+    pub delivered: AtomicU64,
+    /// Packets settled as dropped (every cause, classifier rejects
+    /// included) so far.
+    pub dropped: AtomicU64,
+    /// Current pool occupancy (a gauge, not a counter).
+    pub pool_in_use: AtomicU64,
+    /// Upper bound the closed-loop window may legally occupy:
+    /// `max_in_flight × slots_per_packet` (0 = unknown, check disabled).
+    pub pool_budget: AtomicU64,
+    /// The program epoch currently admitting.
+    pub epoch: AtomicU64,
+    /// True while the run is executing.
+    pub active: AtomicBool,
+}
+
+impl ProbeGauges {
+    /// Store one consistent publication of the flow counters.
+    pub fn publish(
+        &self,
+        injected: u64,
+        delivered: u64,
+        dropped: u64,
+        pool_in_use: u64,
+        epoch: u64,
+    ) {
+        self.injected.store(injected, Ordering::Relaxed);
+        self.delivered.store(delivered, Ordering::Relaxed);
+        self.dropped.store(dropped, Ordering::Relaxed);
+        self.pool_in_use.store(pool_in_use, Ordering::Relaxed);
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+}
+
+/// One aggregated reading across every registered [`ProbeGauges`] slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// Sum of injected counts.
+    pub injected: u64,
+    /// Sum of delivered counts.
+    pub delivered: u64,
+    /// Sum of dropped counts (classifier rejects included).
+    pub dropped: u64,
+    /// Sum of current pool occupancies.
+    pub pool_in_use: u64,
+    /// Sum of per-run window budgets.
+    pub pool_budget: u64,
+    /// Highest epoch any run is admitting under.
+    pub epoch: u64,
+    /// True if any run is still executing.
+    pub active: bool,
+    /// True once at least one run has registered (distinguishes "not
+    /// started yet" from "finished").
+    pub started: bool,
+}
+
+impl ProbeSample {
+    /// Packets settled so far (delivered + dropped).
+    pub fn finished(&self) -> u64 {
+        self.delivered + self.dropped
+    }
+}
+
+/// Registration point connecting engine runs to a live auditor.
+///
+/// Slot registration rather than a single shared gauge set: a sharded
+/// engine's replicas each publish independently (no cross-shard write
+/// contention), and [`EngineProbe::sample`] folds the slots on the read
+/// side. Create one probe per measured run; slots accumulate across
+/// repeated runs of the same engine otherwise.
+#[derive(Debug, Default)]
+pub struct EngineProbe {
+    slots: Mutex<Vec<Arc<ProbeGauges>>>,
+    started: AtomicBool,
+}
+
+impl EngineProbe {
+    /// Fresh probe with no registered runs.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Register a new gauge slot (called by each engine run at start).
+    pub fn register(&self) -> Arc<ProbeGauges> {
+        let gauges = Arc::new(ProbeGauges::default());
+        self.slots.lock().unwrap().push(Arc::clone(&gauges));
+        self.started.store(true, Ordering::Release);
+        gauges
+    }
+
+    /// Aggregate every registered slot into one sample.
+    pub fn sample(&self) -> ProbeSample {
+        let slots = self.slots.lock().unwrap();
+        let mut s = ProbeSample {
+            started: self.started.load(Ordering::Acquire),
+            ..ProbeSample::default()
+        };
+        for g in slots.iter() {
+            s.injected += g.injected.load(Ordering::Relaxed);
+            s.delivered += g.delivered.load(Ordering::Relaxed);
+            s.dropped += g.dropped.load(Ordering::Relaxed);
+            s.pool_in_use += g.pool_in_use.load(Ordering::Relaxed);
+            s.pool_budget += g.pool_budget.load(Ordering::Relaxed);
+            s.epoch = s.epoch.max(g.epoch.load(Ordering::Relaxed));
+            s.active |= g.active.load(Ordering::Relaxed);
+        }
+        s
+    }
+}
+
+/// Live-auditor tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Sampling period.
+    pub interval: Duration,
+    /// How long packet-level progress (injected + finished) may sit
+    /// still, with work pending and the run active, before the auditor
+    /// declares the engine wedged. Must comfortably exceed the engine's
+    /// `stall_timeout` plus the longest scripted chaos stall, or healthy
+    /// watchdog recoveries read as wedges.
+    pub wedge_timeout: Duration,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(1),
+            wedge_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the live auditor observed over one run.
+#[derive(Debug, Clone, Default)]
+pub struct LiveAudit {
+    /// Samples taken.
+    pub samples: u64,
+    /// Highest pool occupancy observed.
+    pub peak_pool_in_use: u64,
+    /// Invariant violations, tagged by invariant (`accounting:`, `pool:`,
+    /// `wedge:` prefixes). Capped at [`LiveAudit::MAX_VIOLATIONS`].
+    pub violations: Vec<String>,
+}
+
+impl LiveAudit {
+    /// Cap on recorded violation messages (a wedged run would otherwise
+    /// accumulate one per sample).
+    pub const MAX_VIOLATIONS: usize = 16;
+
+    fn note(&mut self, msg: String) {
+        if self.violations.len() < Self::MAX_VIOLATIONS {
+            self.violations.push(msg);
+        }
+    }
+
+    /// True if any recorded violation is tagged with `prefix`.
+    pub fn has(&self, prefix: &str) -> bool {
+        self.violations.iter().any(|v| v.starts_with(prefix))
+    }
+}
+
+/// Handle to a running live auditor; [`AuditorHandle::finish`] stops the
+/// sampling thread and returns what it saw.
+#[derive(Debug)]
+pub struct AuditorHandle {
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<LiveAudit>,
+}
+
+impl AuditorHandle {
+    /// Stop sampling and collect the audit.
+    pub fn finish(self) -> LiveAudit {
+        self.stop.store(true, Ordering::Release);
+        self.thread.join().expect("auditor thread")
+    }
+}
+
+/// Start a sampling thread auditing `probe` until
+/// [`AuditorHandle::finish`] is called.
+pub fn spawn_auditor(probe: Arc<EngineProbe>, cfg: AuditConfig) -> AuditorHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        let mut audit = LiveAudit::default();
+        let mut last_finished = 0u64;
+        let mut progress_mark: (u64, Instant) = (0, Instant::now());
+        loop {
+            let s = probe.sample();
+            if s.started {
+                audit.samples += 1;
+                let finished = s.finished();
+                if finished > s.injected {
+                    audit.note(format!(
+                        "accounting: finished {} exceeds injected {}",
+                        finished, s.injected
+                    ));
+                }
+                if finished < last_finished {
+                    audit.note(format!(
+                        "accounting: finished regressed {last_finished} -> {finished}"
+                    ));
+                }
+                last_finished = last_finished.max(finished);
+                audit.peak_pool_in_use = audit.peak_pool_in_use.max(s.pool_in_use);
+                if s.pool_budget > 0 && s.pool_in_use > s.pool_budget {
+                    audit.note(format!(
+                        "pool: occupancy {} exceeds window budget {}",
+                        s.pool_in_use, s.pool_budget
+                    ));
+                }
+                let progress = s.injected + finished;
+                let now = Instant::now();
+                if progress != progress_mark.0 {
+                    progress_mark = (progress, now);
+                } else if s.active
+                    && s.injected > finished
+                    && now.duration_since(progress_mark.1) >= cfg.wedge_timeout
+                {
+                    audit.note(format!(
+                        "wedge: no packet progress for {:?} with {} in flight",
+                        cfg.wedge_timeout,
+                        s.injected - finished
+                    ));
+                    // Restart the clock so a true wedge records one
+                    // violation per timeout, not one per sample.
+                    progress_mark = (progress, now);
+                }
+            }
+            if stop_flag.load(Ordering::Acquire) {
+                return audit;
+            }
+            std::thread::sleep(cfg.interval);
+        }
+    });
+    AuditorHandle { stop, thread }
+}
+
+/// The final flow counters an invariant evaluation needs. Built from an
+/// [`EngineReport`] for the threaded engines, or assembled by hand for a
+/// [`crate::sync_engine::SyncEngine`] harness loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoakCounts {
+    /// Packets handed to the engine.
+    pub injected: u64,
+    /// Packets delivered out the far end.
+    pub delivered: u64,
+    /// Packets dropped, *including* classifier rejections.
+    pub dropped: u64,
+    /// Classifier rejections (a subset of `dropped`): packets that never
+    /// entered a graph and therefore never pinned an epoch.
+    pub rejected: u64,
+    /// Pool slots still occupied after quiesce.
+    pub pool_in_use: u64,
+    /// Sum of completed-packet tallies over every program epoch.
+    pub epoch_completed: u64,
+}
+
+impl SoakCounts {
+    /// Extract the counters from a finished threaded/sharded run.
+    pub fn from_report(report: &EngineReport) -> Self {
+        Self {
+            injected: report.injected,
+            delivered: report.delivered,
+            dropped: report.dropped,
+            rejected: report.stats.classifier.rejects(),
+            pool_in_use: report.pool_in_use as u64,
+            epoch_completed: report.epochs.iter().map(|t| t.completed).sum(),
+        }
+    }
+}
+
+/// Verdict over the four soak invariants.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// No leaked pool slots after quiesce, and occupancy never exceeded
+    /// the closed-loop window budget live.
+    pub pool_census: bool,
+    /// `delivered + dropped == injected` exactly (`dropped` includes the
+    /// `rejected` classifier share), finished counts stayed monotone and
+    /// never overshot live.
+    pub accounting_exact: bool,
+    /// Every epoch-pinned packet was settled against its epoch:
+    /// `Σ epoch.completed == delivered + dropped − rejected` (rejected
+    /// packets never pin an epoch).
+    pub no_stale_epochs: bool,
+    /// Packet-level progress never sat still past the wedge timeout.
+    pub no_wedge: bool,
+    /// Human-readable detail for every failed invariant, live violations
+    /// included.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// True when all four invariants hold.
+    pub fn all_hold(&self) -> bool {
+        self.pool_census && self.accounting_exact && self.no_stale_epochs && self.no_wedge
+    }
+
+    /// Evaluate the invariants from final counters plus the live audit.
+    pub fn evaluate(counts: &SoakCounts, live: &LiveAudit) -> Self {
+        let mut violations: Vec<String> = Vec::new();
+
+        let pool_census = counts.pool_in_use == 0 && !live.has("pool:");
+        if counts.pool_in_use != 0 {
+            violations.push(format!(
+                "pool: {} slot(s) still in use after quiesce",
+                counts.pool_in_use
+            ));
+        }
+
+        let accounting_exact =
+            counts.delivered + counts.dropped == counts.injected && !live.has("accounting:");
+        if counts.delivered + counts.dropped != counts.injected {
+            violations.push(format!(
+                "accounting: delivered {} + dropped {} != injected {}",
+                counts.delivered, counts.dropped, counts.injected
+            ));
+        }
+
+        let settled_pins = (counts.delivered + counts.dropped).saturating_sub(counts.rejected);
+        let no_stale_epochs = counts.epoch_completed == settled_pins;
+        if !no_stale_epochs {
+            violations.push(format!(
+                "epochs: Σ completed {} != settled pins {} (delivered {} + dropped {} - rejected {})",
+                counts.epoch_completed,
+                settled_pins,
+                counts.delivered,
+                counts.dropped,
+                counts.rejected
+            ));
+        }
+
+        let no_wedge = !live.has("wedge:");
+        violations.extend(live.violations.iter().cloned());
+
+        Self {
+            pool_census,
+            accounting_exact,
+            no_stale_epochs,
+            no_wedge,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_aggregates_across_slots() {
+        let probe = EngineProbe::new();
+        assert!(!probe.sample().started);
+        let a = probe.register();
+        let b = probe.register();
+        a.publish(10, 4, 2, 3, 1);
+        a.pool_budget.store(64, Ordering::Relaxed);
+        a.active.store(true, Ordering::Relaxed);
+        b.publish(5, 1, 1, 2, 2);
+        b.pool_budget.store(64, Ordering::Relaxed);
+        let s = probe.sample();
+        assert!(s.started && s.active);
+        assert_eq!(s.injected, 15);
+        assert_eq!(s.finished(), 8);
+        assert_eq!(s.pool_in_use, 5);
+        assert_eq!(s.pool_budget, 128);
+        assert_eq!(s.epoch, 2);
+    }
+
+    #[test]
+    fn auditor_flags_overshoot_and_pool_breach() {
+        let probe = EngineProbe::new();
+        let g = probe.register();
+        g.pool_budget.store(4, Ordering::Relaxed);
+        g.active.store(true, Ordering::Relaxed);
+        let handle = spawn_auditor(
+            Arc::clone(&probe),
+            AuditConfig {
+                interval: Duration::from_micros(100),
+                ..AuditConfig::default()
+            },
+        );
+        // delivered + dropped > injected, pool over budget.
+        g.publish(2, 3, 1, 9, 0);
+        std::thread::sleep(Duration::from_millis(20));
+        let audit = handle.finish();
+        assert!(audit.samples > 0);
+        assert!(audit.has("accounting:"), "{:?}", audit.violations);
+        assert!(audit.has("pool:"), "{:?}", audit.violations);
+        assert_eq!(audit.peak_pool_in_use, 9);
+    }
+
+    #[test]
+    fn auditor_flags_wedge_but_not_idle() {
+        let probe = EngineProbe::new();
+        let g = probe.register();
+        g.active.store(true, Ordering::Relaxed);
+        let cfg = AuditConfig {
+            interval: Duration::from_micros(200),
+            wedge_timeout: Duration::from_millis(10),
+        };
+        // Work pending (injected > finished), no progress: wedge.
+        g.publish(10, 2, 2, 1, 0);
+        let handle = spawn_auditor(Arc::clone(&probe), cfg);
+        std::thread::sleep(Duration::from_millis(40));
+        let audit = handle.finish();
+        assert!(audit.has("wedge:"), "{:?}", audit.violations);
+
+        // All work settled: stillness is idleness, not a wedge.
+        let probe2 = EngineProbe::new();
+        let g2 = probe2.register();
+        g2.active.store(true, Ordering::Relaxed);
+        g2.publish(4, 3, 1, 0, 0);
+        let handle2 = spawn_auditor(Arc::clone(&probe2), cfg);
+        std::thread::sleep(Duration::from_millis(40));
+        let audit2 = handle2.finish();
+        assert!(audit2.violations.is_empty(), "{:?}", audit2.violations);
+    }
+
+    #[test]
+    fn invariant_report_evaluates_all_four() {
+        let clean = SoakCounts {
+            injected: 100,
+            delivered: 80,
+            dropped: 20,
+            rejected: 5,
+            pool_in_use: 0,
+            epoch_completed: 95,
+        };
+        let report = InvariantReport::evaluate(&clean, &LiveAudit::default());
+        assert!(report.all_hold(), "{:?}", report.violations);
+
+        let leaky = SoakCounts {
+            pool_in_use: 2,
+            ..clean
+        };
+        let report = InvariantReport::evaluate(&leaky, &LiveAudit::default());
+        assert!(!report.pool_census && !report.all_hold());
+
+        let lossy = SoakCounts {
+            dropped: 19,
+            epoch_completed: 94,
+            ..clean
+        };
+        let report = InvariantReport::evaluate(&lossy, &LiveAudit::default());
+        assert!(!report.accounting_exact);
+
+        let stale = SoakCounts {
+            epoch_completed: 96,
+            ..clean
+        };
+        let report = InvariantReport::evaluate(&stale, &LiveAudit::default());
+        assert!(!report.no_stale_epochs);
+
+        let mut wedged_live = LiveAudit::default();
+        wedged_live.note("wedge: no packet progress".into());
+        let report = InvariantReport::evaluate(&clean, &wedged_live);
+        assert!(!report.no_wedge && report.violations.len() == 1);
+    }
+}

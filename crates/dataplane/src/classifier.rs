@@ -94,6 +94,9 @@ pub enum AdmitError {
     NoMatch,
     /// The packet pool is exhausted (backpressure point).
     PoolExhausted,
+    /// The frame ends before its headers do — cut short below the
+    /// Ethernet/IPv4/L4 header budget (hostile truncation).
+    Truncated,
     /// The packet does not parse as Ethernet/IPv4/TCP|UDP.
     Unparseable,
     /// Entry actions failed (table inconsistency).
@@ -262,11 +265,18 @@ impl Classifier {
         stats: &StageStats,
         tele: Option<&Telemetry>,
     ) -> Result<Arc<GraphTables>, AdmitError> {
-        if pkt.parse().is_err() {
+        if let Err(e) = pkt.parse() {
+            // Hostile framing is rejected with its own cause so soak runs
+            // can distinguish malformed-input pressure from policy
+            // rejections; the telemetry histograms stay untouched (only
+            // admitted packets are timed).
             self.rejected += 1;
             stats.note_in(1);
-            stats.note_drop(DropCause::AdmitRejected);
-            return Err(AdmitError::Unparseable);
+            stats.note_drop(DropCause::AdmitMalformed);
+            return Err(match e {
+                nfp_packet::PacketError::Truncated { .. } => AdmitError::Truncated,
+                _ => AdmitError::Unparseable,
+            });
         }
         if let Some(handle) = self.handle.as_ref().map(Arc::clone) {
             // Pin the current epoch for the packet's whole lifetime. Any
@@ -530,6 +540,27 @@ mod tests {
                 .unwrap_err(),
             AdmitError::Unparseable
         );
+    }
+
+    #[test]
+    fn truncated_frame_rejected_with_distinct_error() {
+        let pool = PacketPool::new(4);
+        let mut cl = Classifier::single(tables(&["Monitor", "Firewall"]));
+        let mut sink = Capture::default();
+        // A valid frame cut short mid-IPv4-header: the ethertype still
+        // says IPv4, but the header bytes are missing.
+        let whole = pkt(80);
+        let truncated = Packet::from_bytes(&whole.data()[..20]).unwrap();
+        let stats = StageStats::new();
+        assert_eq!(
+            cl.admit(truncated, &pool, &mut sink, &stats).unwrap_err(),
+            AdmitError::Truncated
+        );
+        assert_eq!(cl.rejected, 1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.drop_admit_malformed, 1);
+        assert_eq!(snap.drop_admit_rejected, 0);
+        assert_eq!(pool.in_use(), 0);
     }
 
     #[test]

@@ -105,6 +105,12 @@ pub struct EngineConfig {
     /// progress — see [`IdlePolicy`](crate::exec::IdlePolicy). The
     /// default backs off spin → yield → park.
     pub idle_policy: crate::exec::IdlePolicy,
+    /// Live audit probe: when set, every run registers a gauge slot on
+    /// it and publishes injected/delivered/dropped/pool/epoch counters
+    /// from the injector loop, so a [`crate::audit`] auditor thread can
+    /// check invariants *during* the run. `None` (the default) costs
+    /// nothing on the packet path.
+    pub probe: Option<Arc<crate::audit::EngineProbe>>,
 }
 
 impl Default for EngineConfig {
@@ -121,6 +127,7 @@ impl Default for EngineConfig {
             core_budget: crate::exec::host_parallelism().max(2),
             pin_cpus: Vec::new(),
             idle_policy: crate::exec::IdlePolicy::default(),
+            probe: None,
         }
     }
 }
@@ -1153,6 +1160,17 @@ impl Engine {
         let keep_packets = self.config.keep_packets;
         let max_in_flight = self.config.max_in_flight.max(1);
 
+        // Live-audit gauges: one slot per run, budget = the closed-loop
+        // window's worst-case pool footprint.
+        let gauges = self.config.probe.as_ref().map(|p| p.register());
+        if let Some(g) = &gauges {
+            g.pool_budget.store(
+                (max_in_flight * program.slots_per_packet()) as u64,
+                Ordering::Relaxed,
+            );
+            g.active.store(true, Ordering::Release);
+        }
+
         // Take the NFs out for the duration of the scoped run.
         let nfs = std::mem::take(&mut self.nfs);
         let mut runtimes: Vec<NfRuntime<Box<dyn NetworkFunction>>> = nfs
@@ -1319,11 +1337,25 @@ impl Engine {
             // running; any stage progress notifies the hub and wakes us).
             let mut idler = crate::exec::Idler::new(&hub, idle_policy);
             let finished = || delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire);
+            // Publish the run's live gauges (no-op without a probe); the
+            // injector loop is the one place that sees every counter.
+            let publish = |injected_now: u64| {
+                if let Some(g) = &gauges {
+                    g.publish(
+                        injected_now,
+                        delivered.load(Ordering::Relaxed),
+                        dropped.load(Ordering::Relaxed),
+                        pool.in_use() as u64,
+                        handle.epoch(),
+                    );
+                }
+            };
             let mut inject_times: Vec<Instant> = Vec::with_capacity(packets.len());
             for pkt in packets {
                 while (inject_times.len() as u64).saturating_sub(finished()) >= max_in_flight as u64
                 {
                     check_stall();
+                    publish(inject_times.len() as u64);
                     idler.idle(|| {
                         (inject_times.len() as u64).saturating_sub(finished())
                             < max_in_flight as u64
@@ -1341,6 +1373,7 @@ impl Engine {
                         }
                     }
                 }
+                publish(inject_times.len() as u64);
                 idler.reset();
                 // The classifier may be parked; its work predicate cannot
                 // see the push without a generation bump.
@@ -1349,6 +1382,7 @@ impl Engine {
             // Wait for completion, then stop injection.
             while finished() < injected_total {
                 check_stall();
+                publish(injected_total);
                 idler.idle(|| finished() >= injected_total);
             }
             stop.store(true, Ordering::Release);
@@ -1359,6 +1393,7 @@ impl Engine {
             // only then is it safe to let them exit without leaking.
             while pool.in_use() > 0 {
                 check_stall();
+                publish(injected_total);
                 idler.idle(|| pool.in_use() == 0);
             }
             quiesce.store(true, Ordering::Release);
@@ -1400,6 +1435,17 @@ impl Engine {
             }
         })
         .expect("engine scope");
+
+        if let Some(g) = &gauges {
+            g.publish(
+                injected_total,
+                delivered.load(Ordering::Acquire),
+                dropped.load(Ordering::Acquire),
+                pool.in_use() as u64,
+                handle.epoch(),
+            );
+            g.active.store(false, Ordering::Release);
+        }
 
         let report = EngineReport {
             injected: injected_total,

@@ -46,10 +46,19 @@
 //!   latency histograms (p50/p90/p99/max per stage on every report) and
 //!   sampled per-packet trace timelines, exportable as JSON or
 //!   Prometheus text via [`telemetry::TelemetrySnapshot`].
+//! * [`audit`] — continuous invariant auditing for adversarial soak runs:
+//!   live engine gauges ([`audit::EngineProbe`]), a sampling auditor
+//!   thread, and the four-invariant end-of-run verdict
+//!   ([`audit::InvariantReport`]).
+//! * [`chaos_schedule`] — seed-derived chaos scripts (NF panics, stalls,
+//!   mid-storm swap timelines) and the driver that executes them against
+//!   a running engine.
 
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod audit;
+pub mod chaos_schedule;
 pub mod classifier;
 pub mod cores;
 pub mod engine;
@@ -63,6 +72,11 @@ pub mod swap;
 pub mod sync_engine;
 pub mod telemetry;
 
+pub use audit::{
+    spawn_auditor, AuditConfig, AuditorHandle, EngineProbe, InvariantReport, LiveAudit,
+    ProbeGauges, ProbeSample, SoakCounts,
+};
+pub use chaos_schedule::{drive_swaps, ChaosAction, ChaosScript, SwapLog};
 pub use classifier::Classifier;
 pub use engine::{Engine, EngineConfig, EngineController, EngineError, EngineReport, NfFailure};
 pub use exec::{host_parallelism, IdlePolicy, WakeHub};

@@ -44,8 +44,12 @@ pub enum DropCause {
     MergeResolved,
     /// A merge failed (missing version / malformed copy); packet released.
     MergeError,
-    /// The classifier rejected the packet (no match / unparseable).
+    /// The classifier rejected the packet on policy grounds (no matching
+    /// flow rule, pool pressure, or a failed admission action).
     AdmitRejected,
+    /// The classifier rejected the packet because the frame itself was
+    /// hostile: truncated below header size or otherwise unparseable.
+    AdmitMalformed,
     /// A failed (panicked/stalled) fail-closed NF: the runtime drops the
     /// packets that would have traversed it.
     NfFailed,
@@ -94,6 +98,7 @@ pub struct StageStats {
     drop_merge_resolved: AtomicU64,
     drop_merge_error: AtomicU64,
     drop_admit_rejected: AtomicU64,
+    drop_admit_malformed: AtomicU64,
     drop_nf_failed: AtomicU64,
     drop_merge_expired: AtomicU64,
 }
@@ -169,6 +174,7 @@ impl StageStats {
             DropCause::MergeResolved => &self.drop_merge_resolved,
             DropCause::MergeError => &self.drop_merge_error,
             DropCause::AdmitRejected => &self.drop_admit_rejected,
+            DropCause::AdmitMalformed => &self.drop_admit_malformed,
             DropCause::NfFailed => &self.drop_nf_failed,
             DropCause::MergeExpired => &self.drop_merge_expired,
         };
@@ -194,6 +200,7 @@ impl StageStats {
             drop_merge_resolved: self.drop_merge_resolved.load(Ordering::Relaxed),
             drop_merge_error: self.drop_merge_error.load(Ordering::Relaxed),
             drop_admit_rejected: self.drop_admit_rejected.load(Ordering::Relaxed),
+            drop_admit_malformed: self.drop_admit_malformed.load(Ordering::Relaxed),
             drop_nf_failed: self.drop_nf_failed.load(Ordering::Relaxed),
             drop_merge_expired: self.drop_merge_expired.load(Ordering::Relaxed),
         }
@@ -233,8 +240,10 @@ pub struct StageSnapshot {
     pub drop_merge_resolved: u64,
     /// Drops: merge failure.
     pub drop_merge_error: u64,
-    /// Drops: classifier rejection.
+    /// Drops: classifier policy rejection (no match / failed action).
     pub drop_admit_rejected: u64,
+    /// Drops: classifier rejection of a truncated or unparseable frame.
+    pub drop_admit_malformed: u64,
     /// Drops: failed fail-closed NF.
     pub drop_nf_failed: u64,
     /// Drops: deadline-expired merge resolved to a drop.
@@ -249,8 +258,16 @@ impl StageSnapshot {
             + self.drop_merge_resolved
             + self.drop_merge_error
             + self.drop_admit_rejected
+            + self.drop_admit_malformed
             + self.drop_nf_failed
             + self.drop_merge_expired
+    }
+
+    /// Total classifier rejections, over both admission causes (policy
+    /// and malformed framing) — the `rejected` term of the soak
+    /// accounting invariant `delivered + dropped + rejected == injected`.
+    pub fn rejects(&self) -> u64 {
+        self.drop_admit_rejected + self.drop_admit_malformed
     }
 
     /// Fold another snapshot of the *same logical stage* into this one.
@@ -274,6 +291,7 @@ impl StageSnapshot {
         self.drop_merge_resolved += other.drop_merge_resolved;
         self.drop_merge_error += other.drop_merge_error;
         self.drop_admit_rejected += other.drop_admit_rejected;
+        self.drop_admit_malformed += other.drop_admit_malformed;
         self.drop_nf_failed += other.drop_nf_failed;
         self.drop_merge_expired += other.drop_merge_expired;
     }

@@ -61,11 +61,13 @@ fn valid_frame(dport: u16) -> Packet {
     )
 }
 
-/// An unparseable frame bumps `drop_admit_rejected` and nothing else: the
-/// packet never got a PID, so the classifier histogram must not count it
-/// and no trace record may exist for it.
+/// An unparseable frame bumps `drop_admit_malformed` and nothing else:
+/// the packet never got a PID, so the classifier histogram must not count
+/// it and no trace record may exist for it. Policy rejections
+/// (`drop_admit_rejected`) stay at zero — hostile framing has its own
+/// bucket.
 #[test]
-fn admit_rejected_bumps_only_its_counter() {
+fn admit_malformed_bumps_only_its_counter() {
     let program = compile_program(&["Monitor", "Firewall"]);
     let nfs: Vec<Box<dyn NetworkFunction>> = vec![
         Box::new(Monitor::new("Monitor")),
@@ -90,9 +92,11 @@ fn admit_rejected_bumps_only_its_counter() {
     ));
 
     let stats = engine.stats();
-    assert_eq!(stats.drop_admit_rejected, 3);
+    assert_eq!(stats.drop_admit_malformed, 3);
+    assert_eq!(stats.drop_admit_rejected, 0, "not a policy rejection");
     assert_eq!(stats.drop_nf_error, 0);
     assert_eq!(stats.drop_merge_error, 0);
+    assert_eq!(stats.rejects(), 3);
 
     let snap = engine.telemetry();
     assert_eq!(
@@ -101,6 +105,53 @@ fn admit_rejected_bumps_only_its_counter() {
         "only the admitted packet may be timed"
     );
     assert_eq!(snap.traces().len(), 1, "rejected frames leave no trace");
+    assert_eq!(engine.pool_in_use(), 0);
+}
+
+/// A truncated frame — ethertype says IPv4 but the header bytes end early
+/// — surfaces as `AdmitError::Truncated`, shares the `AdmitMalformed`
+/// drop cause, and leaves histograms/traces exactly as untouched as any
+/// other rejection.
+#[test]
+fn truncated_frame_distinct_error_same_malformed_counter() {
+    let program = compile_program(&["Monitor", "Firewall"]);
+    let nfs: Vec<Box<dyn NetworkFunction>> = vec![
+        Box::new(Monitor::new("Monitor")),
+        Box::new(nfp_nf::firewall::Firewall::with_synthetic_acl(
+            "Firewall", 100,
+        )),
+    ];
+    let mut engine = SyncEngine::new(program, nfs, 64);
+    engine.set_telemetry(full_sampling());
+
+    let whole = valid_frame(443);
+    for cut in [8usize, 20, 33] {
+        let truncated = Packet::from_bytes(&whole.data()[..cut]).unwrap();
+        let err = engine.process(truncated).unwrap_err();
+        assert!(matches!(err, AdmitError::Truncated), "cut={cut}: {err:?}");
+    }
+    // An ethertype-corrupted (but full-length) frame is Unparseable, not
+    // Truncated — the two hostile shapes stay distinguishable.
+    let mut foreign = valid_frame(443);
+    foreign.data_mut()[12] = 0x86;
+    foreign.data_mut()[13] = 0xDD;
+    foreign.invalidate();
+    assert!(matches!(
+        engine.process(foreign).unwrap_err(),
+        AdmitError::Unparseable
+    ));
+    assert!(matches!(
+        engine.process(valid_frame(443)).unwrap(),
+        ProcessOutcome::Delivered(_)
+    ));
+
+    let stats = engine.stats();
+    assert_eq!(stats.drop_admit_malformed, 4);
+    assert_eq!(stats.drop_admit_rejected, 0);
+
+    let snap = engine.telemetry();
+    assert_eq!(snap.stage("classifier").unwrap().hist.count, 1);
+    assert_eq!(snap.traces().len(), 1);
     assert_eq!(engine.pool_in_use(), 0);
 }
 

@@ -6,6 +6,38 @@ use nfp_packet::Packet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Why a [`TrafficSpec`] was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecError {
+    /// A per-packet rate knob was outside `[0, 1]` (or NaN).
+    RateOutOfRange {
+        /// Which knob.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl core::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpecError::RateOutOfRange { field, value } => {
+                write!(f, "TrafficSpec.{field} = {value} is not a rate in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Check that `value` is a valid per-packet rate.
+pub(crate) fn validate_rate(field: &'static str, value: f64) -> Result<(), SpecError> {
+    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+        return Err(SpecError::RateOutOfRange { field, value });
+    }
+    Ok(())
+}
+
 /// Traffic generator configuration.
 #[derive(Debug, Clone)]
 pub struct TrafficSpec {
@@ -18,6 +50,12 @@ pub struct TrafficSpec {
     pub malicious_fraction: f64,
     /// Marker embedded in malicious payloads.
     pub malicious_marker: Vec<u8>,
+    /// Fraction of emitted frames corrupted after construction —
+    /// truncated below header size or damaged so they no longer parse
+    /// (see [`crate::hostile::corrupt_frame`]). Lets any existing bench
+    /// opt into hostile framing without a separate generator; 0.0
+    /// disables and leaves the RNG stream of older seeds untouched.
+    pub malformed_fraction: f64,
     /// RNG seed — generation is fully deterministic per seed.
     pub seed: u64,
 }
@@ -29,8 +67,19 @@ impl Default for TrafficSpec {
             sizes: SizeDistribution::Fixed(64),
             malicious_fraction: 0.0,
             malicious_marker: b"EVIL0001SIG".to_vec(),
+            malformed_fraction: 0.0,
             seed: 0x0F05_EED1,
         }
+    }
+}
+
+impl TrafficSpec {
+    /// Validate the spec's rate knobs ([`TrafficGenerator::new`] calls
+    /// this and panics with the error; call it directly to handle the
+    /// rejection).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        validate_rate("malicious_fraction", self.malicious_fraction)?;
+        validate_rate("malformed_fraction", self.malformed_fraction)
     }
 }
 
@@ -45,7 +94,14 @@ pub struct TrafficGenerator {
 
 impl TrafficGenerator {
     /// Create a generator.
+    ///
+    /// # Panics
+    /// If [`TrafficSpec::validate`] rejects the spec (a rate knob
+    /// outside `[0, 1]`).
     pub fn new(spec: TrafficSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid TrafficSpec: {e}");
+        }
         let rng = StdRng::seed_from_u64(spec.seed);
         Self {
             spec,
@@ -94,7 +150,13 @@ impl TrafficGenerator {
             payload[8..8 + m.len()].copy_from_slice(&m);
         }
         self.emitted += 1;
-        build_tcp_frame(sip, dip, sport, dport, &payload)
+        let mut pkt = build_tcp_frame(sip, dip, sport, dport, &payload);
+        if self.spec.malformed_fraction > 0.0
+            && self.rng.gen::<f64>() < self.spec.malformed_fraction
+        {
+            crate::hostile::corrupt_frame(&mut pkt, &mut self.rng);
+        }
+        pkt
     }
 
     /// Generate `n` packets.
@@ -210,6 +272,60 @@ mod tests {
             })
             .count();
         assert!(hits > 400 && hits < 600, "hits = {hits}");
+    }
+
+    #[test]
+    fn malformed_fraction_corrupts_roughly_that_share() {
+        let mut s = spec();
+        s.malformed_fraction = 0.3;
+        let mut g = TrafficGenerator::new(s);
+        let bad = (0..1000)
+            .filter(|_| g.next_packet().parse().is_err())
+            .count();
+        assert!((200..400).contains(&bad), "bad = {bad}");
+    }
+
+    #[test]
+    fn zero_malformed_fraction_preserves_rng_stream() {
+        let mut tainted = spec();
+        tainted.malformed_fraction = 0.0;
+        let a: Vec<Vec<u8>> = TrafficGenerator::new(spec())
+            .batch(20)
+            .iter()
+            .map(|p| p.data().to_vec())
+            .collect();
+        let b: Vec<Vec<u8>> = TrafficGenerator::new(tainted)
+            .batch(20)
+            .iter()
+            .map(|p| p.data().to_vec())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let mut s = spec();
+        s.malformed_fraction = 1.5;
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::RateOutOfRange {
+                field: "malformed_fraction",
+                value: 1.5
+            })
+        );
+        s.malformed_fraction = 0.0;
+        s.malicious_fraction = -0.1;
+        assert!(s.validate().is_err());
+        s.malicious_fraction = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TrafficSpec")]
+    fn generator_panics_on_invalid_spec() {
+        let mut s = spec();
+        s.malformed_fraction = 2.0;
+        let _ = TrafficGenerator::new(s);
     }
 
     #[test]

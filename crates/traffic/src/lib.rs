@@ -10,9 +10,11 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod hostile;
 pub mod sizes;
 pub mod stats;
 
-pub use gen::{TrafficGenerator, TrafficSpec};
+pub use gen::{SpecError, TrafficGenerator, TrafficSpec};
+pub use hostile::{corrupt_frame, HostileGenerator, HostileProfile, HostileSpec};
 pub use sizes::SizeDistribution;
 pub use stats::{LatencyRecorder, LatencySummary, ThroughputMeter};
