@@ -49,6 +49,7 @@ fn bench_merge_degree(c: &mut Criterion) {
                     priority: i as u32,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 })
                 .collect(),
             next: vec![FtAction::Output { version: 1 }],

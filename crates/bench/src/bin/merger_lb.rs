@@ -29,6 +29,7 @@ fn merge_spec(degree: usize) -> MergeSpec {
                 priority: i as u32,
                 drop_capable: false,
                 on_failure: FailurePolicy::FailOpen,
+                stateful: false,
             })
             .collect(),
         next: vec![FtAction::Output { version: 1 }],

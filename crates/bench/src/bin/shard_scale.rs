@@ -48,14 +48,14 @@ fn main() {
 
     let compiled = compile_chain(&["Monitor", "Firewall"]);
     let program = compiled.program(1).expect("program seals");
-    let make_nfs = || -> Vec<Box<dyn NetworkFunction>> {
-        compiled
-            .graph
-            .nodes
-            .iter()
-            .map(|node| make_nf(node.name.as_str()))
-            .collect()
-    };
+    let names: Vec<String> = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|node| node.name.as_str().to_string())
+        .collect();
+    let make_nfs =
+        move || -> Vec<Box<dyn NetworkFunction>> { names.iter().map(|n| make_nf(n)).collect() };
     let n_nfs = compiled.graph.nodes.len();
     let mergers = 2usize;
     let pkts = fixed_traffic(n, 200);
@@ -89,7 +89,7 @@ fn main() {
         for _ in 0..trials {
             let mut engine = ShardedEngine::new(
                 &program,
-                make_nfs,
+                make_nfs.clone(),
                 &EngineConfig {
                     pool_size: shards * 512,
                     ..config.clone()

@@ -1,8 +1,8 @@
 //! Adversarial soak matrix: hostile traffic × chaos scripts × engines,
-//! every cell audited live against the four soak invariants, dumped to
+//! every cell audited live against the five soak invariants, dumped to
 //! `results/BENCH_soak_matrix.json`.
 //!
-//! Full matrix: 3 traffic profiles × 3 chaos scripts × 3 engines = 27
+//! Full matrix: 3 traffic profiles × 4 chaos scripts × 3 engines = 36
 //! cells. `--smoke` runs the time-boxed CI subset (2 × 2 × 3 = 12 cells,
 //! fewer packets). Every cell derives its RNG from the root seed, so a
 //! failing run replays bit-for-bit with `--seed N` (printed on failure).
@@ -67,11 +67,15 @@ fn cell_json(c: &CellResult) -> String {
     let _ = write!(
         j,
         "\"swaps_attempted\": {}, \"swaps_completed\": {}, \"swaps_rejected\": {}, \
+         \"rescales\": {}, \"flows_exported\": {}, \"flows_imported\": {}, \
          \"nf_failures\": {}, \"elapsed_ms\": {:.2}, \"audit_samples\": {}, \
          \"peak_pool_in_use\": {},\n     ",
         c.swaps.attempted,
         c.swaps.completed,
         c.swaps.rejected,
+        c.counts.rescales,
+        c.counts.flows_exported,
+        c.counts.flows_imported,
         c.nf_failures,
         c.elapsed.as_secs_f64() * 1e3,
         c.samples,
@@ -81,11 +85,13 @@ fn cell_json(c: &CellResult) -> String {
     let _ = write!(
         j,
         "\"invariants\": {{\"pool_census\": {}, \"accounting_exact\": {}, \
-         \"no_stale_epochs\": {}, \"no_wedge\": {}, \"all_hold\": {}}},\n     ",
+         \"no_stale_epochs\": {}, \"no_wedge\": {}, \"migration_census\": {}, \
+         \"all_hold\": {}}},\n     ",
         inv.pool_census,
         inv.accounting_exact,
         inv.no_stale_epochs,
         inv.no_wedge,
+        inv.migration_census,
         inv.all_hold()
     );
     let violations: Vec<String> = inv
@@ -126,7 +132,8 @@ fn main() {
                 let verdict = if cell.passed() { "ok" } else { "FAIL" };
                 println!(
                     "{verdict:>4}  {:<40} injected {:>6} delivered {:>6} dropped {:>6} \
-                     (rejected {:>5}) swaps {}/{} nf_failures {} [{:>7.1} ms]",
+                     (rejected {:>5}) swaps {}/{} rescales {} (flows {}/{}) \
+                     nf_failures {} [{:>7.1} ms]",
                     cell.label(),
                     cell.counts.injected,
                     cell.counts.delivered,
@@ -134,6 +141,9 @@ fn main() {
                     cell.counts.rejected,
                     cell.swaps.completed,
                     cell.swaps.attempted,
+                    cell.counts.rescales,
+                    cell.counts.flows_imported,
+                    cell.counts.flows_exported,
                     cell.nf_failures,
                     cell.elapsed.as_secs_f64() * 1e3
                 );

@@ -118,12 +118,14 @@ impl Calibration {
                         priority: 0,
                         drop_capable: false,
                         on_failure: FailurePolicy::FailOpen,
+                        stateful: false,
                     },
                     MemberSpec {
                         version: 2,
                         priority: 1,
                         drop_capable: false,
                         on_failure: FailurePolicy::FailOpen,
+                        stateful: false,
                     },
                 ],
                 next: vec![FtAction::Output { version: 1 }],

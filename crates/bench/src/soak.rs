@@ -2,13 +2,13 @@
 //! audited live.
 //!
 //! One **cell** of the soak matrix drives one traffic profile through one
-//! engine while one [`ChaosScript`] disrupts it — NF panics, stalls and
-//! mid-storm live swaps — with a continuous
+//! engine while one [`ChaosScript`] disrupts it — NF panics, stalls,
+//! mid-storm live swaps and fleet rescale storms — with a continuous
 //! [`auditor`](nfp_dataplane::audit::spawn_auditor) sampling the run and
-//! an end-of-run [`InvariantReport`] over the four soak invariants (pool
-//! census, exact accounting, no stale epochs, no wedge). Every cell is
-//! derived from one root seed ([`cell_seed`]), so any failure replays
-//! bit-for-bit with `soak --seed N`.
+//! an end-of-run [`InvariantReport`] over the five soak invariants (pool
+//! census, exact accounting, no stale epochs, no wedge, migrated-state
+//! census). Every cell is derived from one root seed ([`cell_seed`]), so
+//! any failure replays bit-for-bit with `soak --seed N`.
 //!
 //! The `soak` binary iterates the full matrix and writes
 //! `results/BENCH_soak_matrix.json`; `tests/soak_smoke.rs` runs a small
@@ -41,8 +41,17 @@ pub const SOAK_CHAIN: [&str; 2] = ["Monitor", "Firewall"];
 /// Traffic-profile axis of the matrix (see [`traffic_batch`]).
 pub const TRAFFIC_PROFILES: [&str; 3] = ["malformed", "syn_flood", "elephant_mice"];
 
-/// Chaos-script axis of the matrix (see [`chaos_script`]).
-pub const CHAOS_SCRIPTS: [&str; 3] = ["panic", "swap_storm", "combined"];
+/// Chaos-script axis of the matrix (see [`chaos_script`]). The
+/// `scale_storm` column rescales the sharded fleet mid-run, migrating
+/// per-flow NF state; on the sync and threaded engines (no fleet to
+/// rescale) it degenerates to the quiet control cell.
+pub const CHAOS_SCRIPTS: [&str; 4] = ["panic", "swap_storm", "combined", "scale_storm"];
+
+/// Shard-count ceiling for scripted rescale storms. The soak engine
+/// config keeps every per-shard pool ≥ `max_in_flight ×
+/// slots_per_packet` up to this ceiling, so a scripted rescale is never
+/// rejected for pool reasons.
+pub const SCALE_MAX_SHARDS: usize = 4;
 
 /// How long a scripted chaos stall blocks its NF. Kept under the engine's
 /// soak `stall_timeout` so the stall exercises merge deadlines, not the
@@ -151,7 +160,7 @@ pub fn traffic_batch(profile: &str, n: usize, seed: u64) -> Vec<Packet> {
 
 /// Build one cell's chaos script, seed-derived where the script is
 /// randomized. Script names: `"quiet"`, `"panic"`, `"stall_deadline"`,
-/// `"swap_storm"`, `"combined"`.
+/// `"swap_storm"`, `"combined"`, `"scale_storm"`.
 ///
 /// # Panics
 /// On an unknown script name.
@@ -165,6 +174,7 @@ pub fn chaos_script(name: &str, nf_count: usize, total_packets: u64, seed: u64) 
         }
         "swap_storm" => ChaosScript::swap_storm(total_packets, 5),
         "combined" => ChaosScript::combined(nf_count, total_packets, CHAOS_STALL, &mut rng),
+        "scale_storm" => ChaosScript::scale_storm(total_packets, SCALE_MAX_SHARDS, &mut rng),
         other => panic!("unknown chaos script `{other}`"),
     }
 }
@@ -250,7 +260,7 @@ pub struct CellResult {
     pub samples: u64,
     /// Highest pool occupancy the auditor saw.
     pub peak_pool_in_use: u64,
-    /// The four-invariant verdict.
+    /// The five-invariant verdict.
     pub invariants: InvariantReport,
 }
 
@@ -260,7 +270,7 @@ impl CellResult {
         format!("{}×{}×{}", self.traffic, self.chaos, self.engine)
     }
 
-    /// True when all four invariants held.
+    /// True when all five invariants held.
     pub fn passed(&self) -> bool {
         self.invariants.all_hold()
     }
@@ -268,7 +278,7 @@ impl CellResult {
 
 /// Run one cell of the soak matrix: build the traffic and chaos script
 /// from the cell seed, execute on the requested engine with a live
-/// auditor attached, and evaluate the four invariants.
+/// auditor attached, and evaluate the five invariants.
 pub fn run_cell(traffic: &str, chaos: &str, kind: EngineKind, opts: &SoakOptions) -> CellResult {
     let seed = cell_seed(opts.seed, traffic, chaos, kind);
     let packets = traffic_batch(traffic, opts.packets, seed);
@@ -367,6 +377,8 @@ fn run_sync(
         rejected,
         pool_in_use: engine.pool_in_use() as u64,
         epoch_completed: engine.epochs().iter().map(|t| t.completed).sum(),
+        // A lone sync engine has no fleet to rescale.
+        ..SoakCounts::default()
     };
     (counts, swaps, engine.failures().len(), elapsed, live)
 }
@@ -403,6 +415,16 @@ fn run_threaded(
 /// Sharded cell: every shard gets its own chaos-wrapped NF instances, the
 /// probe aggregates per-shard gauges, and the swap driver advances every
 /// shard's epoch sequence at each scripted point.
+///
+/// Scripted rescales cannot fire from a controller thread the way swaps
+/// do — `rescale` quiesces and rebuilds the fleet, so it needs `&mut`
+/// access between runs. The driver therefore chunks the packet stream at
+/// each scale point and rescales in the inter-chunk gap: the drain
+/// window of the epoch machinery, where every stateful NF's per-flow
+/// state is exported, re-partitioned by the new shard hash and
+/// imported. (Scripts never mix swap and rescale timelines, so the swap
+/// driver — which treats an idle probe as end-of-run — is never racing
+/// a chunk boundary.)
 fn run_sharded(
     packets: Vec<Packet>,
     script: &ChaosScript,
@@ -411,9 +433,12 @@ fn run_sharded(
     shards: usize,
 ) -> CellRun {
     let config = soak_engine_config(probe, shards);
+    // The factory outlives this call inside the engine (a rescale may
+    // rebuild replicas later), so it owns its copy of the script.
+    let nf_script = script.clone();
     let mut engine = ShardedEngine::new(
         &variants(0),
-        || script.wrap_nfs(soak_nfs()),
+        move || nf_script.wrap_nfs(soak_nfs()),
         &config,
         shards,
     )
@@ -422,18 +447,59 @@ fn run_sharded(
     let auditor = spawn_auditor(Arc::clone(probe), audit_config(script, &config));
     let driver = spawn_swap_driver(controllers, probe, script, variants);
 
+    // Split the stream at each scripted rescale threshold (cumulative
+    // injected counts), keeping the remainder as the final chunk.
+    let total = packets.len() as u64;
+    let mut rest = packets;
+    let mut chunks: Vec<(Vec<Packet>, Option<usize>)> = Vec::new();
+    let mut consumed = 0u64;
+    for (after, to_shards) in script.scale_points() {
+        let take = after.min(total).saturating_sub(consumed) as usize;
+        let tail = rest.split_off(take.min(rest.len()));
+        let chunk = std::mem::replace(&mut rest, tail);
+        consumed += chunk.len() as u64;
+        chunks.push((chunk, Some(to_shards)));
+    }
+    chunks.push((rest, None));
+
+    let mut counts = SoakCounts::default();
+    let mut swaps = SwapLog::default();
+    let mut nf_failures = 0usize;
     let start = Instant::now();
-    let report = engine.run(packets);
+    for (chunk, rescale_to) in chunks {
+        if !chunk.is_empty() {
+            let report = engine.run(chunk);
+            let c = SoakCounts::from_report(&report);
+            counts.injected += c.injected;
+            counts.delivered += c.delivered;
+            counts.dropped += c.dropped;
+            counts.rejected += c.rejected;
+            counts.pool_in_use = c.pool_in_use;
+            counts.epoch_completed += c.epoch_completed;
+            nf_failures += report.failures.len();
+        }
+        if let Some(to) = rescale_to {
+            if let Err(e) = engine.rescale(to) {
+                if swaps.failures.len() < 16 {
+                    swaps.failures.push(format!("rescale rejected: {e}"));
+                }
+            }
+        }
+    }
     let elapsed = start.elapsed();
-    let swaps = driver.join().expect("swap driver");
+    // Migration counters are cumulative on the fleet, not per chunk.
+    let migration = engine.migration();
+    counts.rescales = migration.rescales;
+    counts.flows_exported = migration.flows_exported;
+    counts.flows_imported = migration.flows_imported;
+
+    let driven = driver.join().expect("swap driver");
+    swaps.attempted += driven.attempted;
+    swaps.completed += driven.completed;
+    swaps.rejected += driven.rejected;
+    swaps.failures.extend(driven.failures);
     let live = auditor.finish();
-    (
-        SoakCounts::from_report(&report),
-        swaps,
-        report.failures.len(),
-        elapsed,
-        live,
-    )
+    (counts, swaps, nf_failures, elapsed, live)
 }
 
 fn spawn_swap_driver(
@@ -481,6 +547,24 @@ mod tests {
             assert_eq!(s.name, name);
         }
         assert!(chaos_script("quiet", 2, 100, 0).actions.is_empty());
+    }
+
+    #[test]
+    fn sharded_scale_cell_migrates_state_and_balances_census() {
+        let opts = SoakOptions {
+            packets: 600,
+            seed: 2,
+            shards: 2,
+        };
+        let cell = run_cell("elephant_mice", "scale_storm", EngineKind::Sharded, &opts);
+        assert!(cell.passed(), "{:?}", cell.invariants.violations);
+        assert_eq!(cell.counts.injected, 600);
+        assert!(cell.counts.rescales >= 3, "{:?}", cell.counts);
+        // The Monitor accumulates per-flow state, so every rescale
+        // migrates real entries and the census must balance exactly.
+        assert!(cell.counts.flows_exported > 0, "{:?}", cell.counts);
+        assert_eq!(cell.counts.flows_exported, cell.counts.flows_imported);
+        assert!(cell.invariants.migration_census);
     }
 
     #[test]

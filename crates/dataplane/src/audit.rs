@@ -15,10 +15,10 @@
 //!   counts never exceed injected, never regress, pool occupancy stays
 //!   within the closed-loop window budget, and packet-level progress
 //!   keeps advancing while work is pending (no wedged engine).
-//! * [`InvariantReport`] — the end-of-run verdict over the four soak
+//! * [`InvariantReport`] — the end-of-run verdict over the five soak
 //!   invariants (pool census, exact accounting, no stale epochs, no
-//!   wedge), combining the final counters with everything the live
-//!   auditor saw.
+//!   wedge, migration census), combining the final counters with
+//!   everything the live auditor saw.
 //!
 //! The accounting identity audited here is the paper-§5 discipline the
 //! whole engine is built around: every injected packet is settled exactly
@@ -296,10 +296,20 @@ pub struct SoakCounts {
     pub pool_in_use: u64,
     /// Sum of completed-packet tallies over every program epoch.
     pub epoch_completed: u64,
+    /// Fleet rescales performed over the run (0 when the shard count
+    /// never changed).
+    pub rescales: u64,
+    /// Flow-state entries exported across every rescale.
+    pub flows_exported: u64,
+    /// Flow-state entries imported across every rescale.
+    pub flows_imported: u64,
 }
 
 impl SoakCounts {
-    /// Extract the counters from a finished threaded/sharded run.
+    /// Extract the counters from a finished threaded/sharded run. The
+    /// migration counters in a [`crate::shard::ShardedEngine`] report
+    /// are cumulative over the fleet's lifetime, so for a chunked run
+    /// take them from the *final* report only.
     pub fn from_report(report: &EngineReport) -> Self {
         Self {
             injected: report.injected,
@@ -308,11 +318,14 @@ impl SoakCounts {
             rejected: report.stats.classifier.rejects(),
             pool_in_use: report.pool_in_use as u64,
             epoch_completed: report.epochs.iter().map(|t| t.completed).sum(),
+            rescales: report.migration.rescales,
+            flows_exported: report.migration.flows_exported,
+            flows_imported: report.migration.flows_imported,
         }
     }
 }
 
-/// Verdict over the four soak invariants.
+/// Verdict over the five soak invariants.
 #[derive(Debug, Clone, Default)]
 pub struct InvariantReport {
     /// No leaked pool slots after quiesce, and occupancy never exceeded
@@ -328,15 +341,24 @@ pub struct InvariantReport {
     pub no_stale_epochs: bool,
     /// Packet-level progress never sat still past the wedge timeout.
     pub no_wedge: bool,
+    /// The migrated-state census balanced: across every fleet rescale,
+    /// flow-state entries imported equals entries exported — flows in ==
+    /// flows out, no per-flow state lost or invented in migration.
+    /// Trivially true for runs that never rescale.
+    pub migration_census: bool,
     /// Human-readable detail for every failed invariant, live violations
     /// included.
     pub violations: Vec<String>,
 }
 
 impl InvariantReport {
-    /// True when all four invariants hold.
+    /// True when all five invariants hold.
     pub fn all_hold(&self) -> bool {
-        self.pool_census && self.accounting_exact && self.no_stale_epochs && self.no_wedge
+        self.pool_census
+            && self.accounting_exact
+            && self.no_stale_epochs
+            && self.no_wedge
+            && self.migration_census
     }
 
     /// Evaluate the invariants from final counters plus the live audit.
@@ -374,6 +396,15 @@ impl InvariantReport {
         }
 
         let no_wedge = !live.has("wedge:");
+
+        let migration_census = counts.flows_exported == counts.flows_imported;
+        if !migration_census {
+            violations.push(format!(
+                "migration: {} flow-state entries exported but {} imported over {} rescale(s)",
+                counts.flows_exported, counts.flows_imported, counts.rescales
+            ));
+        }
+
         violations.extend(live.violations.iter().cloned());
 
         Self {
@@ -381,6 +412,7 @@ impl InvariantReport {
             accounting_exact,
             no_stale_epochs,
             no_wedge,
+            migration_census,
             violations,
         }
     }
@@ -461,7 +493,7 @@ mod tests {
     }
 
     #[test]
-    fn invariant_report_evaluates_all_four() {
+    fn invariant_report_evaluates_all_five() {
         let clean = SoakCounts {
             injected: 100,
             delivered: 80,
@@ -469,6 +501,9 @@ mod tests {
             rejected: 5,
             pool_in_use: 0,
             epoch_completed: 95,
+            rescales: 2,
+            flows_exported: 24,
+            flows_imported: 24,
         };
         let report = InvariantReport::evaluate(&clean, &LiveAudit::default());
         assert!(report.all_hold(), "{:?}", report.violations);
@@ -494,6 +529,21 @@ mod tests {
         };
         let report = InvariantReport::evaluate(&stale, &LiveAudit::default());
         assert!(!report.no_stale_epochs);
+
+        let lost_state = SoakCounts {
+            flows_imported: 23,
+            ..clean
+        };
+        let report = InvariantReport::evaluate(&lost_state, &LiveAudit::default());
+        assert!(!report.migration_census && !report.all_hold());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.starts_with("migration:")),
+            "{:?}",
+            report.violations
+        );
 
         let mut wedged_live = LiveAudit::default();
         wedged_live.note("wedge: no packet progress".into());

@@ -2,7 +2,9 @@
 //!
 //! A [`ChaosScript`] is a deterministic, seed-derived list of
 //! disruptions for one soak run: NF panics ([`nfp_nf::chaos::PanicAfter`]),
-//! NF stalls ([`nfp_nf::chaos::StallOnce`]) and mid-storm live swaps.
+//! NF stalls ([`nfp_nf::chaos::StallOnce`]), mid-storm live swaps, and
+//! fleet rescales ([`ChaosAction::Rescale`]) that migrate per-flow NF
+//! state between shard layouts.
 //! The NF faults are armed up front by wrapping the engine's NF instances
 //! ([`ChaosScript::wrap_nfs`]); the swap timeline is executed while the
 //! engine runs by [`drive_swaps`], which watches the run's
@@ -47,6 +49,18 @@ pub enum ChaosAction {
     Swap {
         /// Injected-packet threshold that triggers the swap.
         after_injected: u64,
+    },
+    /// Rescale the sharded fleet to `shards` replicas once
+    /// `after_injected` packets have entered, migrating every stateful
+    /// NF's per-flow state. Unlike swaps (fired live from a controller
+    /// thread), rescaling needs the fleet quiesced, so the soak driver
+    /// chunks the packet stream at each threshold and rescales in the
+    /// inter-chunk gap — the drain window.
+    Rescale {
+        /// Injected-packet threshold after which the fleet rescales.
+        after_injected: u64,
+        /// Target shard count.
+        shards: usize,
     },
 }
 
@@ -114,6 +128,37 @@ impl ChaosScript {
         }
     }
 
+    /// A storm of fleet rescales spread across the 20–80 % window, each
+    /// to a random shard target in `1..=max_shards` that differs from
+    /// the previous target — every point forces a full flow-state
+    /// export → re-partition → import migration. Rescale is a
+    /// fleet-level operation, so on non-sharded engines this script
+    /// degenerates to the quiet control.
+    pub fn scale_storm(total_packets: u64, max_shards: usize, rng: &mut StdRng) -> Self {
+        let max = max_shards.max(2) as u64;
+        let lo = total_packets / 5;
+        let span = (total_packets * 3 / 5).max(1);
+        let scales = rng.gen_range(3..6u64);
+        let mut prev = 0u64;
+        let actions = (0..scales)
+            .map(|i| {
+                let mut shards = rng.gen_range(1..max + 1);
+                if shards == prev {
+                    shards = shards % max + 1;
+                }
+                prev = shards;
+                ChaosAction::Rescale {
+                    after_injected: lo + span * i / scales,
+                    shards: shards as usize,
+                }
+            })
+            .collect();
+        Self {
+            name: "scale_storm".into(),
+            actions,
+        }
+    }
+
     /// Everything overlapped: one NF panics, a *different* NF stalls, and
     /// swaps keep landing throughout — the conjunction failure mode the
     /// soak harness exists for.
@@ -176,7 +221,7 @@ impl ChaosScript {
                         nfs[node] = Box::new(StallOnce::new(inner, stall_on, stall));
                     }
                 }
-                ChaosAction::Swap { .. } => {}
+                ChaosAction::Swap { .. } | ChaosAction::Rescale { .. } => {}
             }
         }
         nfs
@@ -193,6 +238,25 @@ impl ChaosScript {
             })
             .collect();
         points.sort_unstable();
+        points
+    }
+
+    /// The script's rescale timeline as `(after_injected, shards)`
+    /// pairs, ascending by threshold. Executed between traffic chunks
+    /// by the soak driver (see [`ChaosAction::Rescale`]).
+    pub fn scale_points(&self) -> Vec<(u64, usize)> {
+        let mut points: Vec<(u64, usize)> = self
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                ChaosAction::Rescale {
+                    after_injected,
+                    shards,
+                } => Some((*after_injected, *shards)),
+                _ => None,
+            })
+            .collect();
+        points.sort_unstable_by_key(|&(at, _)| at);
         points
     }
 
@@ -327,6 +391,27 @@ mod tests {
         assert!(*points.first().unwrap() >= 2_000);
         assert!(*points.last().unwrap() < 10_000);
         assert_eq!(script.max_stall(), Duration::ZERO);
+    }
+
+    #[test]
+    fn scale_storm_targets_walk_within_bounds() {
+        for seed in 0..32 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let script = ChaosScript::scale_storm(10_000, 4, &mut rng);
+            let points = script.scale_points();
+            assert!((3..=5).contains(&points.len()), "seed {seed}");
+            assert!(points.windows(2).all(|w| w[0].0 <= w[1].0));
+            assert!(points.first().unwrap().0 >= 2_000, "seed {seed}");
+            assert!(points.last().unwrap().0 < 10_000, "seed {seed}");
+            for w in points.windows(2) {
+                assert_ne!(w[0].1, w[1].1, "consecutive targets equal, seed {seed}");
+            }
+            assert!(points.iter().all(|&(_, s)| (1..=4).contains(&s)));
+            // Rescales arm no NF faults and fire no swaps.
+            assert!(script.swap_points().is_empty());
+            assert_eq!(script.wrap_nfs(two_nfs()).len(), 2);
+            assert_eq!(script.max_stall(), Duration::ZERO);
+        }
     }
 
     #[test]

@@ -334,9 +334,13 @@ impl Classifier {
             let n = t.trace_every();
             n > 0 && pid.is_multiple_of(n)
         });
+        // The admission-time flow key rides the metadata sidecar so every
+        // stateful NF downstream — even past a header-rewriting NAT —
+        // keys its per-flow state by the same tuple RSS sharded on.
         let meta = Metadata::new(tables.mid, pid, VERSION_ORIGINAL)
             .with_epoch(epoch)
-            .with_traced(traced);
+            .with_traced(traced)
+            .with_flow(nfp_packet::flow::FlowKey::of(&pkt));
         pkt.set_meta(meta);
         let r = match pool.insert(pkt) {
             Ok(r) => r,

@@ -45,7 +45,7 @@ use crate::runtime::{FailureKind, NfRuntime};
 use crate::stats::{EngineStats, StageStats};
 use crate::swap::{EpochReport, EpochTally, ProgramHandle, ReconfigError, TablesResolver};
 use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
-use nfp_nf::NetworkFunction;
+use nfp_nf::{FlowSnapshot, NetworkFunction};
 use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
 use nfp_orchestrator::{FailurePolicy, Program, Stage};
 use nfp_packet::pool::PacketPool;
@@ -280,6 +280,35 @@ pub struct EngineReport {
     /// (p50/p90/p99/max via [`TelemetrySnapshot::stage`]) and sampled
     /// trace timelines. Empty histograms when telemetry is disabled.
     pub telemetry: TelemetrySnapshot,
+    /// Flow-state migration census over the reporting engine's lifetime.
+    /// Always zero for a lone [`Engine`] (nothing to migrate); a
+    /// [`crate::shard::ShardedEngine`] fills in its rescale history.
+    pub migration: MigrationStats,
+}
+
+/// Cumulative flow-state migration counters for an elastic fleet.
+///
+/// The census invariant the soak auditor checks: every rescale must
+/// leave `flows_exported == flows_imported` — re-partitioning by
+/// [`nfp_packet::flow::FlowKey::shard`] moves every flow somewhere and
+/// invents none.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Shard-count changes performed.
+    pub rescales: u64,
+    /// Flow-state entries exported from retiring shards, summed over all
+    /// rescales and stateful NF positions.
+    pub flows_exported: u64,
+    /// Flow-state entries imported into replacement shards after
+    /// re-partitioning. Equals `flows_exported` unless state was lost.
+    pub flows_imported: u64,
+}
+
+impl MigrationStats {
+    /// True when every exported flow was re-imported somewhere.
+    pub fn balanced(&self) -> bool {
+        self.flows_exported == self.flows_imported
+    }
 }
 
 impl EngineReport {
@@ -1466,8 +1495,38 @@ impl Engine {
             epoch: handle.epoch(),
             epochs: handle.tallies(),
             telemetry: telemetry.snapshot(),
+            migration: MigrationStats::default(),
         };
         (report, report_latency)
+    }
+
+    /// Export each NF's per-flow state, one [`FlowSnapshot`] per NF
+    /// position (in `NodeId` order, matching the program's node
+    /// numbering). Stateless positions export empty snapshots. Call
+    /// between runs — the closed loop guarantees no packet is in flight
+    /// then, so the snapshot is a consistent cut.
+    pub fn export_flow_state(&self) -> Vec<FlowSnapshot> {
+        self.nfs.iter().map(|nf| nf.snapshot_state()).collect()
+    }
+
+    /// Restore per-position snapshots exported by [`Engine::export_flow_state`]
+    /// (after the caller partition-filtered them to this engine's shard).
+    /// Positions beyond the snapshot vector, and empty snapshots, are
+    /// left untouched.
+    pub fn import_flow_state(&mut self, snaps: &[FlowSnapshot]) {
+        for (nf, snap) in self.nfs.iter_mut().zip(snaps) {
+            if !snap.is_empty() {
+                nf.restore_state(snap);
+            }
+        }
+    }
+
+    /// Tell every NF which shard partition this engine serves, arming
+    /// the debug-build RSS-ownership assertions on their flow tables.
+    pub fn bind_partition(&mut self, index: usize, total: usize) {
+        for nf in &mut self.nfs {
+            nf.bind_partition(index, total);
+        }
     }
 }
 

@@ -41,23 +41,29 @@
 //!   that classified them.
 //! * [`shard`] — RSS-style flow sharding: a 5-tuple hash front-end over N
 //!   full engine replicas for multi-core scale-out, per-flow FIFO
-//!   preserved.
+//!   preserved — and elastic: [`shard::ShardedEngine::rescale`] changes
+//!   the shard count between runs, migrating every stateful NF's
+//!   per-flow state with its flows.
+//! * [`autoscale`] — the policy loop over that elasticity: distills
+//!   grow/hold/shrink decisions from the p99 stage histograms and ring
+//!   high-water backpressure gauges, with hysteresis and cooldown.
 //! * [`telemetry`] — packet-path telemetry: lock-free per-stage log₂
 //!   latency histograms (p50/p90/p99/max per stage on every report) and
 //!   sampled per-packet trace timelines, exportable as JSON or
 //!   Prometheus text via [`telemetry::TelemetrySnapshot`].
 //! * [`audit`] — continuous invariant auditing for adversarial soak runs:
 //!   live engine gauges ([`audit::EngineProbe`]), a sampling auditor
-//!   thread, and the four-invariant end-of-run verdict
-//!   ([`audit::InvariantReport`]).
+//!   thread, and the five-invariant end-of-run verdict
+//!   ([`audit::InvariantReport`]) — migrated-state census included.
 //! * [`chaos_schedule`] — seed-derived chaos scripts (NF panics, stalls,
-//!   mid-storm swap timelines) and the driver that executes them against
-//!   a running engine.
+//!   mid-storm swap timelines, fleet rescale storms) and the driver that
+//!   executes them against a running engine.
 
 #![warn(missing_docs)]
 
 pub mod actions;
 pub mod audit;
+pub mod autoscale;
 pub mod chaos_schedule;
 pub mod classifier;
 pub mod cores;
@@ -76,12 +82,15 @@ pub use audit::{
     spawn_auditor, AuditConfig, AuditorHandle, EngineProbe, InvariantReport, LiveAudit,
     ProbeGauges, ProbeSample, SoakCounts,
 };
+pub use autoscale::{AutoscalePolicy, Autoscaler, LoadSignals, ScaleDecision};
 pub use chaos_schedule::{drive_swaps, ChaosAction, ChaosScript, SwapLog};
 pub use classifier::Classifier;
-pub use engine::{Engine, EngineConfig, EngineController, EngineError, EngineReport, NfFailure};
+pub use engine::{
+    Engine, EngineConfig, EngineController, EngineError, EngineReport, MigrationStats, NfFailure,
+};
 pub use exec::{host_parallelism, IdlePolicy, WakeHub};
 pub use runtime::FailureKind;
-pub use shard::ShardedEngine;
+pub use shard::{ScaleReport, ShardMigration, ShardedEngine};
 pub use stats::{EngineStats, StageStats};
 pub use swap::{
     EpochReport, EpochState, EpochTally, ProgramHandle, ReconfigError, ShardSwap, TablesResolver,

@@ -613,12 +613,14 @@ mod tests {
                     priority: 0,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
                 MemberSpec {
                     version: 2,
                     priority: 1,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
             ],
         );
@@ -654,12 +656,14 @@ mod tests {
                     priority: 0,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
                 MemberSpec {
                     version: 1,
                     priority: 1,
                     drop_capable: true,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
             ],
         );
@@ -690,12 +694,14 @@ mod tests {
                     priority: 0,
                     drop_capable: true, // firewall
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
                 MemberSpec {
                     version: 1,
                     priority: 1,
                     drop_capable: true, // IPS — the decider
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
             ],
         );
@@ -745,12 +751,14 @@ mod tests {
                     priority: 0,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
                 MemberSpec {
                     version: 2,
                     priority: 1,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
             ],
         );
@@ -788,6 +796,7 @@ mod tests {
                 priority: 0,
                 drop_capable: false,
                 on_failure: FailurePolicy::FailOpen,
+                stateful: false,
             }],
         );
         let arrivals = [arrival_from(&pool, v2)];
@@ -820,12 +829,14 @@ mod tests {
                     priority: 0,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
                 MemberSpec {
                     version: 2,
                     priority: 1,
                     drop_capable: false,
                     on_failure: FailurePolicy::FailOpen,
+                    stateful: false,
                 },
             ],
         );
@@ -911,6 +922,7 @@ mod tests {
             } else {
                 FailurePolicy::FailOpen
             },
+            stateful: false,
         }
     }
 

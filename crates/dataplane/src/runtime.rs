@@ -356,6 +356,7 @@ mod tests {
             access: AccessMode::Exclusive,
             on_drop: DropBehavior::Discard,
             on_failure: FailurePolicy::FailOpen,
+            stateful: false,
         }
     }
 
@@ -400,6 +401,7 @@ mod tests {
                 priority: 9,
             },
             on_failure: FailurePolicy::FailClosed,
+            stateful: false,
         };
         let mut rt = NfRuntime::new(Firewall::with_synthetic_acl("fw", 100), config);
         let mut sink = Capture::default();
@@ -477,6 +479,7 @@ mod tests {
                 priority: 4,
             },
             on_failure: FailurePolicy::FailClosed,
+            stateful: false,
         };
         let mut rt = NfRuntime::new(PanicAfter::new(Monitor::new("mon"), 0), config);
         let mut sink = Capture::default();
@@ -526,6 +529,7 @@ mod tests {
                 priority: 0,
             },
             on_failure: FailurePolicy::FailOpen,
+            stateful: false,
         };
         let mut rt = NfRuntime::new(Monitor::new("mon"), config);
         let mut sink = Capture::default();

@@ -58,6 +58,24 @@ impl<N: NetworkFunction> NetworkFunction for PanicAfter<N> {
         }
         self.inner.process(pkt)
     }
+
+    // State hooks forward so wrapping a stateful NF does not strand its
+    // flow state behind the fault injector.
+    fn stateful(&self) -> bool {
+        self.inner.stateful()
+    }
+
+    fn snapshot_state(&self) -> crate::state::FlowSnapshot {
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, snap: &crate::state::FlowSnapshot) {
+        self.inner.restore_state(snap)
+    }
+
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        self.inner.bind_partition(index, total)
+    }
 }
 
 /// An NF that stalls (sleeps) exactly once, on its `stall_on`-th packet,
@@ -112,6 +130,22 @@ impl<N: NetworkFunction> NetworkFunction for StallOnce<N> {
             std::thread::sleep(self.stall_for);
         }
         self.inner.process(pkt)
+    }
+
+    fn stateful(&self) -> bool {
+        self.inner.stateful()
+    }
+
+    fn snapshot_state(&self) -> crate::state::FlowSnapshot {
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, snap: &crate::state::FlowSnapshot) {
+        self.inner.restore_state(snap)
+    }
+
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        self.inner.bind_partition(index, total)
     }
 }
 

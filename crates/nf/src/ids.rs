@@ -9,8 +9,39 @@
 
 use crate::aho::AhoCorasick;
 use crate::nf::{NetworkFunction, PacketView, Verdict};
+use crate::state::{FlowSnapshot, FlowTable};
 use nfp_orchestrator::ActionProfile;
+use nfp_packet::flow::FlowKey;
 use nfp_packet::FieldId;
+
+/// Per-flow inspection context: the stand-in for Snort's per-connection
+/// stream state — how far into a flow we have scanned and what we found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowContext {
+    /// Packets of this flow scanned.
+    pub scanned: u64,
+    /// Alerts raised on this flow.
+    pub alerts: u64,
+}
+
+impl FlowContext {
+    fn to_bytes(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.scanned.to_be_bytes());
+        out.extend_from_slice(&self.alerts.to_be_bytes());
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            scanned: u64::from_be_bytes(b[..8].try_into().ok()?),
+            alerts: u64::from_be_bytes(b[8..].try_into().ok()?),
+        })
+    }
+}
 
 /// Whether the IDS sits inline (IPS: drops on match) or passively alerts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +62,8 @@ pub struct Ids {
     pub alerts: u64,
     /// Packets scanned.
     pub scanned: u64,
+    /// Per-flow inspection context (migrates with the flows).
+    contexts: FlowTable<FlowContext>,
     scratch: Vec<u8>,
 }
 
@@ -47,6 +80,7 @@ impl Ids {
             mode,
             alerts: 0,
             scanned: 0,
+            contexts: FlowTable::new(),
             scratch: vec![0u8; nfp_packet::packet::CAPACITY],
         }
     }
@@ -60,6 +94,16 @@ impl Ids {
     /// Number of compiled signatures.
     pub fn signature_count(&self) -> usize {
         self.automaton.pattern_count()
+    }
+
+    /// Number of flows with live inspection context.
+    pub fn tracked_flows(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Inspection context for one flow, if tracked.
+    pub fn flow_context(&self, key: &FlowKey) -> Option<FlowContext> {
+        self.contexts.get(key).copied()
     }
 }
 
@@ -76,6 +120,7 @@ impl NetworkFunction for Ids {
             FieldId::Dport,
             FieldId::Payload,
         ]);
+        let p = p.stateful();
         match self.mode {
             IdsMode::Inline => p.drops(),
             IdsMode::Passive => p,
@@ -84,17 +129,48 @@ impl NetworkFunction for Ids {
 
     fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
         self.scanned += 1;
+        let key = match pkt.meta().flow() {
+            Some(k) => Some(k),
+            None => pkt
+                .five_tuple()
+                .ok()
+                .map(|(sip, dip, sport, dport, proto)| FlowKey::new(sip, dip, sport, dport, proto)),
+        };
         let n = match pkt.read_bytes(FieldId::Payload, &mut self.scratch) {
             Ok(n) => n,
             Err(_) => return Verdict::Pass, // header-only copies carry no payload
         };
-        if self.automaton.any_match(&self.scratch[..n]) {
+        let matched = self.automaton.any_match(&self.scratch[..n]);
+        if let Some(key) = key {
+            let ctx = self.contexts.entry(key);
+            ctx.scanned += 1;
+            if matched {
+                ctx.alerts += 1;
+            }
+        }
+        if matched {
             self.alerts += 1;
             if self.mode == IdsMode::Inline {
                 return Verdict::Drop;
             }
         }
         Verdict::Pass
+    }
+
+    fn stateful(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> FlowSnapshot {
+        self.contexts.snapshot_with(&self.name, |c| c.to_bytes())
+    }
+
+    fn restore_state(&mut self, snap: &FlowSnapshot) {
+        self.contexts.restore_with(snap, FlowContext::from_bytes);
+    }
+
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        self.contexts.bind_partition(index, total);
     }
 }
 
@@ -139,6 +215,26 @@ mod tests {
         let passive = Ids::with_synthetic_signatures("b", 1, IdsMode::Passive);
         assert!(!passive.profile().has_drop());
         assert!(passive.profile().read_mask().contains(FieldId::Payload));
+    }
+
+    #[test]
+    fn flow_context_survives_migration() {
+        let mut ids = Ids::with_synthetic_signatures("ids", 10, IdsMode::Passive);
+        for _ in 0..3 {
+            let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 7, 8, b"EVIL0001SIG");
+            ids.process(&mut PacketView::Exclusive(&mut p));
+        }
+        let mut clean = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 9, 8, b"ok");
+        ids.process(&mut PacketView::Exclusive(&mut clean));
+        assert_eq!(ids.tracked_flows(), 2);
+
+        let snap = ids.snapshot_state();
+        let mut moved = Ids::with_synthetic_signatures("ids", 10, IdsMode::Passive);
+        moved.restore_state(&snap);
+        let key = FlowKey::new(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 7, 8, 6);
+        let ctx = moved.flow_context(&key).unwrap();
+        assert_eq!(ctx.scanned, 3);
+        assert_eq!(ctx.alerts, 3);
     }
 
     #[test]

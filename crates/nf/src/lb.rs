@@ -1,32 +1,48 @@
-//! The load balancer NF: "the commonly used ECMP mechanism in data centers
-//! that hashes the 5-tuple of the packet to balance the load" (§6.1).
+//! The load balancer NF (§6.1's data-center balancer), upgraded from
+//! stateless ECMP to a **sticky, flow-aware** balancer: the first packet
+//! of a flow picks the backend with the fewest assigned flows
+//! (deterministic tie-break: lowest index) and the flow is pinned there
+//! in a [`FlowTable`] for its lifetime. The pin is real state — unlike a
+//! pure hash, it cannot be recomputed after a shard-count change — which
+//! is exactly what makes the balancer a migration test subject: lose the
+//! table and established connections land on different backends.
 
 use crate::nf::{NetworkFunction, PacketView, Verdict};
+use crate::state::{FlowSnapshot, FlowTable};
 use nfp_orchestrator::ActionProfile;
+use nfp_packet::flow::FlowKey;
 use nfp_packet::ipv4::Ipv4Addr;
 use nfp_packet::FieldId;
 
-/// ECMP load balancer: rewrites the destination IP to a backend chosen by
-/// a 5-tuple hash, and the source IP to its virtual IP (matching Table 2's
-/// `R/W` on both addresses).
+/// Sticky least-connections load balancer: rewrites the destination IP
+/// to the flow's pinned backend, and the source IP to its virtual IP
+/// (matching Table 2's `R/W` on both addresses).
 #[derive(Debug)]
 pub struct LoadBalancer {
     name: String,
     vip: Ipv4Addr,
     backends: Vec<Ipv4Addr>,
+    /// flow → backend index (authoritative, migrates with the flows).
+    assignments: FlowTable<u8>,
+    /// Live-flow count per backend (derived: recomputed on restore).
+    assigned: Vec<u64>,
     /// Per-backend packet counts (diagnostics / balance tests).
     pub hits: Vec<u64>,
 }
 
 impl LoadBalancer {
-    /// Create a balancer over `backends`, fronted by `vip`.
+    /// Create a balancer over `backends` (at most 256), fronted by `vip`.
     pub fn new(name: impl Into<String>, vip: Ipv4Addr, backends: Vec<Ipv4Addr>) -> Self {
         assert!(!backends.is_empty(), "load balancer needs backends");
+        assert!(backends.len() <= 256, "backend index is a u8");
         let hits = vec![0; backends.len()];
+        let assigned = vec![0; backends.len()];
         Self {
             name: name.into(),
             vip,
             backends,
+            assignments: FlowTable::new(),
+            assigned,
             hits,
         }
     }
@@ -37,21 +53,27 @@ impl LoadBalancer {
         Self::new(name, Ipv4Addr::new(10, 255, 0, 1), backends)
     }
 
-    /// The ECMP hash: a 5-tuple FNV-1a, stable across runs so flows stick.
-    fn ecmp_hash(sip: u32, dip: u32, sport: u16, dport: u16, proto: u8) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in sip
-            .to_be_bytes()
-            .into_iter()
-            .chain(dip.to_be_bytes())
-            .chain(sport.to_be_bytes())
-            .chain(dport.to_be_bytes())
-            .chain([proto])
-        {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x1000_0000_01b3);
+    /// Number of flows currently pinned.
+    pub fn pinned_flows(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The backend a flow is pinned to, if any.
+    pub fn assignment(&self, key: &FlowKey) -> Option<Ipv4Addr> {
+        self.assignments
+            .get(key)
+            .map(|&idx| self.backends[usize::from(idx)])
+    }
+
+    /// Pick for a new flow: fewest assigned flows, lowest index on ties.
+    fn least_loaded(&self) -> u8 {
+        let mut best = 0usize;
+        for (i, &n) in self.assigned.iter().enumerate() {
+            if n < self.assigned[best] {
+                best = i;
+            }
         }
-        h
+        best as u8
     }
 }
 
@@ -65,19 +87,59 @@ impl NetworkFunction for LoadBalancer {
         ActionProfile::new(self.name.clone())
             .reads_writes([FieldId::Sip, FieldId::Dip])
             .reads([FieldId::Sport, FieldId::Dport])
+            .stateful()
     }
 
     fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
-        let Ok((sip, dip, sport, dport, proto)) = pkt.five_tuple() else {
-            return Verdict::Pass;
+        // Key by the admission-time tuple (sidecar) so an upstream NAT's
+        // rewrites cannot re-key the flow mid-chain.
+        let key = match pkt.meta().flow() {
+            Some(k) => k,
+            None => match pkt.five_tuple() {
+                Ok((sip, dip, sport, dport, proto)) => FlowKey::new(sip, dip, sport, dport, proto),
+                Err(_) => return Verdict::Pass,
+            },
         };
-        let h = Self::ecmp_hash(sip.to_u32(), dip.to_u32(), sport, dport, proto);
-        let idx = (h % self.backends.len() as u64) as usize;
+        let idx = match self.assignments.get(&key) {
+            Some(&idx) => usize::from(idx),
+            None => {
+                let idx = self.least_loaded();
+                self.assignments.insert(key, idx);
+                self.assigned[usize::from(idx)] += 1;
+                usize::from(idx)
+            }
+        };
         let backend = self.backends[idx];
         let _ = pkt.write(FieldId::Dip, &backend.0);
         let _ = pkt.write(FieldId::Sip, &self.vip.0);
         self.hits[idx] += 1;
         Verdict::Pass
+    }
+
+    fn stateful(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> FlowSnapshot {
+        self.assignments.snapshot_with(&self.name, |idx| vec![*idx])
+    }
+
+    fn restore_state(&mut self, snap: &FlowSnapshot) {
+        let backends = self.backends.len();
+        self.assignments.restore_with(snap, |b| match b {
+            [idx] if usize::from(*idx) < backends => Some(*idx),
+            _ => None,
+        });
+        // The load tally is derived state: recompute from the merged
+        // table so post-migration picks stay balanced.
+        self.assigned = vec![0; backends];
+        for (_, &idx) in self.assignments.iter() {
+            self.assigned[usize::from(idx)] += 1;
+        }
+    }
+
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        self.assignments.bind_partition(index, total);
     }
 }
 
@@ -111,6 +173,7 @@ mod tests {
                 Some(c) => assert_eq!(c, dip),
             }
         }
+        assert_eq!(lb.pinned_flows(), 1);
     }
 
     #[test]
@@ -121,11 +184,35 @@ mod tests {
             let mut v = PacketView::Exclusive(&mut p);
             lb.process(&mut v);
         }
-        // Every backend sees a reasonable share (crude balance check).
+        // Least-connections spreads new flows exactly evenly.
         for (i, &h) in lb.hits.iter().enumerate() {
             assert!(h > 40, "backend {i} got {h}/400");
         }
         assert_eq!(lb.hits.iter().sum::<u64>(), 400);
+        assert_eq!(lb.pinned_flows(), 400);
+    }
+
+    #[test]
+    fn pins_survive_migration() {
+        let mut lb = LoadBalancer::with_uniform_backends("lb", 4);
+        let mut picks = std::collections::HashMap::new();
+        for sport in 0..32u16 {
+            let mut p = tcp_packet(ip(9, 9, 9, 9), ip(10, 255, 0, 1), 20_000 + sport, 80, b"");
+            lb.process(&mut PacketView::Exclusive(&mut p));
+            picks.insert(sport, p.dip().unwrap());
+        }
+        let snap = lb.snapshot_state();
+        let mut moved = LoadBalancer::with_uniform_backends("lb", 4);
+        moved.restore_state(&snap);
+        assert_eq!(moved.pinned_flows(), 32);
+        // Established flows keep their backend; the derived load tally
+        // matches the migrated table.
+        for (&sport, &dip) in &picks {
+            let mut p = tcp_packet(ip(9, 9, 9, 9), ip(10, 255, 0, 1), 20_000 + sport, 80, b"");
+            moved.process(&mut PacketView::Exclusive(&mut p));
+            assert_eq!(p.dip().unwrap(), dip, "pin lost in migration");
+        }
+        assert_eq!(moved.assigned.iter().sum::<u64>(), 32);
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub mod lz;
 pub mod monitor;
 pub mod nat;
 pub mod nf;
+pub mod state;
 pub mod vpn;
 
 pub use inspector::{inspect, InspectingView};
 pub use nf::{NetworkFunction, PacketView, Verdict};
+pub use state::{FlowSnapshot, FlowTable};

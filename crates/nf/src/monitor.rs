@@ -1,11 +1,17 @@
 //! The monitor NF: "maintains per-flow counters, which can be obtained by
 //! the operator. The counter table uses the hash value of the 5-tuple as
 //! the key" (§6.1).
+//!
+//! The counter table is a [`FlowTable`] keyed by the canonical
+//! [`FlowKey`] (whose FNV-1a hash is the RSS shard function), so a
+//! shard-count change migrates every flow's counters to the shard its
+//! flow moves to instead of resetting them.
 
 use crate::nf::{NetworkFunction, PacketView, Verdict};
+use crate::state::{FlowSnapshot, FlowTable};
 use nfp_orchestrator::ActionProfile;
+use nfp_packet::flow::FlowKey;
 use nfp_packet::FieldId;
-use std::collections::HashMap;
 
 /// Per-flow statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,11 +22,33 @@ pub struct FlowStats {
     pub bytes: u64,
 }
 
+impl FlowStats {
+    /// Snapshot wire format: 16 bytes, `packets` then `bytes`, both BE.
+    pub fn to_bytes(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(&self.packets.to_be_bytes());
+        out.extend_from_slice(&self.bytes.to_be_bytes());
+        out
+    }
+
+    /// Decode the [`FlowStats::to_bytes`] format; `None` on any other
+    /// length (migration rejects, it never guesses).
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() != 16 {
+            return None;
+        }
+        Some(Self {
+            packets: u64::from_be_bytes(b[..8].try_into().ok()?),
+            bytes: u64::from_be_bytes(b[8..].try_into().ok()?),
+        })
+    }
+}
+
 /// NetFlow-style per-flow monitor.
 #[derive(Debug, Default)]
 pub struct Monitor {
     name: String,
-    flows: HashMap<u64, FlowStats>,
+    flows: FlowTable<FlowStats>,
     /// Total packets observed.
     pub total_packets: u64,
 }
@@ -30,27 +58,9 @@ impl Monitor {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            flows: HashMap::new(),
+            flows: FlowTable::new(),
             total_packets: 0,
         }
-    }
-
-    /// The 5-tuple hash used as the flow key (FNV-1a, like the paper's
-    /// "hash value of the 5-tuple as the key").
-    pub fn flow_key(sip: u32, dip: u32, sport: u16, dport: u16, proto: u8) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in sip
-            .to_be_bytes()
-            .into_iter()
-            .chain(dip.to_be_bytes())
-            .chain(sport.to_be_bytes())
-            .chain(dport.to_be_bytes())
-            .chain([proto])
-        {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        h
     }
 
     /// Number of distinct flows observed.
@@ -58,9 +68,9 @@ impl Monitor {
         self.flows.len()
     }
 
-    /// Stats for one flow key, if observed.
-    pub fn stats(&self, key: u64) -> Option<FlowStats> {
-        self.flows.get(&key).copied()
+    /// Stats for one flow, if observed.
+    pub fn stats(&self, key: &FlowKey) -> Option<FlowStats> {
+        self.flows.get(key).copied()
     }
 }
 
@@ -71,24 +81,40 @@ impl NetworkFunction for Monitor {
 
     fn profile(&self) -> ActionProfile {
         // Table 2's Monitor row: reads the 4-tuple (no modification).
-        ActionProfile::new(self.name.clone()).reads([
-            FieldId::Sip,
-            FieldId::Dip,
-            FieldId::Sport,
-            FieldId::Dport,
-        ])
+        ActionProfile::new(self.name.clone())
+            .reads([FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport])
+            .stateful()
     }
 
     fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
-        let Ok((sip, dip, sport, dport, proto)) = pkt.five_tuple() else {
-            return Verdict::Pass;
+        let key = match pkt.meta().flow() {
+            Some(k) => k,
+            None => match pkt.five_tuple() {
+                Ok((sip, dip, sport, dport, proto)) => FlowKey::new(sip, dip, sport, dport, proto),
+                Err(_) => return Verdict::Pass,
+            },
         };
-        let key = Self::flow_key(sip.to_u32(), dip.to_u32(), sport, dport, proto);
-        let entry = self.flows.entry(key).or_default();
+        let entry = self.flows.entry(key);
         entry.packets += 1;
         entry.bytes += pkt.len() as u64;
         self.total_packets += 1;
         Verdict::Pass
+    }
+
+    fn stateful(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> FlowSnapshot {
+        self.flows.snapshot_with(&self.name, |s| s.to_bytes())
+    }
+
+    fn restore_state(&mut self, snap: &FlowSnapshot) {
+        self.flows.restore_with(snap, FlowStats::from_bytes);
+    }
+
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        self.flows.bind_partition(index, total);
     }
 }
 
@@ -108,14 +134,14 @@ mod tests {
         m.process(&mut PacketView::Exclusive(&mut other));
         assert_eq!(m.flow_count(), 2);
         assert_eq!(m.total_packets, 4);
-        let key = Monitor::flow_key(
-            ip(1, 1, 1, 1).to_u32(),
-            ip(2, 2, 2, 2).to_u32(),
+        let key = FlowKey::new(
+            ip(1, 1, 1, 1),
+            ip(2, 2, 2, 2),
             10,
             20,
             nfp_packet::ipv4::PROTO_TCP,
         );
-        let stats = m.stats(key).unwrap();
+        let stats = m.stats(&key).unwrap();
         assert_eq!(stats.packets, 3);
         assert_eq!(stats.bytes, 3 * (14 + 20 + 20 + 3));
     }
@@ -141,5 +167,34 @@ mod tests {
         m.process(&mut PacketView::Shared { pool: &pool, r });
         assert_eq!(m.total_packets, 1);
         pool.release(r);
+    }
+
+    #[test]
+    fn counters_survive_migration() {
+        let mut m = Monitor::new("mon");
+        for i in 0..5u16 {
+            for _ in 0..=i {
+                let mut p = tcp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 100 + i, 80, b"xy");
+                m.process(&mut PacketView::Exclusive(&mut p));
+            }
+        }
+        let snap = m.snapshot_state();
+        assert_eq!(snap.len(), 5);
+        let mut moved = Monitor::new("mon");
+        moved.restore_state(&snap);
+        for i in 0..5u16 {
+            let key = FlowKey::new(
+                ip(1, 1, 1, 1),
+                ip(2, 2, 2, 2),
+                100 + i,
+                80,
+                nfp_packet::ipv4::PROTO_TCP,
+            );
+            assert_eq!(
+                moved.stats(&key).unwrap().packets,
+                u64::from(i) + 1,
+                "flow {i} counters lost"
+            );
+        }
     }
 }

@@ -1,29 +1,47 @@
 //! Source NAT with dynamic port allocation (Table 2's NAT row: `R/W` on
 //! all four header-tuple fields).
+//!
+//! Bindings are **per flow** (full admission 5-tuple, via
+//! [`FlowTable`]), not per internal endpoint: that is what makes the
+//! state migratable — every binding belongs to exactly one RSS shard
+//! and moves with its flow on a shard-count change. External ports are
+//! allocated deterministically from the flow hash (probe on local
+//! conflict), so a flow's port does not depend on which packets
+//! happened to precede it on the shard.
+//!
+//! Forward bindings are authoritative. The reverse index (external port
+//! → internal endpoint) is first-wins: after a migration merges tables
+//! that were allocated independently on different shards, two flows can
+//! in principle hold the same external port — the forward mappings of
+//! both survive exactly, the reverse ambiguity is counted in
+//! [`Nat::port_collisions`] and surfaced by the migration audit.
 
 use crate::nf::{NetworkFunction, PacketView, Verdict};
+use crate::state::{FlowSnapshot, FlowTable};
 use nfp_orchestrator::ActionProfile;
+use nfp_packet::flow::FlowKey;
 use nfp_packet::ipv4::Ipv4Addr;
 use nfp_packet::FieldId;
 use std::collections::HashMap;
-
-/// Key identifying an internal flow.
-type FlowKey = (u32, u16); // (internal ip, internal port)
 
 /// Masquerading source NAT.
 #[derive(Debug)]
 pub struct Nat {
     name: String,
     external_ip: Ipv4Addr,
-    next_port: u16,
-    /// internal (ip, port) → external port.
-    bindings: HashMap<FlowKey, u16>,
-    /// external port → internal (ip, port), for the reverse path.
+    /// flow → external port (authoritative, migrates with the flows).
+    bindings: FlowTable<u16>,
+    /// external port → flow, for the reverse path (first-wins index,
+    /// rebuilt on restore).
     reverse: HashMap<u16, FlowKey>,
     /// Packets translated.
     pub translated: u64,
     /// Packets dropped because the port pool is exhausted.
     pub exhausted: u64,
+    /// Reverse-index conflicts observed while importing migrated
+    /// bindings (two flows allocated the same external port on
+    /// different shards before the merge).
+    pub port_collisions: u64,
 }
 
 impl Nat {
@@ -35,11 +53,11 @@ impl Nat {
         Self {
             name: name.into(),
             external_ip,
-            next_port: Self::PORT_BASE,
-            bindings: HashMap::new(),
+            bindings: FlowTable::new(),
             reverse: HashMap::new(),
             translated: 0,
             exhausted: 0,
+            port_collisions: 0,
         }
     }
 
@@ -48,35 +66,42 @@ impl Nat {
         self.bindings.len()
     }
 
+    /// The external port bound to a flow, if any.
+    pub fn binding(&self, key: &FlowKey) -> Option<u16> {
+        self.bindings.get(key).copied()
+    }
+
     /// Look up the internal endpoint behind an external port.
     pub fn reverse_lookup(&self, external_port: u16) -> Option<(Ipv4Addr, u16)> {
         self.reverse
             .get(&external_port)
-            .map(|&(ip, port)| (Ipv4Addr::from_u32(ip), port))
+            .map(|key| (key.sip, key.sport))
     }
 
+    /// Deterministic allocation: start at the flow-hash-derived port and
+    /// probe linearly past locally taken slots. Independent of arrival
+    /// order, so migrated and freshly computed bindings agree wherever
+    /// no conflict forced a probe.
     fn allocate(&mut self, key: FlowKey) -> Option<u16> {
         if let Some(&p) = self.bindings.get(&key) {
             return Some(p);
         }
-        // Linear probe from next_port; fails when the pool wraps around.
-        let start = self.next_port;
-        loop {
-            let candidate = self.next_port;
-            self.next_port = if self.next_port == u16::MAX {
-                Self::PORT_BASE
-            } else {
-                self.next_port + 1
-            };
+        let span = u32::from(u16::MAX - Self::PORT_BASE) + 1;
+        let start = Self::PORT_BASE + (key.hash() % u64::from(span)) as u16;
+        let mut candidate = start;
+        for _ in 0..span {
             if !self.reverse.contains_key(&candidate) {
                 self.bindings.insert(key, candidate);
                 self.reverse.insert(candidate, key);
                 return Some(candidate);
             }
-            if self.next_port == start {
-                return None;
-            }
+            candidate = if candidate == u16::MAX {
+                Self::PORT_BASE
+            } else {
+                candidate + 1
+            };
         }
+        None
     }
 }
 
@@ -86,19 +111,24 @@ impl NetworkFunction for Nat {
     }
 
     fn profile(&self) -> ActionProfile {
-        ActionProfile::new(self.name.clone()).reads_writes([
-            FieldId::Sip,
-            FieldId::Dip,
-            FieldId::Sport,
-            FieldId::Dport,
-        ])
+        ActionProfile::new(self.name.clone())
+            .reads_writes([FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport])
+            .stateful()
     }
 
     fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
-        let Ok((sip, _dip, sport, _dport, _)) = pkt.five_tuple() else {
-            return Verdict::Pass;
+        // Key by the admission-time tuple from the metadata sidecar when
+        // the classifier stamped one; headers may already be rewritten
+        // by an upstream NF. Direct (un-admitted) packets fall back to
+        // parsing.
+        let key = match pkt.meta().flow() {
+            Some(k) => k,
+            None => match pkt.five_tuple() {
+                Ok((sip, dip, sport, dport, proto)) => FlowKey::new(sip, dip, sport, dport, proto),
+                Err(_) => return Verdict::Pass,
+            },
         };
-        match self.allocate((sip.to_u32(), sport)) {
+        match self.allocate(key) {
             Some(ext_port) => {
                 let _ = pkt.write(FieldId::Sip, &self.external_ip.0);
                 let _ = pkt.write(FieldId::Sport, &ext_port.to_be_bytes());
@@ -110,6 +140,35 @@ impl NetworkFunction for Nat {
                 Verdict::Drop
             }
         }
+    }
+
+    fn stateful(&self) -> bool {
+        true
+    }
+
+    fn snapshot_state(&self) -> FlowSnapshot {
+        self.bindings
+            .snapshot_with(&self.name, |port| port.to_be_bytes().to_vec())
+    }
+
+    fn restore_state(&mut self, snap: &FlowSnapshot) {
+        self.bindings
+            .restore_with(snap, |b| b.try_into().ok().map(u16::from_be_bytes));
+        // Rebuild the reverse index first-wins; count the conflicts
+        // (flows that allocated the same port on different shards).
+        self.reverse.clear();
+        self.port_collisions = 0;
+        for (key, &port) in self.bindings.iter() {
+            if let Some(prev) = self.reverse.insert(port, *key) {
+                if prev != *key {
+                    self.port_collisions += 1;
+                }
+            }
+        }
+    }
+
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        self.bindings.bind_partition(index, total);
     }
 }
 
@@ -149,12 +208,78 @@ mod tests {
     }
 
     #[test]
-    fn profile_is_full_tuple_rw() {
+    fn allocation_is_arrival_order_independent() {
+        let flows: Vec<u16> = (2000..2032).collect();
+        let run = |order: &[u16]| -> Vec<(u16, u16)> {
+            let mut nat = Nat::new("nat", ip(203, 0, 113, 1));
+            let mut out: Vec<(u16, u16)> = order
+                .iter()
+                .map(|&sport| {
+                    let mut p = tcp_packet(ip(10, 0, 0, 7), ip(8, 8, 8, 8), sport, 80, b"");
+                    nat.process(&mut PacketView::Exclusive(&mut p));
+                    (sport, p.sport().unwrap())
+                })
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let forward = run(&flows);
+        let mut reversed = flows.clone();
+        reversed.reverse();
+        assert_eq!(
+            forward,
+            run(&reversed),
+            "hash-derived ports must not depend on arrival order"
+        );
+    }
+
+    #[test]
+    fn profile_is_full_tuple_rw_and_stateful() {
         let nat = Nat::new("nat", ip(1, 1, 1, 1));
         let p = nat.profile();
         for f in [FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport] {
             assert!(p.read_mask().contains(f));
             assert!(p.write_mask().contains(f));
         }
+        assert!(p.per_flow_state);
+        assert!(nat.stateful());
+    }
+
+    #[test]
+    fn state_snapshot_survives_migration() {
+        let mut nat = Nat::new("nat", ip(203, 0, 113, 1));
+        let mut ports = std::collections::HashMap::new();
+        for sport in 3000..3040u16 {
+            let mut p = tcp_packet(ip(192, 168, 1, 2), ip(8, 8, 8, 8), sport, 80, b"");
+            nat.process(&mut PacketView::Exclusive(&mut p));
+            ports.insert(sport, p.sport().unwrap());
+        }
+        let snap = nat.snapshot_state();
+        assert_eq!(snap.len(), 40);
+
+        let mut moved = Nat::new("nat", ip(203, 0, 113, 1));
+        moved.restore_state(&snap);
+        assert_eq!(moved.binding_count(), 40);
+        assert_eq!(moved.port_collisions, 0);
+        // Re-processing an established flow reuses the migrated binding.
+        for (&sport, &ext) in &ports {
+            let mut p = tcp_packet(ip(192, 168, 1, 2), ip(8, 8, 8, 8), sport, 80, b"");
+            moved.process(&mut PacketView::Exclusive(&mut p));
+            assert_eq!(p.sport().unwrap(), ext, "binding lost in migration");
+        }
+    }
+
+    #[test]
+    fn keys_by_admission_sidecar_when_stamped() {
+        use nfp_packet::Metadata;
+        let mut nat = Nat::new("nat", ip(203, 0, 113, 1));
+        // The packet's headers say one tuple, the sidecar another (as if
+        // an upstream NF rewrote the headers post-admission).
+        let admission = FlowKey::new(ip(172, 16, 0, 1), ip(8, 8, 8, 8), 5555, 80, 6);
+        let mut p = tcp_packet(ip(1, 1, 1, 1), ip(8, 8, 8, 8), 7777, 80, b"");
+        p.set_meta(Metadata::new(1, 0, 1).with_flow(Some(admission)));
+        nat.process(&mut PacketView::Exclusive(&mut p));
+        assert_eq!(nat.binding_count(), 1);
+        assert_eq!(nat.binding(&admission), Some(p.sport().unwrap()));
     }
 }

@@ -187,6 +187,16 @@ impl<'a> PacketView<'a> {
 /// Implementations are single-threaded (`Send`, not `Sync`): the NFP model
 /// dedicates one executor (container/core in the paper, thread here) to
 /// each NF instance, so interior state needs no synchronization.
+///
+/// Stateful NFs — those keeping per-flow state in a
+/// [`FlowTable`](crate::state::FlowTable) — additionally implement the
+/// state hooks ([`NetworkFunction::stateful`],
+/// [`NetworkFunction::snapshot_state`],
+/// [`NetworkFunction::restore_state`],
+/// [`NetworkFunction::bind_partition`]) so the dataplane can move their
+/// state with the flows when the shard count changes. The default
+/// implementations describe a stateless NF; the hooks are object-safe,
+/// so `Box<dyn NetworkFunction>` forwards them.
 pub trait NetworkFunction: Send {
     /// Instance name (matches policy NF names).
     fn name(&self) -> &str;
@@ -197,9 +207,36 @@ pub trait NetworkFunction: Send {
 
     /// Process one packet.
     fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict;
+
+    /// True when this NF keeps per-flow state that must migrate with its
+    /// flows across shard-count changes.
+    fn stateful(&self) -> bool {
+        false
+    }
+
+    /// Export this NF's per-flow state. Stateless NFs export nothing.
+    fn snapshot_state(&self) -> crate::state::FlowSnapshot {
+        crate::state::FlowSnapshot::empty(self.name())
+    }
+
+    /// Import per-flow state previously exported by an instance of the
+    /// same NF (the caller partition-filters entries to this instance's
+    /// shard first). Stateless NFs ignore it.
+    fn restore_state(&mut self, snap: &crate::state::FlowSnapshot) {
+        let _ = snap;
+    }
+
+    /// Tell the NF which shard partition it serves (`index` of `total`),
+    /// arming the debug-build ownership assertion on its flow tables.
+    /// Stateless NFs ignore it.
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        let _ = (index, total);
+    }
 }
 
-/// Blanket helper: every boxed NF is also an NF.
+/// Blanket helper: every boxed NF is also an NF. Forwards **every**
+/// method — including the state hooks, which would otherwise silently
+/// fall back to the stateless defaults and strand state behind the box.
 impl NetworkFunction for Box<dyn NetworkFunction> {
     fn name(&self) -> &str {
         (**self).name()
@@ -211,6 +248,22 @@ impl NetworkFunction for Box<dyn NetworkFunction> {
 
     fn process(&mut self, pkt: &mut PacketView<'_>) -> Verdict {
         (**self).process(pkt)
+    }
+
+    fn stateful(&self) -> bool {
+        (**self).stateful()
+    }
+
+    fn snapshot_state(&self) -> crate::state::FlowSnapshot {
+        (**self).snapshot_state()
+    }
+
+    fn restore_state(&mut self, snap: &crate::state::FlowSnapshot) {
+        (**self).restore_state(snap)
+    }
+
+    fn bind_partition(&mut self, index: usize, total: usize) {
+        (**self).bind_partition(index, total)
     }
 }
 

@@ -152,6 +152,12 @@ pub struct ActionProfile {
     /// Explicit failure policy, when the operator pinned one. `None`
     /// means "derive it": see [`ActionProfile::failure_policy`].
     pub failure: Option<FailurePolicy>,
+    /// True when the NF keeps per-flow state that must migrate with its
+    /// flows across shard-count changes (NAT bindings, LB pins, monitor
+    /// counters, IDS stream context). Stateless NFs can be rebuilt from
+    /// their config alone; stateful ones need the dataplane to export,
+    /// re-partition, and import their flow snapshots during a rescale.
+    pub per_flow_state: bool,
 }
 
 impl ActionProfile {
@@ -162,6 +168,7 @@ impl ActionProfile {
             actions: Vec::new(),
             add_rm_header: None,
             failure: None,
+            per_flow_state: false,
         }
     }
 
@@ -208,6 +215,14 @@ impl ActionProfile {
     #[must_use]
     pub fn drops(mut self) -> Self {
         self.push(Action::drop());
+        self
+    }
+
+    /// Builder: mark the NF as keeping per-flow state (see
+    /// [`ActionProfile::per_flow_state`]).
+    #[must_use]
+    pub fn stateful(mut self) -> Self {
+        self.per_flow_state = true;
         self
     }
 
@@ -335,6 +350,16 @@ mod tests {
     fn display_is_compact() {
         let p = ActionProfile::new("FW").reads([FieldId::Sip]).drops();
         assert_eq!(p.to_string(), "FW: read(sip) drop");
+    }
+
+    #[test]
+    fn statefulness_is_off_by_default_and_opt_in() {
+        let fw = ActionProfile::new("FW").reads([FieldId::Sip]).drops();
+        assert!(!fw.per_flow_state);
+        let nat = ActionProfile::new("NAT")
+            .reads_writes([FieldId::Sip, FieldId::Sport])
+            .stateful();
+        assert!(nat.per_flow_state);
     }
 
     #[test]

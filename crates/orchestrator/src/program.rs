@@ -380,6 +380,20 @@ impl Program {
         self.writes.get(node).copied().unwrap_or(FieldMask::EMPTY)
     }
 
+    /// Graph positions occupied by stateful NFs (per-flow state that must
+    /// be exported/imported across shard-count changes). Empty for an
+    /// all-stateless program — a rescale can then skip the state-migration
+    /// pass entirely.
+    pub fn stateful_nodes(&self) -> Vec<usize> {
+        self.tables
+            .nf_configs
+            .iter()
+            .enumerate()
+            .filter(|(_, cfg)| cfg.stateful)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Worst-case pool slots one admitted packet can occupy at once. An
     /// engine's pool must cover `max_in_flight × slots_per_packet` or the
     /// closed loop can wedge on pool exhaustion.
@@ -748,6 +762,17 @@ mod tests {
         // Sinks have no outgoing message rings.
         assert!(w.targets_of(Stage::Merger(0), 2).is_empty());
         assert!(w.targets_of(Stage::Collector, 2).is_empty());
+    }
+
+    #[test]
+    fn stateful_nodes_reflect_profiles() {
+        let g = graph(&["VPN", "Monitor", "Firewall", "LoadBalancer"]);
+        let p = Program::compile(&g, 1).unwrap();
+        let monitor = g.node_by_name("Monitor").unwrap();
+        let lb = g.node_by_name("LoadBalancer").unwrap();
+        let mut expected = vec![monitor, lb];
+        expected.sort_unstable();
+        assert_eq!(p.stateful_nodes(), expected);
     }
 
     #[test]

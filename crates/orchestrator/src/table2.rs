@@ -48,14 +48,17 @@ impl Registry {
             Some(0.26),
         );
         // NIDS (NIDS cluster, 20%): reads the 4-tuple and the payload.
+        // Stateful: per-flow stream/inspection context.
         r.register_with_share(
-            ActionProfile::new("NIDS").reads([
-                FieldId::Sip,
-                FieldId::Dip,
-                FieldId::Sport,
-                FieldId::Dport,
-                FieldId::Payload,
-            ]),
+            ActionProfile::new("NIDS")
+                .reads([
+                    FieldId::Sip,
+                    FieldId::Dip,
+                    FieldId::Sport,
+                    FieldId::Dport,
+                    FieldId::Payload,
+                ])
+                .stateful(),
             Some(0.20),
         );
         // Gateway (Cisco MGX, 19%): two `R` cells — read SIP and DIP.
@@ -64,10 +67,12 @@ impl Registry {
             Some(0.19),
         );
         // Load Balance (F5/A10, 10%): R/W on SIP and DIP, reads ports.
+        // Stateful: flow → backend pins.
         r.register_with_share(
             ActionProfile::new("LoadBalancer")
                 .reads_writes([FieldId::Sip, FieldId::Dip])
-                .reads([FieldId::Sport, FieldId::Dport]),
+                .reads([FieldId::Sport, FieldId::Dport])
+                .stateful(),
             Some(0.10),
         );
         // Caching (Nginx, 10%): three `R` cells — read DIP, DPORT and the
@@ -88,26 +93,26 @@ impl Registry {
                 .fail_closed(),
             Some(0.07),
         );
-        // NAT (iptables): R/W on the full 4-tuple.
-        r.register(ActionProfile::new("NAT").reads_writes([
-            FieldId::Sip,
-            FieldId::Dip,
-            FieldId::Sport,
-            FieldId::Dport,
-        ]));
+        // NAT (iptables): R/W on the full 4-tuple. Stateful: flow →
+        // external-port bindings.
+        r.register(
+            ActionProfile::new("NAT")
+                .reads_writes([FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport])
+                .stateful(),
+        );
         // Proxy (Squid): R/W on SIP and DIP.
         r.register(ActionProfile::new("Proxy").reads_writes([FieldId::Sip, FieldId::Dip]));
         // Compression (Cisco IOS): R/W on the payload.
         r.register(ActionProfile::new("Compression").reads_writes([FieldId::Payload]));
         // Traffic Shaper (Linux tc): delays packets, touches nothing.
         r.register(ActionProfile::new("TrafficShaper"));
-        // Monitor (NetFlow): reads the 4-tuple.
-        r.register(ActionProfile::new("Monitor").reads([
-            FieldId::Sip,
-            FieldId::Dip,
-            FieldId::Sport,
-            FieldId::Dport,
-        ]));
+        // Monitor (NetFlow): reads the 4-tuple. Stateful: per-flow
+        // counters.
+        r.register(
+            ActionProfile::new("Monitor")
+                .reads([FieldId::Sip, FieldId::Dip, FieldId::Sport, FieldId::Dport])
+                .stateful(),
+        );
         r
     }
 
@@ -229,6 +234,18 @@ mod tests {
         // pattern the examples use) flips it closed via the heuristic.
         let ids = r.get("NIDS").unwrap().clone().drops();
         assert_eq!(ids.failure_policy(), FailClosed);
+    }
+
+    #[test]
+    fn statefulness_matches_nf_semantics() {
+        let r = Registry::paper_table2();
+        let stateful = |nf: &str| r.get(nf).unwrap().per_flow_state;
+        for nf in ["NAT", "LoadBalancer", "Monitor", "NIDS"] {
+            assert!(stateful(nf), "{nf} keeps per-flow state");
+        }
+        for nf in ["Firewall", "Gateway", "VPN", "Compression", "TrafficShaper"] {
+            assert!(!stateful(nf), "{nf} is stateless");
+        }
     }
 
     #[test]

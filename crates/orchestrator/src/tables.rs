@@ -81,6 +81,10 @@ pub struct MemberSpec {
     /// branch fails closed (the branch's verdict cannot be defaulted to
     /// "pass"), `FailOpen` otherwise.
     pub on_failure: FailurePolicy,
+    /// True if any NF on the member's branch keeps per-flow state — such
+    /// a branch participates in state export/import during a shard-count
+    /// change.
+    pub stateful: bool,
 }
 
 /// Merge specification for one parallel segment — the Classification
@@ -142,6 +146,10 @@ pub struct NfConfig {
     /// What the runtime does with traffic once this NF has failed
     /// (panicked or been declared stalled by the watchdog).
     pub on_failure: FailurePolicy,
+    /// True when the NF keeps per-flow state (from
+    /// [`crate::action::ActionProfile::per_flow_state`]): the engine
+    /// exports/imports this NF's flow snapshots across rescales.
+    pub stateful: bool,
 }
 
 /// The complete table set for one service graph (one Classification Table
@@ -230,6 +238,7 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                     access: AccessMode::Exclusive,
                     on_drop: DropBehavior::Discard,
                     on_failure: graph.nodes[*n].profile.failure_policy(),
+                    stateful: graph.nodes[*n].profile.per_flow_state,
                 };
             }
             Segment::Parallel(grp) => {
@@ -260,6 +269,7 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                             access,
                             on_drop,
                             on_failure: graph.nodes[w[0]].profile.failure_policy(),
+                            stateful: graph.nodes[w[0]].profile.per_flow_state,
                         };
                     }
                     // Branch tail → merger for this segment.
@@ -272,6 +282,7 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                         access,
                         on_drop,
                         on_failure: graph.nodes[tail].profile.failure_policy(),
+                        stateful: graph.nodes[tail].profile.per_flow_state,
                     };
                 }
                 merge_specs.push(MergeSpec {
@@ -295,6 +306,10 @@ pub fn generate(graph: &ServiceGraph, mid: u32) -> GraphTables {
                             } else {
                                 FailurePolicy::FailOpen
                             },
+                            stateful: m
+                                .path
+                                .iter()
+                                .any(|&n| graph.nodes[n].profile.per_flow_state),
                         })
                         .collect(),
                     next: entry(i + 1),
@@ -456,6 +471,26 @@ mod tests {
         let by_drop = |d: bool| spec.members.iter().find(|m| m.drop_capable == d).unwrap();
         assert_eq!(by_drop(true).on_failure, FailurePolicy::FailClosed);
         assert_eq!(by_drop(false).on_failure, FailurePolicy::FailOpen);
+    }
+
+    #[test]
+    fn statefulness_flows_into_tables() {
+        // VPN -> [Monitor | FW] -> LB: Monitor and LB keep per-flow
+        // state; VPN and FW do not. The Monitor branch's member spec is
+        // stateful, the FW branch's is not.
+        let (t, g) = tables_for(&["VPN", "Monitor", "FW", "LB"]);
+        let vpn = g.node_by_name("VPN").unwrap();
+        let monitor = g.node_by_name("Monitor").unwrap();
+        let fw = g.node_by_name("FW").unwrap();
+        let lb = g.node_by_name("LB").unwrap();
+        assert!(!t.nf_configs[vpn].stateful);
+        assert!(t.nf_configs[monitor].stateful);
+        assert!(!t.nf_configs[fw].stateful);
+        assert!(t.nf_configs[lb].stateful);
+        let spec = t.merge_spec_for(1).unwrap();
+        let by_drop = |d: bool| spec.members.iter().find(|m| m.drop_capable == d).unwrap();
+        assert!(!by_drop(true).stateful, "FW branch is stateless");
+        assert!(by_drop(false).stateful, "Monitor branch carries state");
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod ah;
 pub mod checksum;
 pub mod ether;
 pub mod field;
+pub mod flow;
 pub mod ipv4;
 pub mod meta;
 pub mod packet;
@@ -43,6 +44,7 @@ pub mod testutil;
 pub mod udp;
 
 pub use field::{FieldId, FieldMask};
+pub use flow::FlowKey;
 pub use meta::Metadata;
 pub use packet::Packet;
 pub use pool::{PacketPool, PacketRef};

@@ -22,11 +22,18 @@
 //! * **traced** — set by the classifier on every Nth admitted packet when
 //!   trace sampling is enabled; stages append a timeline hop for packets
 //!   (and their copies and nils, which inherit the flag) carrying it.
+//! * **flow** — the admission-time [`FlowKey`] of the packet, stamped by
+//!   the classifier alongside the epoch. Stateful NFs key their per-flow
+//!   tables off this sidecar (never by re-parsing headers), so a NAT
+//!   rewriting the source tuple upstream cannot shift a downstream NF's
+//!   state onto the wrong shard.
 //!
-//! Neither sidecar crosses the wire — the paper's 64-bit word stays exactly
+//! No sidecar crosses the wire — the paper's 64-bit word stays exactly
 //! as Figure 5 specifies — so [`Metadata::to_raw`]/[`Metadata::from_raw`]
-//! cover only the packed word and a round trip resets epoch to 0 and
-//! traced to false.
+//! cover only the packed word and a round trip resets epoch to 0, traced
+//! to false and flow to `None`.
+
+use crate::flow::FlowKey;
 
 /// Number of bits in the match ID.
 pub const MID_BITS: u32 = 20;
@@ -42,13 +49,14 @@ pub const PID_MAX: u64 = (1 << PID_BITS) - 1;
 /// Maximum representable version.
 pub const VERSION_MAX: u8 = (1 << VERSION_BITS) - 1;
 
-/// The packed 64-bit NFP metadata word plus the host-side epoch and trace
-/// sidecars.
+/// The packed 64-bit NFP metadata word plus the host-side epoch, trace
+/// and flow sidecars.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Metadata {
     word: u64,
     epoch: u64,
     traced: bool,
+    flow: Option<FlowKey>,
 }
 
 impl Metadata {
@@ -65,6 +73,7 @@ impl Metadata {
             word: (mid << (PID_BITS + VERSION_BITS)) | (pid << VERSION_BITS) | version,
             epoch: 0,
             traced: false,
+            flow: None,
         }
     }
 
@@ -110,6 +119,20 @@ impl Metadata {
         Self { traced, ..self }
     }
 
+    /// The admission-time flow key (host-side sidecar; `None` until the
+    /// classifier stamps it, and always `None` for frames without a
+    /// parseable 5-tuple).
+    pub fn flow(self) -> Option<FlowKey> {
+        self.flow
+    }
+
+    /// Same metadata carrying the admission-time flow key — stamped by
+    /// the classifier so downstream stateful NFs key their per-flow
+    /// state by the *original* tuple even after header rewrites.
+    pub fn with_flow(self, flow: Option<FlowKey>) -> Self {
+        Self { flow, ..self }
+    }
+
     /// Same metadata with a different version — used when the runtime
     /// executes a `copy(v1, v2)` action. The epoch and trace sidecars are
     /// preserved: copies of a packet always belong to the epoch that
@@ -128,13 +151,15 @@ impl Metadata {
         self.word
     }
 
-    /// Rebuild from the raw representation (epoch resets to 0 and traced
-    /// to false: the sidecars are host-side tags, never serialized).
+    /// Rebuild from the raw representation (epoch resets to 0, traced to
+    /// false and flow to `None`: the sidecars are host-side tags, never
+    /// serialized).
     pub fn from_raw(raw: u64) -> Self {
         Self {
             word: raw,
             epoch: 0,
             traced: false,
+            flow: None,
         }
     }
 }
@@ -228,6 +253,30 @@ mod tests {
         let off = m.with_traced(false);
         assert!(!off.traced());
         assert_eq!(off.pid(), 11);
+    }
+
+    #[test]
+    fn flow_rides_along_and_survives_reversioning() {
+        use crate::flow::FlowKey;
+        use crate::ipv4::Ipv4Addr;
+        let k = FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1234,
+            80,
+            6,
+        );
+        let m = Metadata::new(5, 17, VERSION_ORIGINAL)
+            .with_epoch(2)
+            .with_flow(Some(k));
+        assert_eq!(m.flow(), Some(k));
+        // Copies inherit the admission key with the rest of the sidecars.
+        let copy = m.with_version(2);
+        assert_eq!(copy.flow(), Some(k));
+        assert_eq!(copy.epoch(), 2);
+        // The wire word is sidecar-free.
+        assert_eq!(Metadata::from_raw(m.to_raw()).flow(), None);
+        assert_eq!(m.to_raw(), Metadata::new(5, 17, VERSION_ORIGINAL).to_raw());
     }
 
     #[test]

@@ -164,6 +164,10 @@ impl PacketPool {
 
     /// Move `pkt` into a fresh slot. On pool exhaustion the packet is handed
     /// back so the caller can apply backpressure instead of dropping.
+    // Returning the whole Packet in Err is the point of the API — the
+    // caller keeps ownership to retry later; boxing it would add an
+    // allocation on the backpressure path.
+    #[allow(clippy::result_large_err)]
     pub fn insert(&self, pkt: Packet) -> core::result::Result<PacketRef, Packet> {
         match self.pop_free() {
             Some(idx) => {

@@ -17,11 +17,17 @@ use nfp_packet::ipv4::Ipv4Addr;
 use proptest::prelude::*;
 use std::time::Duration;
 
-/// Deterministic NFs only — replayable against the sync reference.
-const NFS: [&str; 6] = [
+/// Deterministic NFs only — replayable against the sync reference. The
+/// stateful ones (Monitor, LoadBalancer, NAT, IDS) key their flow
+/// tables by the admission 5-tuple, so their inclusion also proves the
+/// per-flow state layer never perturbs packet bytes: NAT's hash-derived
+/// port allocation and the LB's sticky least-connections pins are
+/// order-sensitive, and per-shard FIFO makes them replayable.
+const NFS: [&str; 7] = [
     "Monitor",
     "Firewall",
     "LoadBalancer",
+    "NAT",
     "IDS",
     "Gateway",
     "Caching",
@@ -42,6 +48,7 @@ fn make(name: &str) -> Box<dyn NetworkFunction> {
         "Monitor" => Box::new(monitor::Monitor::new(name)),
         "Firewall" => Box::new(firewall::Firewall::with_synthetic_acl(name, 100)),
         "LoadBalancer" => Box::new(lb::LoadBalancer::with_uniform_backends(name, 4)),
+        "NAT" => Box::new(nat::Nat::new(name, Ipv4Addr::new(203, 0, 113, 1))),
         "IDS" => Box::new(ids::Ids::with_synthetic_signatures(
             name,
             50,
@@ -101,8 +108,13 @@ proptest! {
             &CompileOptions::default(),
         ).unwrap();
         let program = compiled.program(1).unwrap();
-        let make_nfs = || -> Vec<Box<dyn NetworkFunction>> {
-            compiled.graph.nodes.iter().map(|node| make(node.name.as_str())).collect()
+        let names: Vec<String> =
+            compiled.graph.nodes.iter().map(|node| node.name.as_str().to_string()).collect();
+        let make_nfs = {
+            let names = names.clone();
+            move || -> Vec<Box<dyn NetworkFunction>> {
+                names.iter().map(|n| make(n.as_str())).collect()
+            }
         };
         let pkts = traffic(n, flows, deny_stride, malicious);
 
@@ -140,7 +152,11 @@ proptest! {
         // the sub-stream the RSS dispatcher routes there.
         let parts = partition_by_flow(pkts, shards);
         for (s, (report, part)) in reports.iter().zip(parts).enumerate() {
-            let mut reference = SyncEngine::new(program.clone(), make_nfs(), 64);
+            let mut reference = SyncEngine::new(
+                program.clone(),
+                names.iter().map(|n| make(n.as_str())).collect(),
+                64,
+            );
             let mut expected: Vec<Vec<u8>> = Vec::new();
             let mut expected_drops = 0u64;
             for pkt in part {

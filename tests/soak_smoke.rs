@@ -1,8 +1,9 @@
 //! CI smoke slice of the adversarial soak matrix: malformed traffic with
 //! the `combined` chaos script (one NF panic + one NF stall + live swaps
-//! overlapped) on all three engines, every cell audited live and checked
-//! against the four soak invariants. Kept small enough to finish in a few
-//! seconds; the full matrix runs in the `soak` bench binary.
+//! overlapped) on all three engines, plus a `scale_storm` cell rescaling
+//! the sharded fleet mid-run, every cell audited live and checked
+//! against the five soak invariants. Kept small enough to finish in a
+//! few seconds; the full matrix runs in the `soak` bench binary.
 //!
 //! Every assertion message carries the root seed so a failure replays
 //! with `cargo run --release --bin soak --seed <N>`.
@@ -20,8 +21,8 @@ fn opts() -> SoakOptions {
 }
 
 /// Malformed traffic + panic + stall + live swaps on each engine: the
-/// four invariants (pool census, exact accounting, no stale epochs, no
-/// wedge) must hold throughout.
+/// five invariants (pool census, exact accounting, no stale epochs, no
+/// wedge, migration census) must hold throughout.
 #[test]
 fn combined_chaos_holds_invariants_on_every_engine() {
     for kind in EngineKind::ALL {
@@ -68,6 +69,38 @@ fn combined_chaos_holds_invariants_on_every_engine() {
             cell.label()
         );
     }
+}
+
+/// Hostile skewed traffic while a scripted rescale storm repartitions
+/// the fleet mid-run: every rescale exports, re-partitions and imports
+/// the Monitor's per-flow state, and the migrated-state census (flows
+/// in == flows out) must balance exactly alongside the other four
+/// invariants.
+#[test]
+fn scale_storm_migrates_state_and_balances_census() {
+    let cell = run_cell("elephant_mice", "scale_storm", EngineKind::Sharded, &opts());
+    assert!(
+        cell.passed(),
+        "cell {} violated invariants (replay with --seed {SEED}): {:?}",
+        cell.label(),
+        cell.invariants.violations
+    );
+    assert_eq!(cell.counts.injected, 600, "seed {SEED}");
+    assert!(
+        cell.counts.rescales >= 3,
+        "cell {} fired no rescale storm (seed {SEED}): {:?}",
+        cell.label(),
+        cell.counts
+    );
+    assert!(
+        cell.counts.flows_exported > 0,
+        "rescales migrated no flow state (seed {SEED}): {:?}",
+        cell.counts
+    );
+    assert_eq!(
+        cell.counts.flows_exported, cell.counts.flows_imported,
+        "migration census unbalanced (seed {SEED})"
+    );
 }
 
 /// The same cell twice is bit-identical in its flow counters: the whole
