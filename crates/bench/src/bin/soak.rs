@@ -2,9 +2,10 @@
 //! every cell audited live against the five soak invariants, dumped to
 //! `results/BENCH_soak_matrix.json`.
 //!
-//! Full matrix: 3 traffic profiles × 4 chaos scripts × 3 engines = 36
-//! cells. `--smoke` runs the time-boxed CI subset (2 × 2 × 3 = 12 cells,
-//! fewer packets). Every cell derives its RNG from the root seed, so a
+//! Full matrix: 4 traffic profiles × 4 chaos scripts × 3 engines = 48
+//! cells. `--smoke` runs the time-boxed CI subset (2 × 2 × 3 = 12 cells
+//! covering both generator traffic and golden-trace pcap replay, fewer
+//! packets). Every cell derives its RNG from the root seed, so a
 //! failing run replays bit-for-bit with `--seed N` (printed on failure).
 //!
 //! Usage: `cargo run --release --bin soak [--smoke] [--seed N] [--packets N] [--shards N]`

@@ -21,6 +21,8 @@ use nfp_dataplane::chaos_schedule::{drive_swaps, ChaosScript, SwapLog};
 use nfp_dataplane::engine::{Engine, EngineConfig};
 use nfp_dataplane::shard::ShardedEngine;
 use nfp_dataplane::sync_engine::SyncEngine;
+use nfp_io::trace::{build_golden_pcap, GoldenTraceSpec};
+use nfp_io::{Ingress, PcapIngress};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::{compile, CompileOptions, Compiled, FailurePolicy, Program, Registry};
 use nfp_packet::Packet;
@@ -39,7 +41,9 @@ use crate::setups::make_nf;
 pub const SOAK_CHAIN: [&str; 2] = ["Monitor", "Firewall"];
 
 /// Traffic-profile axis of the matrix (see [`traffic_batch`]).
-pub const TRAFFIC_PROFILES: [&str; 3] = ["malformed", "syn_flood", "elephant_mice"];
+/// `pcap_replay` sits second so the `--smoke` slice (`[..2]`) always
+/// covers both a generator profile and the trace-replay path.
+pub const TRAFFIC_PROFILES: [&str; 4] = ["malformed", "pcap_replay", "syn_flood", "elephant_mice"];
 
 /// Chaos-script axis of the matrix (see [`chaos_script`]). The
 /// `scale_storm` column rescales the sharded fleet mid-run, migrating
@@ -131,6 +135,10 @@ pub fn cell_seed(root: u64, traffic: &str, chaos: &str, engine: EngineKind) -> u
 /// * `"malformed"` — the standard data-center mix with 15 % of frames
 ///   corrupted in place ([`TrafficSpec::malformed_fraction`]): the
 ///   classifier-rejection path under otherwise normal load.
+/// * `"pcap_replay"` — a seeded golden trace (deny tuples, IDS markers,
+///   corrupted frames, snaplen-cut captures) written through the
+///   classic-pcap codec and replayed back via [`PcapIngress`]: the whole
+///   trace-replay admission path, capture timestamps included.
 /// * `"syn_flood"` — spoofed-source minimum-size SYNs with a 5 % malformed
 ///   share: maximum flow churn, every packet a new 5-tuple.
 /// * `"elephant_mice"` — 4 elephant flows carrying 70 % of packets over
@@ -148,6 +156,19 @@ pub fn traffic_batch(profile: &str, n: usize, seed: u64) -> Vec<Packet> {
             ..TrafficSpec::default()
         })
         .batch(n),
+        "pcap_replay" => {
+            let spec = GoldenTraceSpec {
+                packets: n,
+                ..GoldenTraceSpec::mixed(seed)
+            };
+            let mut ingress =
+                PcapIngress::from_bytes(build_golden_pcap(&spec)).expect("golden pcap parses");
+            let mut out = Vec::with_capacity(n);
+            while let Some(burst) = ingress.next_burst(64).expect("golden pcap replays") {
+                out.extend(burst);
+            }
+            out
+        }
         "syn_flood" => {
             let mut spec = HostileSpec::syn_flood(seed);
             spec.malformed_rate = 0.05;

@@ -11,6 +11,11 @@
 //!             [--packets=N]      …N packets (default 1000)
 //!             [--trace-every=N]  …trace-sample every Nth packet (default 100)
 //!             [--prometheus]     …emit Prometheus text instead of JSON
+//! nfp replay  <policy-file>       replay a classic-pcap trace through the graph
+//!             --pcap=<in.pcap>   …the trace to replay (required)
+//!             [--pcap-out=<f>]   …write delivered packets to a pcap file
+//!             [--engine=E]       …sync (default) | threaded | sharded
+//!             [--shards=N]       …fleet width for --engine=sharded (default 2)
 //! ```
 //!
 //! Policies use the paper's §3 syntax (see `examples/policy_playground.rs`);
@@ -67,6 +72,32 @@ fn main() -> ExitCode {
                 None => usage("telemetry needs a policy file"),
             }
         }
+        Some("replay") => {
+            let files: Vec<&str> = args[1..]
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .collect();
+            let value = |name: &str| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(name))
+                    .map(str::to_string)
+            };
+            let (Some(path), Some(pcap)) = (files.first(), value("--pcap=")) else {
+                return usage("replay needs a policy file and --pcap=<in.pcap>");
+            };
+            let shards = value("--shards=")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2usize)
+                .max(1);
+            cmd_replay(
+                path,
+                &pcap,
+                value("--pcap-out=").as_deref(),
+                value("--engine=").as_deref().unwrap_or("sync"),
+                shards,
+            )
+        }
         Some("--help") | Some("-h") | None => usage(""),
         Some(other) => usage(&format!("unknown command `{other}`")),
     }
@@ -79,7 +110,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage:\n  nfp census [--uniform]\n  nfp check <policy-file>\n  \
          nfp compile <policy-file> [--sequential] [--no-dirty-reuse] [--tables]\n  \
-         nfp telemetry <policy-file> [--packets=N] [--trace-every=N] [--prometheus]"
+         nfp telemetry <policy-file> [--packets=N] [--trace-every=N] [--prometheus]\n  \
+         nfp replay <policy-file> --pcap=<in.pcap> [--pcap-out=<f>] [--engine=sync|threaded|sharded] [--shards=N]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS
@@ -217,6 +249,140 @@ fn cmd_telemetry(path: &str, packets: u64, trace_every: u64, prometheus: bool) -
         print!("{}", snap.to_json());
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_replay(
+    path: &str,
+    pcap_in: &str,
+    pcap_out: Option<&str>,
+    engine: &str,
+    shards: usize,
+) -> ExitCode {
+    use nfp_core::dataplane::EngineConfig;
+    use nfp_core::io::{Egress, NullEgress, PcapEgress, PcapFormat, PcapIngress};
+
+    let policy = match read_policy(path) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let compiled = match compile(&policy, &Registry::paper_table2(), &[], &Default::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let program = match compiled.program(1) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("program seal error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let names: Vec<String> = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|n| n.name.as_str().to_string())
+        .collect();
+    let make_nfs = || -> Result<Vec<Box<dyn NetworkFunction>>, ExitCode> {
+        names
+            .iter()
+            .map(|n| {
+                instantiate(n).ok_or_else(|| {
+                    eprintln!("error: no runnable implementation for NF `{n}`");
+                    ExitCode::from(1)
+                })
+            })
+            .collect()
+    };
+
+    let mut ingress = match PcapIngress::open(pcap_in) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: cannot open {pcap_in}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut egress: Box<dyn Egress> = match pcap_out {
+        Some(out) => match PcapEgress::create(out, PcapFormat::default()) {
+            Ok(e) => Box::new(e),
+            Err(e) => {
+                eprintln!("error: cannot create {out}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+        None => Box::new(NullEgress::new()),
+    };
+
+    let start = std::time::Instant::now();
+    let io = match engine {
+        "sync" => {
+            let nfs = match make_nfs() {
+                Ok(n) => n,
+                Err(code) => return code,
+            };
+            SyncEngine::new(program, nfs, 256).run_io(&mut ingress, egress.as_mut(), 64)
+        }
+        "threaded" => match make_nfs().and_then(|nfs| {
+            Engine::new(program, nfs, EngineConfig::default()).map_err(|e| {
+                eprintln!("engine error: {e}");
+                ExitCode::from(1)
+            })
+        }) {
+            Ok(mut engine) => engine
+                .run_io(&mut ingress, egress.as_mut())
+                .map(|(_, io)| io),
+            Err(code) => return code,
+        },
+        "sharded" => {
+            // The factory is infallible here: fail fast on unknown NFs once.
+            if let Err(code) = make_nfs() {
+                return code;
+            }
+            let factory = {
+                let names = names.clone();
+                move || -> Vec<Box<dyn NetworkFunction>> {
+                    names.iter().map(|n| instantiate(n).unwrap()).collect()
+                }
+            };
+            match ShardedEngine::new(&program, factory, &EngineConfig::default(), shards) {
+                Ok(mut fleet) => fleet
+                    .run_io(&mut ingress, egress.as_mut())
+                    .map(|(_, io)| io),
+                Err(e) => {
+                    eprintln!("engine error: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        other => return usage(&format!("unknown engine `{other}`")),
+    };
+    let elapsed = start.elapsed();
+
+    match io {
+        Ok(io) => {
+            println!(
+                "replayed {pcap_in} through {} [{engine}]: pulled {} delivered {} \
+                 dropped {} rejected {} in {:.3}s ({:.0} pps)",
+                compiled.graph.describe(),
+                io.pulled,
+                io.delivered,
+                io.dropped,
+                io.rejected,
+                elapsed.as_secs_f64(),
+                io.pulled as f64 / elapsed.as_secs_f64().max(1e-9)
+            );
+            if let Some(out) = pcap_out {
+                println!("wrote {} delivered packet(s) to {out}", io.delivered);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay error: {e}");
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn cmd_compile(path: &str, sequential: bool, no_dirty_reuse: bool, show_tables: bool) -> ExitCode {

@@ -50,6 +50,7 @@
 
 pub use nfp_baseline as baseline;
 pub use nfp_dataplane as dataplane;
+pub use nfp_io as io;
 pub use nfp_nf as nf;
 pub use nfp_orchestrator as orchestrator;
 pub use nfp_packet as packet;

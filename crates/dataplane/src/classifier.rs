@@ -337,10 +337,14 @@ impl Classifier {
         // The admission-time flow key rides the metadata sidecar so every
         // stateful NF downstream — even past a header-rewriting NAT —
         // keys its per-flow state by the same tuple RSS sharded on.
+        // The backend arrival stamp (pcap capture time, raw-socket
+        // receive time) survives the fresh admission metadata so trace
+        // timing stays visible downstream; 0 for synthetic traffic.
         let meta = Metadata::new(tables.mid, pid, VERSION_ORIGINAL)
             .with_epoch(epoch)
             .with_traced(traced)
-            .with_flow(nfp_packet::flow::FlowKey::of(&pkt));
+            .with_flow(nfp_packet::flow::FlowKey::of(&pkt))
+            .with_ingress_ns(pkt.meta().ingress_ns());
         pkt.set_meta(meta);
         let r = match pool.insert(pkt) {
             Ok(r) => r,
@@ -362,6 +366,12 @@ impl Classifier {
                 stats.note_in(1);
                 self.next_pid = (pid + 1) & PID_MAX;
                 self.admitted += 1;
+                // Feed the inter-arrival gap once per *successful*
+                // admission, so pool-backpressure retries never
+                // double-count a stamp.
+                if let Some(t) = tele {
+                    t.note_ingress(meta.ingress_ns());
+                }
                 Ok(tables)
             }
             Err(actions::ActionError::PoolExhausted) => {

@@ -48,6 +48,7 @@ use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 use nfp_nf::{FlowSnapshot, NetworkFunction};
 use nfp_orchestrator::tables::{DropBehavior, FtAction, GraphTables, Target};
 use nfp_orchestrator::{FailurePolicy, Program, Stage};
+use nfp_packet::io::{Egress, Ingress, IoError, IoRunStats};
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use nfp_traffic::{LatencyRecorder, LatencySummary};
@@ -111,6 +112,9 @@ pub struct EngineConfig {
     /// check invariants *during* the run. `None` (the default) costs
     /// nothing on the packet path.
     pub probe: Option<Arc<crate::audit::EngineProbe>>,
+    /// Pull size for [`Engine::run_io`] ingress bursts (NIC RX-ring
+    /// style); ignored by the batch entry points.
+    pub io_burst: usize,
 }
 
 impl Default for EngineConfig {
@@ -128,6 +132,7 @@ impl Default for EngineConfig {
             pin_cpus: Vec::new(),
             idle_policy: crate::exec::IdlePolicy::default(),
             probe: None,
+            io_burst: 32,
         }
     }
 }
@@ -974,6 +979,85 @@ impl EngineController {
     }
 }
 
+/// What the injector loop pulls from: a pre-materialized batch (the
+/// historical closed-loop entry points) or a live [`Ingress`] pulled in
+/// bursts. Streaming keeps the burst buffered locally so backpressure
+/// (`max_in_flight`, ring-full retries) applies per packet, exactly as
+/// in the batch path.
+enum Feed<'a> {
+    Batch(std::vec::IntoIter<Packet>),
+    Stream {
+        ingress: &'a mut dyn Ingress,
+        burst: usize,
+        buf: VecDeque<Packet>,
+        done: bool,
+        error: Option<IoError>,
+    },
+}
+
+impl<'a> Feed<'a> {
+    fn batch(packets: Vec<Packet>) -> Self {
+        Feed::Batch(packets.into_iter())
+    }
+
+    fn stream(ingress: &'a mut dyn Ingress, burst: usize) -> Self {
+        Feed::Stream {
+            ingress,
+            burst,
+            buf: VecDeque::new(),
+            done: false,
+            error: None,
+        }
+    }
+
+    /// Next packet to inject, or `None` when the source is exhausted
+    /// (batch empty, ingress end-of-stream, or ingress error — the error
+    /// is parked for [`Feed::take_error`] so the run still drains what
+    /// was already injected).
+    fn next(&mut self) -> Option<Packet> {
+        match self {
+            Feed::Batch(it) => it.next(),
+            Feed::Stream {
+                ingress,
+                burst,
+                buf,
+                done,
+                error,
+            } => loop {
+                if let Some(pkt) = buf.pop_front() {
+                    return Some(pkt);
+                }
+                if *done {
+                    return None;
+                }
+                match ingress.next_burst(*burst) {
+                    Ok(Some(pkts)) => buf.extend(pkts),
+                    Ok(None) => *done = true,
+                    Err(e) => {
+                        *error = Some(e);
+                        *done = true;
+                    }
+                }
+            },
+        }
+    }
+
+    /// Capacity hint for the latency recorder and injection-time table.
+    fn size_hint(&self) -> usize {
+        match self {
+            Feed::Batch(it) => it.len(),
+            Feed::Stream { burst, .. } => *burst * 32,
+        }
+    }
+
+    fn take_error(&mut self) -> Option<IoError> {
+        match self {
+            Feed::Batch(_) => None,
+            Feed::Stream { error, .. } => error.take(),
+        }
+    }
+}
+
 /// The threaded engine: one executor for a sealed [`Program`]. Build once,
 /// run many times — and [`reconfigure`](Engine::reconfigure) between or
 /// during runs.
@@ -1069,6 +1153,60 @@ impl Engine {
         &mut self,
         packets: Vec<Packet>,
     ) -> (EngineReport, LatencyRecorder) {
+        let (report, recorder, err) = self.run_feed(Feed::batch(packets));
+        debug_assert!(err.is_none(), "batch feeds cannot fail");
+        (report, recorder)
+    }
+
+    /// Run the engine against a pluggable [`Ingress`]/[`Egress`] backend
+    /// pair: bursts of [`EngineConfig::io_burst`] packets are pulled and
+    /// injected on the caller thread until the ingress reports end of
+    /// stream, then every delivered packet is emitted to `egress` (in
+    /// collector completion order) and the egress is flushed.
+    ///
+    /// `keep_packets` is forced on for the duration of the call so
+    /// delivered frames exist to emit; the caller's setting is restored
+    /// (and the packets dropped from the report) afterwards.
+    pub fn run_io(
+        &mut self,
+        ingress: &mut dyn Ingress,
+        egress: &mut dyn Egress,
+    ) -> Result<(EngineReport, IoRunStats), IoError> {
+        let keep = self.config.keep_packets;
+        self.config.keep_packets = true;
+        let burst = self.config.io_burst.max(1);
+        let (mut report, _recorder, err) = self.run_feed(Feed::stream(ingress, burst));
+        self.config.keep_packets = keep;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        egress.emit_burst(&report.packets)?;
+        egress.flush()?;
+        let rejected = report.stats.classifier.rejects();
+        let io = IoRunStats {
+            pulled: report.injected,
+            delivered: report.delivered,
+            dropped: report.dropped.saturating_sub(rejected),
+            rejected,
+        };
+        if !keep {
+            report.packets.clear();
+        }
+        Ok((report, io))
+    }
+
+    /// Crate-internal toggle for the sharded front-end's I/O entry
+    /// point: force delivered packets to materialize for the run, then
+    /// restore. Returns the previous setting.
+    pub(crate) fn set_keep_packets(&mut self, keep: bool) -> bool {
+        std::mem::replace(&mut self.config.keep_packets, keep)
+    }
+
+    /// The engine core shared by the batch and streaming entry points.
+    /// Returns the report, the raw latency recorder, and — for streaming
+    /// feeds — the first ingress error, if any (injection stops at the
+    /// error; everything already injected is still accounted).
+    fn run_feed(&mut self, mut feed: Feed<'_>) -> (EngineReport, LatencyRecorder, Option<IoError>) {
         let pool = Arc::new(PacketPool::new(self.config.pool_size));
         let n_nfs = self.nfs.len();
         let n_mergers = self.config.mergers;
@@ -1140,7 +1278,10 @@ impl Engine {
         let quiesce = AtomicBool::new(false);
         let delivered = AtomicU64::new(0);
         let dropped = AtomicU64::new(0);
-        let injected_total = packets.len() as u64;
+        // Known up front for batch feeds; for streams, assigned once the
+        // source is exhausted (the scope body runs on this thread, so the
+        // completion loop below always sees the final value).
+        let mut injected_total = 0u64;
 
         // Watchdog state: per-NF heartbeats (bumped once per drain loop),
         // busy flags (set while inside `handle`), and the failed verdicts
@@ -1219,7 +1360,7 @@ impl Engine {
         let rt_slots: Vec<RtSlot> = (0..n_nfs).map(|_| Mutex::new(None)).collect();
         let outputs_slot: Mutex<Vec<OutputRow>> = Mutex::new(Vec::new());
 
-        let mut report_latency = LatencyRecorder::with_capacity(packets.len());
+        let mut report_latency = LatencyRecorder::with_capacity(feed.size_hint());
         let mut report_packets = Vec::new();
         let mut nf_failures: Vec<NfFailure> = Vec::new();
         let started = Instant::now();
@@ -1379,8 +1520,8 @@ impl Engine {
                     );
                 }
             };
-            let mut inject_times: Vec<Instant> = Vec::with_capacity(packets.len());
-            for pkt in packets {
+            let mut inject_times: Vec<Instant> = Vec::with_capacity(feed.size_hint());
+            while let Some(pkt) = feed.next() {
                 while (inject_times.len() as u64).saturating_sub(finished()) >= max_in_flight as u64
                 {
                     check_stall();
@@ -1408,6 +1549,7 @@ impl Engine {
                 // see the push without a generation bump.
                 hub.notify();
             }
+            injected_total = inject_times.len() as u64;
             // Wait for completion, then stop injection.
             while finished() < injected_total {
                 check_stall();
@@ -1497,7 +1639,7 @@ impl Engine {
             telemetry: telemetry.snapshot(),
             migration: MigrationStats::default(),
         };
-        (report, report_latency)
+        (report, report_latency, feed.take_error())
     }
 
     /// Export each NF's per-flow state, one [`FlowSnapshot`] per NF

@@ -25,6 +25,7 @@ use crate::telemetry::TelemetrySnapshot;
 use nfp_nf::{FlowSnapshot, NetworkFunction};
 use nfp_orchestrator::Program;
 use nfp_packet::flow::FlowKey;
+use nfp_packet::io::{Egress, Ingress, IoError, IoRunStats};
 use nfp_packet::Packet;
 use nfp_traffic::LatencyRecorder;
 use std::time::{Duration, Instant};
@@ -404,6 +405,48 @@ impl ShardedEngine {
             telemetry,
             migration: self.migration,
         }
+    }
+
+    /// Stream a pluggable [`Ingress`] through the whole fleet. The RSS
+    /// front-end must see the full stream to partition it, so the
+    /// ingress is drained first (in [`EngineConfig::io_burst`]-sized
+    /// pulls), every shard then runs concurrently as in
+    /// [`ShardedEngine::run`], and the fleet's delivered packets are
+    /// emitted to `egress` in folded shard order. Delivered packets are
+    /// forced to materialize for the emission and the caller's
+    /// `keep_packets` setting restored afterwards.
+    pub fn run_io(
+        &mut self,
+        ingress: &mut dyn Ingress,
+        egress: &mut dyn Egress,
+    ) -> Result<(EngineReport, IoRunStats), IoError> {
+        let burst = self.config.io_burst.max(1);
+        let mut all = Vec::new();
+        while let Some(pkts) = ingress.next_burst(burst)? {
+            all.extend(pkts);
+        }
+        let prev: Vec<bool> = self
+            .shards
+            .iter_mut()
+            .map(|e| e.set_keep_packets(true))
+            .collect();
+        let mut report = self.run(all);
+        for (e, keep) in self.shards.iter_mut().zip(prev) {
+            e.set_keep_packets(keep);
+        }
+        egress.emit_burst(&report.packets)?;
+        egress.flush()?;
+        let rejected = report.stats.classifier.rejects();
+        let io = IoRunStats {
+            pulled: report.injected,
+            delivered: report.delivered,
+            dropped: report.dropped.saturating_sub(rejected),
+            rejected,
+        };
+        if !self.config.keep_packets {
+            report.packets.clear();
+        }
+        Ok((report, io))
     }
 
     /// Like [`ShardedEngine::run`] but keeping the per-shard reports

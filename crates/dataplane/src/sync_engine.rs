@@ -18,6 +18,7 @@ use crate::telemetry::{Telemetry, TelemetryConfig, TelemetrySnapshot};
 use nfp_nf::NetworkFunction;
 use nfp_orchestrator::tables::Target;
 use nfp_orchestrator::{Program, Stage};
+use nfp_packet::io::{Egress, Ingress, IoError, IoRunStats};
 use nfp_packet::pool::PacketPool;
 use nfp_packet::Packet;
 use std::collections::VecDeque;
@@ -354,6 +355,45 @@ impl SyncEngine {
     /// Pool occupancy (leak detection in tests).
     pub fn pool_in_use(&self) -> usize {
         self.pool.in_use()
+    }
+
+    /// Stream an [`Ingress`] through the engine and emit every delivered
+    /// packet to `egress`, in `burst`-sized pulls, until the source ends.
+    /// The fully-streaming counterpart of [`SyncEngine::process_batch`]:
+    /// delivered frames leave through the egress as soon as they merge,
+    /// never accumulating in memory.
+    pub fn run_io(
+        &mut self,
+        ingress: &mut dyn Ingress,
+        egress: &mut dyn Egress,
+        burst: usize,
+    ) -> Result<IoRunStats, IoError> {
+        let mut io = IoRunStats::default();
+        let mut out: Vec<Packet> = Vec::with_capacity(burst.max(1));
+        while let Some(pkts) = ingress.next_burst(burst.max(1))? {
+            io.pulled += pkts.len() as u64;
+            for pkt in pkts {
+                match self.process(pkt) {
+                    Ok(ProcessOutcome::Delivered(p)) => out.push(*p),
+                    Ok(ProcessOutcome::Dropped) => io.dropped += 1,
+                    Err(_) => {
+                        // Terminal admit rejects (malformed, no match)
+                        // are already counted in the stage stats; pool
+                        // exhaustion cannot happen in the closed
+                        // one-at-a-time loop.
+                        self.dropped += 1;
+                        io.rejected += 1;
+                    }
+                }
+            }
+            if !out.is_empty() {
+                io.delivered += out.len() as u64;
+                egress.emit_burst(&out)?;
+                out.clear();
+            }
+        }
+        egress.flush()?;
+        Ok(io)
     }
 }
 

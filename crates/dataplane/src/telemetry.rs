@@ -301,6 +301,12 @@ pub struct Telemetry {
     agent: LatencyHistogram,
     mergers: Vec<LatencyHistogram>,
     collector: LatencyHistogram,
+    /// Inter-arrival gaps between backend-stamped ingress timestamps
+    /// (pcap capture times, raw-socket receive times); empty for
+    /// synthetic traffic, which carries no stamp.
+    ingress: LatencyHistogram,
+    /// The previous packet's ingress stamp (0 = none yet).
+    ingress_prev: AtomicU64,
     hops: Mutex<Vec<TraceHop>>,
     trace_drops: AtomicU64,
 }
@@ -317,6 +323,8 @@ impl Telemetry {
             agent: LatencyHistogram::new(),
             mergers: (0..mergers).map(|_| LatencyHistogram::new()).collect(),
             collector: LatencyHistogram::new(),
+            ingress: LatencyHistogram::new(),
+            ingress_prev: AtomicU64::new(0),
             hops: Mutex::new(Vec::new()),
             trace_drops: AtomicU64::new(0),
         }
@@ -385,6 +393,23 @@ impl Telemetry {
         }
     }
 
+    /// Record a backend arrival timestamp: the gap to the previously
+    /// admitted packet's stamp lands in the `ingress` histogram, so a
+    /// replayed trace's inter-arrival shape is visible next to the
+    /// stage-latency histograms. A zero stamp (synthetic traffic) and
+    /// the first stamped packet are no-ops; out-of-order stamps record
+    /// a zero gap rather than wrapping.
+    #[inline]
+    pub fn note_ingress(&self, ingress_ns: u64) {
+        if ingress_ns == 0 || !self.config.histograms {
+            return;
+        }
+        let prev = self.ingress_prev.swap(ingress_ns, Ordering::Relaxed);
+        if prev != 0 {
+            self.ingress.record_ns(ingress_ns.saturating_sub(prev));
+        }
+    }
+
     /// Append a hop for a traced packet (no-op unless `meta.traced()`).
     /// The buffer is bounded by [`TelemetryConfig::trace_capacity`]; hops
     /// past it are counted, not stored.
@@ -441,7 +466,11 @@ impl Telemetry {
 
     /// Plain-value export of everything recorded so far.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        let mut stages = Vec::with_capacity(3 + self.nfs.len() + self.mergers.len());
+        let mut stages = Vec::with_capacity(4 + self.nfs.len() + self.mergers.len());
+        stages.push(StageTelemetry {
+            label: "ingress".to_string(),
+            hist: self.ingress.snapshot(),
+        });
         stages.push(StageTelemetry {
             label: stage_label(Stage::Classifier),
             hist: self.classifier.snapshot(),

@@ -1,0 +1,28 @@
+//! Regenerate the committed golden-trace corpus under `tests/data/`.
+//!
+//! ```text
+//! cargo run -p nfp-io --bin golden_trace -- tests/data
+//! ```
+//!
+//! The differential suite (`tests/pcap_differential.rs`) asserts the
+//! committed files byte-equal the builder's output, so this binary only
+//! needs re-running when [`GoldenTraceSpec`] or the pcap writer changes
+//! on purpose — and the test failing first is the point.
+
+use nfp_io::trace::{build_golden_pcap, GoldenTraceSpec};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tests/data".to_string());
+    std::fs::create_dir_all(&dir).expect("create corpus dir");
+    for (name, spec) in [
+        ("golden_mixed.pcap", GoldenTraceSpec::mixed(42)),
+        ("golden_clean.pcap", GoldenTraceSpec::clean(7)),
+    ] {
+        let path = format!("{dir}/{name}");
+        let bytes = build_golden_pcap(&spec);
+        std::fs::write(&path, &bytes).expect("write corpus file");
+        println!("wrote {path} ({} bytes)", bytes.len());
+    }
+}

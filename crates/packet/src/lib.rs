@@ -18,6 +18,10 @@
 //!   profiles are expressed over (source/destination IP, ports, payload, …)
 //!   and dense [`field::FieldMask`] sets used by the orchestrator's
 //!   dependency analysis and the Dirty Memory Reusing optimization.
+//! * The pluggable packet I/O contract ([`io`]): the burst-shaped
+//!   [`io::Ingress`]/[`io::Egress`] trait pair every traffic backend
+//!   (generator, pcap file, raw socket) implements, so engines never know
+//!   where packets come from or go to.
 //! * A pre-allocated shared [`pool::PacketPool`] standing in for the paper's
 //!   huge-page shared memory region: slots are reference-counted, packets are
 //!   passed between NFs as cheap [`pool::PacketRef`]s, and header-only
@@ -34,6 +38,7 @@ pub mod checksum;
 pub mod ether;
 pub mod field;
 pub mod flow;
+pub mod io;
 pub mod ipv4;
 pub mod meta;
 pub mod packet;
@@ -45,6 +50,7 @@ pub mod udp;
 
 pub use field::{FieldId, FieldMask};
 pub use flow::FlowKey;
+pub use io::{Egress, Ingress, IoError};
 pub use meta::Metadata;
 pub use packet::Packet;
 pub use pool::{PacketPool, PacketRef};

@@ -27,6 +27,11 @@
 //!   tables off this sidecar (never by re-parsing headers), so a NAT
 //!   rewriting the source tuple upstream cannot shift a downstream NF's
 //!   state onto the wrong shard.
+//! * **ingress_ns** — the capture/arrival timestamp stamped by the packet
+//!   I/O backend that produced the frame (pcap record time, raw-socket
+//!   receive time), in nanoseconds; 0 means "not stamped" (synthetic
+//!   traffic). The classifier preserves it through admission and feeds
+//!   inter-arrival gaps into the telemetry `ingress` histogram.
 //!
 //! No sidecar crosses the wire — the paper's 64-bit word stays exactly
 //! as Figure 5 specifies — so [`Metadata::to_raw`]/[`Metadata::from_raw`]
@@ -57,6 +62,7 @@ pub struct Metadata {
     epoch: u64,
     traced: bool,
     flow: Option<FlowKey>,
+    ingress_ns: u64,
 }
 
 impl Metadata {
@@ -74,6 +80,7 @@ impl Metadata {
             epoch: 0,
             traced: false,
             flow: None,
+            ingress_ns: 0,
         }
     }
 
@@ -133,6 +140,20 @@ impl Metadata {
         Self { flow, ..self }
     }
 
+    /// The backend arrival timestamp in nanoseconds (host-side sidecar;
+    /// 0 until a packet I/O backend stamps it — synthetic traffic never
+    /// is).
+    pub fn ingress_ns(self) -> u64 {
+        self.ingress_ns
+    }
+
+    /// Same metadata carrying the backend arrival timestamp — stamped by
+    /// pcap/raw-socket ingress backends so replayed traces keep their
+    /// capture timing through the dataplane.
+    pub fn with_ingress_ns(self, ingress_ns: u64) -> Self {
+        Self { ingress_ns, ..self }
+    }
+
     /// Same metadata with a different version — used when the runtime
     /// executes a `copy(v1, v2)` action. The epoch and trace sidecars are
     /// preserved: copies of a packet always belong to the epoch that
@@ -160,6 +181,7 @@ impl Metadata {
             epoch: 0,
             traced: false,
             flow: None,
+            ingress_ns: 0,
         }
     }
 }
@@ -277,6 +299,23 @@ mod tests {
         // The wire word is sidecar-free.
         assert_eq!(Metadata::from_raw(m.to_raw()).flow(), None);
         assert_eq!(m.to_raw(), Metadata::new(5, 17, VERSION_ORIGINAL).to_raw());
+    }
+
+    #[test]
+    fn ingress_ns_rides_along_and_survives_reversioning() {
+        let m = Metadata::new(6, 23, VERSION_ORIGINAL)
+            .with_epoch(4)
+            .with_ingress_ns(1_234_567_890);
+        assert_eq!(m.ingress_ns(), 1_234_567_890);
+        // Copies inherit the arrival stamp with the other sidecars.
+        let copy = m.with_version(2);
+        assert_eq!(copy.ingress_ns(), 1_234_567_890);
+        assert_eq!(copy.epoch(), 4);
+        // The wire word stays sidecar-free: a raw round trip resets it.
+        assert_eq!(Metadata::from_raw(m.to_raw()).ingress_ns(), 0);
+        assert_eq!(m.to_raw(), Metadata::new(6, 23, VERSION_ORIGINAL).to_raw());
+        // Unstamped metadata reads as 0 ("no backend timestamp").
+        assert_eq!(Metadata::new(1, 2, 1).ingress_ns(), 0);
     }
 
     #[test]

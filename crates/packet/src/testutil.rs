@@ -24,6 +24,31 @@ pub fn patterned_payload(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i % 251) as u8).collect()
 }
 
+/// The per-packet payload every traffic source in the workspace emits: a
+/// mod-251 ramp offset by the packet index, with the index written
+/// big-endian into the first 8 bytes when it fits — the §6.4 "unique
+/// packet ID in the payload" correctness device. The generator backend
+/// and the golden-trace builder both delegate here, so the byte pattern
+/// is defined in exactly one place.
+pub fn indexed_payload(len: usize, index: u64) -> Vec<u8> {
+    let mut payload = vec![0u8; len];
+    for (i, b) in payload.iter_mut().enumerate() {
+        *b = ((i as u64 * 31 + index) % 251) as u8;
+    }
+    tag_payload_index(&mut payload, index);
+    payload
+}
+
+/// Stamp the packet index into the first 8 bytes of `payload` (no-op on
+/// shorter payloads) — the shared tail of [`indexed_payload`], also used
+/// by sources that fill the rest of the payload differently (zero-padded
+/// elephant flows).
+pub fn tag_payload_index(payload: &mut [u8], index: u64) {
+    if payload.len() >= 8 {
+        payload[..8].copy_from_slice(&index.to_be_bytes());
+    }
+}
+
 /// Build a checksum-valid Ethernet/IPv4/TCP frame as raw bytes.
 pub fn tcp_frame_bytes(
     sip: Ipv4Addr,
@@ -146,5 +171,21 @@ mod tests {
             b"hello",
         );
         assert_eq!(u.payload().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn indexed_payload_is_ramp_plus_index_tag() {
+        let p = indexed_payload(32, 7);
+        assert_eq!(u64::from_be_bytes(p[..8].try_into().unwrap()), 7);
+        for (i, b) in p.iter().enumerate().skip(8) {
+            assert_eq!(*b, ((i as u64 * 31 + 7) % 251) as u8);
+        }
+        // Payloads too short for the tag keep the pure ramp.
+        let short = indexed_payload(5, 9);
+        assert_eq!(short.len(), 5);
+        for (i, b) in short.iter().enumerate() {
+            assert_eq!(*b, ((i as u64 * 31 + 9) % 251) as u8);
+        }
+        assert!(indexed_payload(0, 3).is_empty());
     }
 }

@@ -136,13 +136,7 @@ impl TrafficGenerator {
         let (sip, dip, sport, dport) = self.flow_tuple(flow);
         let frame_len = self.spec.sizes.sample(&mut self.rng).max(54);
         let payload_len = frame_len - 54; // eth 14 + ip 20 + tcp 20
-        let mut payload = vec![0u8; payload_len];
-        for (i, b) in payload.iter_mut().enumerate() {
-            *b = ((i as u64 * 31 + self.emitted) % 251) as u8;
-        }
-        if payload_len >= 8 {
-            payload[..8].copy_from_slice(&self.emitted.to_be_bytes());
-        }
+        let mut payload = nfp_packet::testutil::indexed_payload(payload_len, self.emitted);
         let malicious = self.spec.malicious_fraction > 0.0
             && self.rng.gen::<f64>() < self.spec.malicious_fraction;
         if malicious && payload_len >= 8 + self.spec.malicious_marker.len() {

@@ -152,9 +152,7 @@ impl HostileGenerator {
                 let sip = Ipv4Addr::from_u32((172 << 24) | base | idx);
                 let dip = Ipv4Addr::from_u32((10 << 24) | (2 << 16) | 1);
                 let mut payload = vec![0u8; frame_len - 54];
-                if payload.len() >= 8 {
-                    payload[..8].copy_from_slice(&self.emitted.to_be_bytes());
-                }
+                nfp_packet::testutil::tag_payload_index(&mut payload, self.emitted);
                 build_tcp_frame(sip, dip, 30_000 + idx as u16, 443, &payload)
             }
         };

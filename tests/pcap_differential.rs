@@ -1,0 +1,394 @@
+//! Golden-trace differential suite: the committed pcap corpus replayed
+//! through every engine must agree byte-for-byte.
+//!
+//! Three layers of lock-down:
+//!
+//! 1. **Corpus provenance** — the committed `tests/data/*.pcap` files
+//!    byte-equal the seeded builder's output
+//!    ([`nfp_io::trace::build_golden_pcap`]), so the corpus can never
+//!    drift silently; regenerate with
+//!    `cargo run -p nfp-io --bin golden_trace -- tests/data` and this
+//!    test fails first on any deliberate change.
+//! 2. **Cross-engine differential** — the same trace through
+//!    [`SyncEngine`] (deterministic reference), the threaded [`Engine`]
+//!    and the RSS [`ShardedEngine`] must produce identical delivered
+//!    *byte multisets* and identical drop taxonomies (per
+//!    [`StageSnapshot`] drop cause), for order-insensitive chains.
+//!    Cross-flow output order is the one freedom parallel execution
+//!    takes, so deliveries are compared as sorted multisets.
+//! 3. **Mid-replay reconfigure** — the agreement must survive a live
+//!    `reconfigure()` landing between two replay windows, cycling the
+//!    soak harness's fail-closed/fail-open program variants.
+
+use nfp_core::prelude::*;
+use nfp_dataplane::stats::StageSnapshot;
+use nfp_dataplane::sync_engine::SyncEngine;
+use nfp_io::backends::packet_from_record;
+use nfp_io::trace::{build_golden_pcap, GoldenTraceSpec};
+use nfp_io::{CollectEgress, PcapIngress, PcapReader, VecIngress};
+
+const MIXED: &[u8] = include_bytes!("data/golden_mixed.pcap");
+const CLEAN: &[u8] = include_bytes!("data/golden_clean.pcap");
+
+/// Order-insensitive, byte-preserving chains only: each NF's verdict
+/// depends on the packet alone (Monitor counts, Firewall's stateless
+/// ACL, inline IDS signatures, Gateway session tallies), so delivered
+/// byte-sets cannot depend on cross-flow interleaving — exactly what
+/// differs between the sync reference, the threaded engine and the
+/// sharded fleet. NAT/LoadBalancer/VPN are deliberately excluded: their
+/// outputs are order- or instance-sensitive and are covered by the
+/// per-shard equivalence suite instead.
+const CHAINS: [&[&str]; 3] = [
+    &["Monitor", "Firewall"],
+    &["Firewall", "IDS"],
+    &["Monitor", "Firewall", "IDS", "Gateway"],
+];
+
+fn registry() -> Registry {
+    let mut r = Registry::paper_table2();
+    let mut ids = r.get("NIDS").unwrap().clone().drops();
+    ids.nf_type = "IDS".into();
+    r.register(ids);
+    r
+}
+
+fn make(name: &str) -> Box<dyn NetworkFunction> {
+    use nfp_core::nf::extra;
+    use nfp_core::nf::*;
+    match name {
+        "Monitor" => Box::new(monitor::Monitor::new(name)),
+        "Firewall" => Box::new(firewall::Firewall::with_synthetic_acl(name, 100)),
+        "IDS" => Box::new(ids::Ids::with_synthetic_signatures(
+            name,
+            50,
+            ids::IdsMode::Inline,
+        )),
+        "Gateway" => Box::new(extra::Gateway::new(name)),
+        other => unreachable!("{other}"),
+    }
+}
+
+fn compile_chain(chain: &[&str], fail_open_firewall: bool) -> (Program, Vec<String>) {
+    let mut reg = registry();
+    if fail_open_firewall {
+        let mut fw = reg.get("Firewall").unwrap().clone();
+        fw.failure = Some(FailurePolicy::FailOpen);
+        reg.register(fw);
+    }
+    let compiled = compile(
+        &Policy::from_chain(chain.iter().copied()),
+        &reg,
+        &[],
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let names = compiled
+        .graph
+        .nodes
+        .iter()
+        .map(|n| n.name.as_str().to_string())
+        .collect();
+    (compiled.program(1).unwrap(), names)
+}
+
+fn nfs_for(names: &[String]) -> Vec<Box<dyn NetworkFunction>> {
+    names.iter().map(|n| make(n.as_str())).collect()
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        pool_size: 256,
+        max_in_flight: 16,
+        io_burst: 16,
+        ..EngineConfig::default()
+    }
+}
+
+/// The drop-cause taxonomy of a stage snapshot, as a comparable tuple.
+fn taxonomy(s: &StageSnapshot) -> [u64; 8] {
+    [
+        s.drop_admit_rejected,
+        s.drop_admit_malformed,
+        s.drop_nf_verdict,
+        s.drop_nf_error,
+        s.drop_nf_failed,
+        s.drop_merge_resolved,
+        s.drop_merge_error,
+        s.drop_merge_expired,
+    ]
+}
+
+/// Fold a threaded-engine report's per-stage snapshots into one, the
+/// same shape the sync engine's single shared counter set has.
+fn folded_taxonomy(report: &EngineReport) -> [u64; 8] {
+    let mut all = report.stats.classifier;
+    for nf in &report.stats.nfs {
+        all.absorb(nf);
+    }
+    all.absorb(&report.stats.agent);
+    for m in &report.stats.mergers {
+        all.absorb(m);
+    }
+    all.absorb(&report.stats.collector);
+    taxonomy(&all)
+}
+
+/// Delivered packets as a sorted byte multiset (cross-flow order is the
+/// engines' one legitimate freedom).
+fn multiset(pkts: &[Packet]) -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = pkts.iter().map(|p| p.data().to_vec()).collect();
+    v.sort();
+    v
+}
+
+/// One engine family's replay result, reduced to what must agree.
+struct Outcome {
+    delivered: Vec<Vec<u8>>,
+    taxonomy: [u64; 8],
+    pulled: u64,
+    rejected: u64,
+}
+
+fn replay_sync(chain: &[&str], trace: &[u8]) -> Outcome {
+    let (program, names) = compile_chain(chain, false);
+    let mut engine = SyncEngine::new(program, nfs_for(&names), 64);
+    let mut ingress = PcapIngress::from_bytes(trace.to_vec()).unwrap();
+    let mut egress = CollectEgress::new();
+    let io = engine.run_io(&mut ingress, &mut egress, 16).unwrap();
+    assert_eq!(
+        io.pulled,
+        io.delivered + io.dropped + io.rejected,
+        "sync accounting"
+    );
+    Outcome {
+        delivered: multiset(&egress.pkts),
+        taxonomy: taxonomy(&engine.stats()),
+        pulled: io.pulled,
+        rejected: io.rejected,
+    }
+}
+
+fn replay_threaded(chain: &[&str], trace: &[u8]) -> Outcome {
+    let (program, names) = compile_chain(chain, false);
+    let mut engine = Engine::new(program, nfs_for(&names), config()).unwrap();
+    let mut ingress = PcapIngress::from_bytes(trace.to_vec()).unwrap();
+    let mut egress = CollectEgress::new();
+    let (report, io) = engine.run_io(&mut ingress, &mut egress).unwrap();
+    assert_eq!(
+        io.pulled,
+        io.delivered + io.dropped + io.rejected,
+        "threaded accounting"
+    );
+    Outcome {
+        delivered: multiset(&egress.pkts),
+        taxonomy: folded_taxonomy(&report),
+        pulled: io.pulled,
+        rejected: io.rejected,
+    }
+}
+
+fn replay_sharded(chain: &[&str], trace: &[u8], shards: usize) -> Outcome {
+    let (program, names) = compile_chain(chain, false);
+    let mut engine = ShardedEngine::new(
+        &program,
+        move || nfs_for(&names),
+        &EngineConfig {
+            pool_size: 256 * shards,
+            core_budget: 2 * shards,
+            ..config()
+        },
+        shards,
+    )
+    .unwrap();
+    let mut ingress = PcapIngress::from_bytes(trace.to_vec()).unwrap();
+    let mut egress = CollectEgress::new();
+    let (report, io) = engine.run_io(&mut ingress, &mut egress).unwrap();
+    assert_eq!(
+        io.pulled,
+        io.delivered + io.dropped + io.rejected,
+        "sharded accounting"
+    );
+    Outcome {
+        delivered: multiset(&egress.pkts),
+        taxonomy: folded_taxonomy(&report),
+        pulled: io.pulled,
+        rejected: io.rejected,
+    }
+}
+
+#[test]
+fn committed_corpus_matches_seeded_builder() {
+    assert_eq!(
+        MIXED,
+        &build_golden_pcap(&GoldenTraceSpec::mixed(42))[..],
+        "tests/data/golden_mixed.pcap drifted from GoldenTraceSpec::mixed(42); \
+         regenerate with `cargo run -p nfp-io --bin golden_trace -- tests/data` \
+         if the change is deliberate"
+    );
+    assert_eq!(
+        CLEAN,
+        &build_golden_pcap(&GoldenTraceSpec::clean(7))[..],
+        "tests/data/golden_clean.pcap drifted from GoldenTraceSpec::clean(7)"
+    );
+}
+
+#[test]
+fn corpus_is_replayable_and_mixed_contains_rejects() {
+    let recs = PcapReader::new(std::io::Cursor::new(MIXED.to_vec()))
+        .unwrap()
+        .collect_records()
+        .unwrap();
+    assert_eq!(recs.len(), 256);
+    assert!(recs.iter().any(|r| r.truncated()));
+    let clean = PcapReader::new(std::io::Cursor::new(CLEAN.to_vec()))
+        .unwrap()
+        .collect_records()
+        .unwrap();
+    assert_eq!(clean.len(), 128);
+    assert!(clean.iter().all(|r| !r.truncated()));
+}
+
+#[test]
+fn engines_agree_on_golden_traces() {
+    for trace in [MIXED, CLEAN] {
+        for chain in CHAINS {
+            let sync = replay_sync(chain, trace);
+            let threaded = replay_threaded(chain, trace);
+            let sharded2 = replay_sharded(chain, trace, 2);
+            let sharded3 = replay_sharded(chain, trace, 3);
+            for (label, other) in [
+                ("threaded", &threaded),
+                ("sharded x2", &sharded2),
+                ("sharded x3", &sharded3),
+            ] {
+                assert_eq!(sync.pulled, other.pulled, "{label} pulled, chain {chain:?}");
+                assert_eq!(
+                    sync.rejected, other.rejected,
+                    "{label} admission rejects diverge, chain {chain:?}"
+                );
+                assert_eq!(
+                    sync.taxonomy, other.taxonomy,
+                    "{label} drop taxonomy diverges, chain {chain:?}"
+                );
+                assert_eq!(
+                    sync.delivered, other.delivered,
+                    "{label} delivered byte-set diverges, chain {chain:?}"
+                );
+            }
+            // The mixed trace must actually exercise every interesting
+            // path, or the agreement above is vacuous.
+            if std::ptr::eq(trace, MIXED) {
+                assert!(sync.rejected > 0, "no admission rejects, chain {chain:?}");
+                assert!(
+                    !sync.delivered.is_empty(),
+                    "nothing delivered, chain {chain:?}"
+                );
+                if chain.contains(&"Firewall") {
+                    assert!(
+                        sync.taxonomy.iter().sum::<u64>() > sync.rejected,
+                        "no policy drops, chain {chain:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Split the mixed trace's packets in two replay windows with a live
+/// `reconfigure()` between them (soak-style fail-closed → fail-open
+/// Firewall table edit). Every engine family applies the same swap at
+/// the same trace position, so their outputs must still agree.
+#[test]
+fn engines_agree_across_mid_replay_reconfigure() {
+    let chain: &[&str] = &["Monitor", "Firewall", "IDS"];
+    let recs = PcapReader::new(std::io::Cursor::new(MIXED.to_vec()))
+        .unwrap()
+        .collect_records()
+        .unwrap();
+    let pkts: Vec<Packet> = recs
+        .iter()
+        .map(|r| packet_from_record(r).unwrap())
+        .collect();
+    let half = pkts.len() / 2;
+    let (base_program, names) = compile_chain(chain, false);
+    let (edit_program, _) = compile_chain(chain, true);
+
+    // Sync reference.
+    let (sync_bytes, sync_tax) = {
+        let mut engine = SyncEngine::new(base_program.clone(), nfs_for(&names), 64);
+        let mut egress = CollectEgress::new();
+        let mut first = VecIngress::new(pkts[..half].to_vec());
+        engine.run_io(&mut first, &mut egress, 16).unwrap();
+        engine
+            .reconfigure(edit_program.clone().with_epoch(engine.epoch() + 1))
+            .unwrap();
+        let mut second = VecIngress::new(pkts[half..].to_vec());
+        engine.run_io(&mut second, &mut egress, 16).unwrap();
+        (multiset(&egress.pkts), taxonomy(&engine.stats()))
+    };
+
+    // Threaded engine.
+    let (thr_bytes, thr_tax) = {
+        let mut engine = Engine::new(base_program.clone(), nfs_for(&names), config()).unwrap();
+        let mut egress = CollectEgress::new();
+        let mut first = VecIngress::new(pkts[..half].to_vec());
+        let (r1, _) = engine.run_io(&mut first, &mut egress).unwrap();
+        engine
+            .reconfigure(edit_program.clone().with_epoch(engine.epoch() + 1))
+            .unwrap();
+        let mut second = VecIngress::new(pkts[half..].to_vec());
+        let (r2, _) = engine.run_io(&mut second, &mut egress).unwrap();
+        let mut tax = [0u64; 8];
+        for (t, (a, b)) in tax
+            .iter_mut()
+            .zip(folded_taxonomy(&r1).iter().zip(folded_taxonomy(&r2).iter()))
+        {
+            *t = a + b;
+        }
+        (multiset(&egress.pkts), tax)
+    };
+
+    // Sharded fleet (2 shards).
+    let (shard_bytes, shard_tax) = {
+        let names = names.clone();
+        let mut engine = ShardedEngine::new(
+            &base_program,
+            move || nfs_for(&names),
+            &EngineConfig {
+                pool_size: 512,
+                core_budget: 4,
+                ..config()
+            },
+            2,
+        )
+        .unwrap();
+        let mut egress = CollectEgress::new();
+        let mut first = VecIngress::new(pkts[..half].to_vec());
+        let (r1, _) = engine.run_io(&mut first, &mut egress).unwrap();
+        engine
+            .reconfigure(edit_program.clone().with_epoch(r1.epoch + 1))
+            .unwrap();
+        let mut second = VecIngress::new(pkts[half..].to_vec());
+        let (r2, _) = engine.run_io(&mut second, &mut egress).unwrap();
+        let mut tax = [0u64; 8];
+        for (t, (a, b)) in tax
+            .iter_mut()
+            .zip(folded_taxonomy(&r1).iter().zip(folded_taxonomy(&r2).iter()))
+        {
+            *t = a + b;
+        }
+        (multiset(&egress.pkts), tax)
+    };
+
+    assert_eq!(
+        sync_bytes, thr_bytes,
+        "threaded diverges across reconfigure"
+    );
+    assert_eq!(
+        sync_bytes, shard_bytes,
+        "sharded diverges across reconfigure"
+    );
+    assert_eq!(sync_tax, thr_tax, "threaded taxonomy diverges");
+    assert_eq!(sync_tax, shard_tax, "sharded taxonomy diverges");
+    assert!(!sync_bytes.is_empty());
+}

@@ -103,6 +103,43 @@ fn scale_storm_migrates_state_and_balances_census() {
     );
 }
 
+/// Golden-trace pcap replay as the traffic axis: a seeded adversarial
+/// capture (deny tuples, corrupted frames, snaplen cuts) goes through
+/// the classic-pcap codec and back before injection, so the soak
+/// invariants also cover the trace-replay admission path — on every
+/// engine, under the combined chaos script.
+#[test]
+fn pcap_replay_traffic_holds_invariants_on_every_engine() {
+    for kind in EngineKind::ALL {
+        let cell = run_cell("pcap_replay", "combined", kind, &opts());
+        assert!(
+            cell.passed(),
+            "cell {} violated invariants (replay with --seed {SEED}): {:?}",
+            cell.label(),
+            cell.invariants.violations
+        );
+        assert_eq!(
+            cell.counts.injected,
+            600,
+            "cell {} (seed {SEED})",
+            cell.label()
+        );
+        // The trace's malformed/snaplen-cut records must reach the
+        // classifier-reject path…
+        assert!(
+            cell.counts.rejected > 0,
+            "cell {} saw no rejects (seed {SEED})",
+            cell.label()
+        );
+        // …while the well-formed bulk still flows.
+        assert!(
+            cell.counts.delivered > 0,
+            "cell {} delivered nothing (seed {SEED})",
+            cell.label()
+        );
+    }
+}
+
 /// The same cell twice is bit-identical in its flow counters: the whole
 /// scenario — traffic, corruption, chaos timing — derives from the seed.
 #[test]
